@@ -1,0 +1,205 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§5–§6). Each benchmark runs the corresponding experiment driver at a
+// reduced scale (so `go test -bench=.` completes on a laptop) and logs the
+// same rows/series the paper reports; cmd/3sigma-bench runs the full-scale
+// versions. EXPERIMENTS.md records paper-vs-measured values.
+package threesigma
+
+import (
+	"testing"
+
+	"threesigma/internal/experiments"
+)
+
+// benchScale sizes the benchmark experiments: the Medium scale (128 nodes,
+// 2-hour workloads, ~300 jobs) keeps sampling noise manageable while the
+// whole suite still completes in minutes.
+func benchScale() experiments.Scale { return experiments.Medium() }
+
+const benchSeed = 1
+
+// BenchmarkFig1_SLOMiss regenerates Fig. 1: SLO miss rate for the four
+// Table 1 systems on the Google-derived E2E workload (simulated cluster).
+func BenchmarkFig1_SLOMiss(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.EndToEnd(benchScale(), benchSeed, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.FormatEndToEnd("Fig 1: SLO miss, E2E on SC", rows))
+		}
+	}
+}
+
+// BenchmarkFig2_TraceAnalysis regenerates Fig. 2: runtime CDFs, CoV-by-user
+// and CoV-by-resources spectra, and the JVuPredict-style estimate-error
+// histograms for the three environment trace models.
+func BenchmarkFig2_TraceAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs := experiments.Fig2(benchScale(), benchSeed)
+		if i == 0 {
+			b.Logf("\n%s", experiments.FormatFig2(rs))
+		}
+	}
+}
+
+// BenchmarkFig6_RealCluster regenerates Fig. 6: the end-to-end comparison
+// on the emulated real cluster (execution jitter + placement delay).
+func BenchmarkFig6_RealCluster(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.EndToEnd(benchScale(), benchSeed, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.FormatEndToEnd("Fig 6: E2E on RC (emulated)", rows))
+		}
+	}
+}
+
+// BenchmarkTable2_RealVsSim regenerates Table 2: absolute differences
+// between the real-cluster emulation and the plain simulation.
+func BenchmarkTable2_RealVsSim(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2(benchScale(), benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.FormatTable2(rows))
+		}
+	}
+}
+
+// BenchmarkFig7_Workloads regenerates Fig. 7: the four systems under the
+// Google, HedgeFund and Mustang workloads.
+func BenchmarkFig7_Workloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells, err := experiments.Fig7(benchScale(), benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.FormatFig7(cells))
+		}
+	}
+}
+
+// BenchmarkFig8_Attribution regenerates Fig. 8: the benefit attribution
+// sweep over constant deadline slack for the six ablation systems.
+func BenchmarkFig8_Attribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig8(benchScale(), benchSeed, []int{20, 60, 100, 140, 180})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.FormatFig8(pts))
+		}
+	}
+}
+
+// BenchmarkFig9_Perturbation regenerates Fig. 9: 3σSched fed synthetic
+// N(runtime·(1+shift), runtime·CoV) distributions across shift × CoV.
+func BenchmarkFig9_Perturbation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig9(benchScale(), benchSeed,
+			[]int{-50, -20, 0, 20, 50, 100}, []int{-1, 10, 20, 50})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.FormatFig9(pts))
+		}
+	}
+}
+
+// BenchmarkFig10_Load regenerates Fig. 10: the load-sensitivity sweep.
+func BenchmarkFig10_Load(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig10(benchScale(), benchSeed, []float64{1.0, 1.2, 1.4, 1.6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.FormatFig10(pts))
+		}
+	}
+}
+
+// BenchmarkFig11_Samples regenerates Fig. 11: sensitivity to the number of
+// history samples per feature group.
+func BenchmarkFig11_Samples(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig11(benchScale(), benchSeed, []int{5, 10, 25, 50})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.FormatFig11(pts))
+		}
+	}
+}
+
+// BenchmarkFig12_Scalability regenerates Fig. 12: scheduling-cycle and
+// solver runtimes on the 12,583-node GOOGLE-scale cluster, distribution vs
+// point scheduling. The bench uses a short measurement window; the full
+// 5-hour version runs via cmd/3sigma-bench.
+func BenchmarkFig12_Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig12(benchSeed, []int{2000, 3000, 4000}, 0.05)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.FormatFig12(pts))
+		}
+	}
+}
+
+// BenchmarkAblationPlanAhead is a repository-specific design-choice
+// ablation (DESIGN.md §5): how the plan-ahead window width affects 3Sigma.
+func BenchmarkAblationPlanAhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.AblationPlanAhead(benchScale(), benchSeed, []int{1, 4, 6, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.FormatAblation("Ablation: plan-ahead slots", pts))
+		}
+	}
+}
+
+// BenchmarkAblationWarmStart measures the value of seeding each cycle's
+// MILP with the previous plan (§4.3.6).
+func BenchmarkAblationWarmStart(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.AblationWarmStart(benchScale(), benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.FormatAblation("Ablation: MILP warm start", pts))
+		}
+	}
+}
+
+// BenchmarkAblationExactShares compares the default binary-pure MILP
+// (capacity-proportional shares) against the paper's literal continuous
+// per-partition allocation formulation (DESIGN.md §5.1). Runs at Small
+// scale: the exact model is several times larger.
+func BenchmarkAblationExactShares(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sc := experiments.Small()
+		sc.Repeats = 2
+		pts, err := experiments.AblationExactShares(sc, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.FormatAblation("Ablation: MILP share formulation", pts))
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Command 3sigma-bench regenerates the paper's tables and figures at a
+// chosen scale and prints the same rows/series the paper reports.
+//
+// Usage:
+//
+//	3sigma-bench [-scale small|medium|full] [-seed N] [-fig 1|2|6|7|8|9|10|11|12] [-table 2] [-all]
+//
+// Without -fig/-table/-all it prints the available experiments. The full
+// scale matches the paper (SC256, 5-hour workloads) and takes tens of
+// minutes; medium is the EXPERIMENTS.md default.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"threesigma/internal/experiments"
+)
+
+func main() {
+	scale := flag.String("scale", "medium", "experiment scale: small, medium or full")
+	seed := flag.Int64("seed", 1, "base random seed")
+	fig := flag.Int("fig", 0, "figure number to regenerate (1,2,6,7,8,9,10,11,12)")
+	table := flag.Int("table", 0, "table number to regenerate (2)")
+	all := flag.Bool("all", false, "regenerate every table and figure")
+	ablations := flag.Bool("ablations", false, "also run the repository's design-choice ablations")
+	fig12Hours := flag.Float64("fig12-hours", 0.2, "measurement window for the Fig 12 scalability run")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scale {
+	case "small":
+		sc = experiments.Small()
+	case "medium":
+		sc = experiments.Medium()
+	case "full":
+		sc = experiments.Full()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	if !*all && *fig == 0 && *table == 0 {
+		fmt.Println("3sigma-bench: regenerate the paper's evaluation")
+		fmt.Println("  -fig 1    SLO miss comparison (E2E, simulated cluster)")
+		fmt.Println("  -fig 2    trace analyses (runtime CDFs, CoV spectra, estimate errors)")
+		fmt.Println("  -fig 6    end-to-end comparison (emulated real cluster)")
+		fmt.Println("  -table 2  real-vs-sim deltas")
+		fmt.Println("  -fig 7    three workload environments")
+		fmt.Println("  -fig 8    attribution of benefit vs deadline slack")
+		fmt.Println("  -fig 9    synthetic distribution perturbation")
+		fmt.Println("  -fig 10   load sensitivity")
+		fmt.Println("  -fig 11   sample-size sensitivity")
+		fmt.Println("  -fig 12   scalability (12,583 nodes)")
+		fmt.Println("  -all      everything above")
+		return
+	}
+
+	want := func(n int) bool { return *all || *fig == n }
+	run := func(name string, f func() (string, error)) {
+		t0 := time.Now()
+		out, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s (scale=%s seed=%d, %s) ==\n%s\n", name, sc.Name, *seed, time.Since(t0).Round(time.Millisecond), out)
+	}
+
+	if want(1) {
+		run("Fig 1", func() (string, error) {
+			rows, err := experiments.EndToEnd(sc, *seed, false)
+			return experiments.FormatEndToEnd("Fig 1: SLO miss, E2E on SC", rows), err
+		})
+	}
+	if want(2) {
+		run("Fig 2", func() (string, error) {
+			return experiments.FormatFig2(experiments.Fig2(sc, *seed)), nil
+		})
+	}
+	if want(6) {
+		run("Fig 6", func() (string, error) {
+			rows, err := experiments.EndToEnd(sc, *seed, true)
+			return experiments.FormatEndToEnd("Fig 6: E2E on RC (emulated)", rows), err
+		})
+	}
+	if *all || *table == 2 {
+		run("Table 2", func() (string, error) {
+			rows, err := experiments.Table2(sc, *seed)
+			return experiments.FormatTable2(rows), err
+		})
+	}
+	if want(7) {
+		run("Fig 7", func() (string, error) {
+			cells, err := experiments.Fig7(sc, *seed)
+			return experiments.FormatFig7(cells), err
+		})
+	}
+	if want(8) {
+		run("Fig 8", func() (string, error) {
+			pts, err := experiments.Fig8(sc, *seed, nil)
+			return experiments.FormatFig8(pts), err
+		})
+	}
+	if want(9) {
+		run("Fig 9", func() (string, error) {
+			pts, err := experiments.Fig9(sc, *seed, nil, nil)
+			return experiments.FormatFig9(pts), err
+		})
+	}
+	if want(10) {
+		run("Fig 10", func() (string, error) {
+			pts, err := experiments.Fig10(sc, *seed, nil)
+			return experiments.FormatFig10(pts), err
+		})
+	}
+	if want(11) {
+		run("Fig 11", func() (string, error) {
+			pts, err := experiments.Fig11(sc, *seed, nil)
+			return experiments.FormatFig11(pts), err
+		})
+	}
+	if want(12) {
+		run("Fig 12", func() (string, error) {
+			pts, err := experiments.Fig12(*seed, nil, *fig12Hours)
+			return experiments.FormatFig12(pts), err
+		})
+	}
+	if *ablations {
+		run("Ablation: plan-ahead", func() (string, error) {
+			pts, err := experiments.AblationPlanAhead(sc, *seed, nil)
+			return experiments.FormatAblation("Ablation: plan-ahead slots", pts), err
+		})
+		run("Ablation: warm start", func() (string, error) {
+			pts, err := experiments.AblationWarmStart(sc, *seed)
+			return experiments.FormatAblation("Ablation: MILP warm start", pts), err
+		})
+		run("Ablation: share formulation", func() (string, error) {
+			small := experiments.Small()
+			small.Repeats = 2
+			pts, err := experiments.AblationExactShares(small, *seed)
+			return experiments.FormatAblation("Ablation: MILP share formulation (small scale)", pts), err
+		})
+	}
+}

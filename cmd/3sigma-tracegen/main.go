@@ -1,0 +1,46 @@
+// Command 3sigma-tracegen generates a synthetic job trace from one of the
+// calibrated environment models (Google, HedgeFund, Mustang) and writes it
+// as CSV (stdout or -o file). The traces feed 3sigma-traceanalyze and
+// external tooling.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"threesigma/internal/trace"
+	"threesigma/internal/workload"
+)
+
+func main() {
+	env := flag.String("env", "google", "environment model: google, hedgefund, mustang")
+	n := flag.Int("n", 10000, "number of jobs")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	e, err := workload.EnvByName(*env)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	recs := workload.GenerateTrace(e, *n, *seed)
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.WriteCSV(w, recs); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %d records to %s\n", len(recs), *out)
+	}
+}

@@ -1,0 +1,42 @@
+// Quickstart: generate a Google-derived workload, schedule it with 3Sigma,
+// and compare against the Table 1 baselines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"threesigma"
+)
+
+func main() {
+	// A small cluster and a short window keep this example under a minute;
+	// scale the numbers up for paper-scale runs (256 nodes, 5 hours).
+	w := threesigma.GenerateWorkload(threesigma.WorkloadConfig{
+		Cluster:       threesigma.NewCluster(64, 8),
+		DurationHours: 1,
+		Load:          1.4,
+		Seed:          42,
+	})
+	fmt.Printf("generated %s: %d jobs at offered load %.2f\n\n", w.Name, len(w.Jobs), w.OfferedLoad)
+
+	var rows []threesigma.Report
+	for _, sys := range []threesigma.System{
+		threesigma.SystemThreeSigma,
+		threesigma.SystemPointPerfEst,
+		threesigma.SystemPointRealEst,
+		threesigma.SystemPrio,
+	} {
+		res, err := threesigma.Simulate(sys, w, threesigma.SimConfig{Seed: 42, CycleInterval: 15})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, res.Report)
+	}
+	fmt.Print(threesigma.FormatReports(rows))
+	fmt.Println("\n3Sigma schedules with full runtime distributions from 3σPredict;")
+	fmt.Println("PointPerfEst is the hypothetical oracle, PointRealEst the point-estimate")
+	fmt.Println("state of the art, and Prio a runtime-unaware priority scheduler.")
+}

@@ -1,0 +1,3 @@
+module threesigma
+
+go 1.22

@@ -1,0 +1,138 @@
+package baselines
+
+import (
+	"testing"
+
+	"threesigma/internal/core"
+	"threesigma/internal/job"
+	"threesigma/internal/predictor"
+	"threesigma/internal/simulator"
+)
+
+func runSim(t *testing.T, s simulator.Scheduler, jobs []*job.Job, nodes, parts int) *simulator.Result {
+	t.Helper()
+	sim, err := simulator.New(s, jobs, simulator.Options{
+		Cluster:       simulator.NewCluster(nodes, parts),
+		CycleInterval: 10,
+		DrainWindow:   7200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.Run()
+}
+
+func get(res *simulator.Result, id job.ID) *simulator.Outcome {
+	for _, o := range res.Outcomes {
+		if o.Job.ID == id {
+			return o
+		}
+	}
+	return nil
+}
+
+func TestFactoryPolicies(t *testing.T) {
+	p := predictor.New(predictor.Config{})
+	cases := []struct {
+		s       *core.Scheduler
+		name    string
+		useDist bool
+		oe      core.OEMode
+		preempt bool
+	}{
+		{ThreeSigma(p, core.Config{}), "3Sigma", true, core.OEAdaptive, true},
+		{PointPerfEst(core.Config{}), "PointPerfEst", false, core.OEOff, true},
+		{PointRealEst(p, core.Config{}), "PointRealEst", false, core.OEOff, true},
+		{NoDist(p, core.Config{}), "3SigmaNoDist", false, core.OEAdaptive, true},
+		{NoOE(p, core.Config{}), "3SigmaNoOE", true, core.OEOff, true},
+		{NoAdapt(p, core.Config{}), "3SigmaNoAdapt", true, core.OEAlways, true},
+	}
+	for _, c := range cases {
+		pol := c.s.Config().Policy
+		if pol.Name != c.name {
+			t.Errorf("name = %q, want %q", pol.Name, c.name)
+		}
+		if pol.UseDistribution != c.useDist || pol.Overestimate != c.oe || pol.Preemption != c.preempt {
+			t.Errorf("%s policy = %+v", c.name, pol)
+		}
+		if !pol.Underestimate {
+			t.Errorf("%s should have under-estimate handling (Table 1 note)", c.name)
+		}
+	}
+}
+
+func TestPrioRunsSLOBeforeBE(t *testing.T) {
+	pr := NewPrio()
+	slo := &job.Job{ID: 1, Class: job.SLO, Submit: 0, Deadline: 1000, Tasks: 1, Runtime: 100}
+	be := &job.Job{ID: 2, Class: job.BestEffort, Submit: 0, Tasks: 1, Runtime: 100}
+	res := runSim(t, pr, []*job.Job{slo, be}, 1, 1)
+	oS, oB := get(res, 1), get(res, 2)
+	if !oS.Completed || !oB.Completed {
+		t.Fatal("both should complete")
+	}
+	if oS.FirstStart >= oB.FirstStart {
+		t.Errorf("Prio must start SLO first: slo=%v be=%v", oS.FirstStart, oB.FirstStart)
+	}
+}
+
+func TestPrioPreemptsBEForSLO(t *testing.T) {
+	pr := NewPrio()
+	be := &job.Job{ID: 1, Class: job.BestEffort, Submit: 0, Tasks: 2, Runtime: 5000}
+	slo := &job.Job{ID: 2, Class: job.SLO, Submit: 100, Deadline: 600, Tasks: 2, Runtime: 100}
+	res := runSim(t, pr, []*job.Job{be, slo}, 2, 1)
+	if o := get(res, 1); o.Preemptions == 0 {
+		t.Error("Prio should preempt the BE job")
+	}
+	if o := get(res, 2); o.MissedDeadline() {
+		t.Errorf("SLO should meet deadline: %+v", o)
+	}
+}
+
+// TestPrioPreemptsEvenWhenUnnecessary captures the paper's observation that
+// Prio preempts BE jobs "even when deadline slack makes preemption
+// unnecessary": the BE job would finish long before the SLO deadline, but
+// Prio cannot know and preempts anyway.
+func TestPrioPreemptsEvenWhenUnnecessary(t *testing.T) {
+	pr := NewPrio()
+	be := &job.Job{ID: 1, Class: job.BestEffort, Submit: 0, Tasks: 2, Runtime: 50}
+	slo := &job.Job{ID: 2, Class: job.SLO, Submit: 10, Deadline: 10000, Tasks: 2, Runtime: 100}
+	res := runSim(t, pr, []*job.Job{be, slo}, 2, 1)
+	if o := get(res, 1); o.Preemptions == 0 {
+		t.Error("runtime-unaware Prio should preempt despite the huge slack")
+	}
+}
+
+func TestPrioEDFWithinSLO(t *testing.T) {
+	pr := NewPrio()
+	loose := &job.Job{ID: 1, Class: job.SLO, Submit: 0, Deadline: 10000, Tasks: 1, Runtime: 100}
+	tight := &job.Job{ID: 2, Class: job.SLO, Submit: 0, Deadline: 500, Tasks: 1, Runtime: 100}
+	res := runSim(t, pr, []*job.Job{loose, tight}, 1, 1)
+	oL, oT := get(res, 1), get(res, 2)
+	if oT.FirstStart >= oL.FirstStart {
+		t.Errorf("EDF violated: tight=%v loose=%v", oT.FirstStart, oL.FirstStart)
+	}
+}
+
+func TestPrioAttemptsOverestimatedJobs(t *testing.T) {
+	// Prio has no runtime estimates, so it attempts every SLO job; this is
+	// the paper's explanation for Prio beating PointRealEst on misses.
+	pr := NewPrio()
+	slo := &job.Job{ID: 1, Class: job.SLO, Submit: 0, Deadline: 300, Tasks: 1, Runtime: 100}
+	res := runSim(t, pr, []*job.Job{slo}, 1, 1)
+	if o := get(res, 1); !o.Completed || o.MissedDeadline() {
+		t.Errorf("Prio should just run the job: %+v", o)
+	}
+}
+
+func TestGreedyAllocPreferredFirst(t *testing.T) {
+	j := &job.Job{Tasks: 3, Preferred: []int{1}}
+	free := simulator.Alloc{2, 2}
+	a := greedyAlloc(j, free)
+	if a == nil || a[1] != 2 || a[0] != 1 {
+		t.Errorf("alloc = %v, want preferred partition filled first", a)
+	}
+	big := &job.Job{Tasks: 5}
+	if greedyAlloc(big, free) != nil {
+		t.Error("oversized request should fail")
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"threesigma/internal/milp"
+	"threesigma/internal/simulator"
+)
+
+// DebugBuildModel exposes the cycle MILP for dissection in tests/probes.
+func DebugBuildModel(s *Scheduler, st *simulator.State) *builder { return s.buildModel(st) }
+
+// Model exposes the builder's MILP.
+func (b *builder) Model() *milp.Model { return &b.model }
+
+// DebugDescribe summarizes the builder's options vs a solution.
+func DebugDescribe(b *builder, sol *milp.Solution, st *simulator.State) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "  jobs considered=%d options=%d preemptvars=%d\n", len(b.jobs), len(b.options), len(b.preempts))
+	slot0, deferred := 0, 0
+	for i := range b.options {
+		o := &b.options[i]
+		if sol.Value(o.varIdx) > 0.5 {
+			if o.slot == 0 {
+				slot0++
+			} else {
+				deferred++
+			}
+		}
+	}
+	fmt.Fprintf(&sb, "  chosen slot0=%d deferred=%d\n", slot0, deferred)
+	// Per-job option summary for first few jobs.
+	byJob := map[int64][]string{}
+	for i := range b.options {
+		o := &b.options[i]
+		mark := " "
+		if sol.Value(o.varIdx) > 0.5 {
+			mark = "*"
+		}
+		byJob[int64(o.j.ID)] = append(byJob[int64(o.j.ID)],
+			fmt.Sprintf("%s(sp%d,t%d,u=%.1f)", mark, o.space, o.slot, o.util))
+	}
+	n := 0
+	for _, j := range b.jobs {
+		if n >= 8 {
+			break
+		}
+		n++
+		fmt.Fprintf(&sb, "  job%d %s k=%d opts=%v\n", j.ID, j.Class, j.Tasks, byJob[int64(j.ID)])
+	}
+	return sb.String()
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+
+	"threesigma/internal/job"
+)
+
+// DecisionKind classifies one scheduling decision.
+type DecisionKind uint8
+
+// The decision kinds emitted by the scheduler.
+const (
+	// DecisionStart: a job was launched now.
+	DecisionStart DecisionKind = iota
+	// DecisionDefer: the plan places the job at a future slot.
+	DecisionDefer
+	// DecisionPreempt: a running best-effort job was preempted.
+	DecisionPreempt
+	// DecisionAbandon: a deadline job with zero attainable utility was
+	// dropped from consideration.
+	DecisionAbandon
+)
+
+// String names the kind.
+func (k DecisionKind) String() string {
+	switch k {
+	case DecisionStart:
+		return "start"
+	case DecisionDefer:
+		return "defer"
+	case DecisionPreempt:
+		return "preempt"
+	case DecisionAbandon:
+		return "abandon"
+	}
+	return "unknown"
+}
+
+// DecisionEvent is one observable scheduling decision — the audit trail a
+// cluster operator needs to answer "why didn't my job run?".
+type DecisionEvent struct {
+	Time float64 // simulation time of the cycle
+	Kind DecisionKind
+	Job  job.ID
+	// PlannedStart is the chosen start time for Start/Defer decisions.
+	PlannedStart float64
+	// OnPreferred reports whether a Start decision landed entirely on the
+	// job's preferred partitions.
+	OnPreferred bool
+	// Utility is the option's expected utility (Start/Defer).
+	Utility float64
+}
+
+// String renders the event as one log line.
+func (e DecisionEvent) String() string {
+	switch e.Kind {
+	case DecisionStart:
+		pref := "any"
+		if e.OnPreferred {
+			pref = "preferred"
+		}
+		return fmt.Sprintf("t=%-8.0f start   job%-6d on %s nodes (E[U]=%.2f)", e.Time, e.Job, pref, e.Utility)
+	case DecisionDefer:
+		return fmt.Sprintf("t=%-8.0f defer   job%-6d until t=%.0f (E[U]=%.2f)", e.Time, e.Job, e.PlannedStart, e.Utility)
+	case DecisionPreempt:
+		return fmt.Sprintf("t=%-8.0f preempt job%-6d", e.Time, e.Job)
+	default:
+		return fmt.Sprintf("t=%-8.0f abandon job%-6d (zero attainable utility)", e.Time, e.Job)
+	}
+}
+
+// logDecision emits an event to the configured sink, if any.
+func (s *Scheduler) logDecision(e DecisionEvent) {
+	if s.cfg.OnDecision != nil {
+		s.cfg.OnDecision(e)
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"threesigma/internal/job"
+	"threesigma/internal/milp"
+	"threesigma/internal/simulator"
+)
+
+func exactConfig() Config {
+	cfg := testConfig()
+	cfg.ExactShares = true
+	return cfg
+}
+
+func TestExactSharesModelHasAllocationVariables(t *testing.T) {
+	s := New(PerfectEstimator{}, exactConfig())
+	j := &job.Job{ID: 1, Class: job.SLO, Submit: 0, Deadline: 5000, Tasks: 3, Runtime: 300,
+		Preferred: []int{0}, NonPrefFactor: 1.5}
+	st := stateWith(simulator.NewCluster(8, 2), []*job.Job{j}, nil, 0)
+	b := s.buildModel(st)
+	if len(b.options) == 0 {
+		t.Fatal("no options")
+	}
+	contVars := 0
+	for i := range b.options {
+		o := &b.options[i]
+		if len(o.allocVars) != len(o.allowed) {
+			t.Fatalf("option %d: allocVars=%d allowed=%d", i, len(o.allocVars), len(o.allowed))
+		}
+		contVars += len(o.allocVars)
+	}
+	if contVars == 0 {
+		t.Fatal("exact mode should create continuous allocation variables")
+	}
+	if got := b.model.NumVars() - b.model.NumBinary(); got != contVars {
+		t.Errorf("continuous vars in model = %d, want %d", got, contVars)
+	}
+}
+
+// TestExactSharesSolutionAllocates checks the §4.3.3 semantics end-to-end:
+// solving the exact model produces allocation variables summing to k for
+// the chosen option, and the scheduler realizes them as an integral gang.
+func TestExactSharesSolutionAllocates(t *testing.T) {
+	s := New(PerfectEstimator{}, exactConfig())
+	j := &job.Job{ID: 1, Class: job.BestEffort, Submit: 0, Tasks: 5, Runtime: 100}
+	st := stateWith(simulator.NewCluster(8, 2), []*job.Job{j}, nil, 0)
+	b := s.buildModel(st)
+	sol := milp.Solve(&b.model, milp.Options{})
+	if sol.Status != milp.Optimal && sol.Status != milp.Feasible {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	var chosen *option
+	for i := range b.options {
+		if sol.Value(b.options[i].varIdx) > 0.5 {
+			chosen = &b.options[i]
+		}
+	}
+	if chosen == nil {
+		t.Fatal("no option chosen")
+	}
+	sum := 0.0
+	for _, av := range chosen.allocVars {
+		sum += sol.Value(av)
+	}
+	if sum < 4.999 {
+		t.Fatalf("allocation sum = %v, want >= 5", sum)
+	}
+	alloc := allocFromSolution(chosen, &sol, st.Free)
+	if alloc == nil || alloc.Total() != 5 {
+		t.Fatalf("rounded alloc = %v, want 5 nodes", alloc)
+	}
+}
+
+func TestExactSharesEndToEndSimulation(t *testing.T) {
+	s := New(PerfectEstimator{}, exactConfig())
+	jobs := []*job.Job{
+		{ID: 1, Class: job.SLO, Submit: 0, Deadline: 1200, Tasks: 3, Runtime: 300,
+			Preferred: []int{0}, NonPrefFactor: 1.5},
+		{ID: 2, Class: job.BestEffort, Submit: 0, Tasks: 2, Runtime: 200},
+		{ID: 3, Class: job.BestEffort, Submit: 50, Tasks: 4, Runtime: 100},
+	}
+	res := run(t, s, jobs, 8, 2)
+	for _, o := range res.Outcomes {
+		if !o.Completed {
+			t.Errorf("job %d incomplete: %+v", o.Job.ID, o)
+		}
+	}
+	if o := outcome(res, 1); o.MissedDeadline() {
+		t.Errorf("SLO job missed: %+v", o)
+	}
+}
+
+func TestAllocFromSolutionRounding(t *testing.T) {
+	o := &option{
+		j:         &job.Job{Tasks: 5},
+		allowed:   []int{0, 1, 2},
+		allocVars: []int{0, 1, 2},
+	}
+	sol := &milp.Solution{X: []float64{1.6, 1.6, 1.8}}
+	free := simulator.Alloc{3, 3, 3}
+	a := allocFromSolution(o, sol, free)
+	if a == nil || a.Total() != 5 {
+		t.Fatalf("alloc = %v", a)
+	}
+	// Largest remainder: 1.8 -> 2 first, then one of the 1.6s.
+	if a[2] != 2 {
+		t.Errorf("partition 2 should get the extra node: %v", a)
+	}
+	// Mild under-allocation is padded (one node per partition at most)...
+	solLow := &milp.Solution{X: []float64{1, 1, 1}}
+	if got := allocFromSolution(o, solLow, free); got == nil || got.Total() != 5 {
+		t.Errorf("mild under-allocation should be padded to 5, got %v", got)
+	}
+	// ...but a severe shortfall returns nil.
+	solWorse := &milp.Solution{X: []float64{0.2, 0.2, 0.2}}
+	if got := allocFromSolution(o, solWorse, free); got != nil {
+		t.Errorf("severe under-allocation should return nil, got %v", got)
+	}
+	// Exceeding free nodes fails.
+	solBig := &milp.Solution{X: []float64{5, 0, 0}}
+	if got := allocFromSolution(o, solBig, simulator.Alloc{2, 3, 3}); got != nil {
+		t.Errorf("over-free alloc should fail, got %v", got)
+	}
+	// Over-allocation is trimmed.
+	solOver := &milp.Solution{X: []float64{3, 3, 3}}
+	if got := allocFromSolution(o, solOver, simulator.Alloc{4, 4, 4}); got == nil || got.Total() != 5 {
+		t.Errorf("over-allocated LP should trim to 5, got %v", got)
+	}
+}

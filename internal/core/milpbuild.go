@@ -1,0 +1,365 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"threesigma/internal/dist"
+	"threesigma/internal/job"
+	"threesigma/internal/milp"
+	"threesigma/internal/simulator"
+)
+
+// option is one placement choice (space class × start slot) for a pending
+// job, with its expected utility and expected resource consumption curve.
+type option struct {
+	j      *job.Job
+	space  int8
+	slot   int
+	start  float64 // absolute start time
+	util   float64
+	varIdx int
+	// shares is the per-partition node demand of this option (proportional
+	// split over the allowed partitions). In ExactShares mode it is only
+	// used for warm-start seeding and allocation fallback.
+	shares []float64
+	// rc[k] is the option's survival probability at the start of slot
+	// slot+k (rc[0] == 1): expected resource consumption per Eq. 3.
+	rc []float64
+	// allowed lists the partitions this option may draw nodes from.
+	allowed []int
+	// allocVars are the continuous per-partition allocation variables of
+	// the ExactShares formulation (parallel to allowed; nil otherwise).
+	allocVars []int
+}
+
+// preemptVar is the indicator for preempting one running job (§4.3.5).
+type preemptVar struct {
+	r      *simulator.RunningJob
+	varIdx int
+	// surv[s] is the job's residual survival at slot s (capacity credit).
+	surv []float64
+}
+
+// builder holds one cycle's MILP and the option bookkeeping needed to
+// interpret its solution.
+type builder struct {
+	s        *Scheduler
+	st       *simulator.State
+	model    milp.Model
+	jobs     []*job.Job
+	options  []option
+	preempts []preemptVar
+}
+
+// buildModel translates the cluster state into the cycle's MILP (§4.3.1
+// steps 1–4).
+func (s *Scheduler) buildModel(st *simulator.State) *builder {
+	b := &builder{s: s, st: st}
+	cfg := &s.cfg
+	now := st.Now
+	nParts := len(st.Cluster.Partitions)
+	slots := cfg.Slots
+
+	// Slot start times are anchored to an *absolute* grid (slot 0 = now,
+	// later slots at multiples of SlotDur in wall-clock time). Anchoring at
+	// `now` instead would shift every deferred plan's start a little later
+	// each cycle, eroding its expected utility until the scheduler
+	// needlessly preempts; on the absolute grid a plan like "start when
+	// the running job's distribution max passes" stays put.
+	times := make([]float64, slots)
+	offsets := make([]float64, slots) // times[k] − now
+	times[0] = now
+	base := math.Floor(now/cfg.SlotDur) * cfg.SlotDur
+	for k := 1; k < slots; k++ {
+		times[k] = base + float64(k)*cfg.SlotDur
+		offsets[k] = times[k] - now
+	}
+
+	// Expected available capacity per (partition, slot): cluster capacity
+	// minus the running jobs' expected residual consumption (§3.2).
+	capacity := make([][]float64, nParts)
+	for p := range capacity {
+		capacity[p] = make([]float64, slots)
+		for k := range capacity[p] {
+			capacity[p][k] = float64(st.Cluster.Partitions[p])
+		}
+	}
+	type runUse struct {
+		r    *simulator.RunningJob
+		surv []float64
+	}
+	runUses := make([]runUse, 0, len(st.Running))
+	for _, r := range st.Running {
+		sf := s.runningSurvival(r, now)
+		u := runUse{r: r, surv: make([]float64, slots)}
+		for k := 0; k < slots; k++ {
+			u.surv[k] = sf(offsets[k])
+			for p, n := range r.Alloc {
+				capacity[p][k] -= float64(n) * u.surv[k]
+			}
+		}
+		runUses = append(runUses, u)
+	}
+
+	// Preemption indicators for running best-effort jobs (§4.3.5).
+	if cfg.Policy.Preemption {
+		for _, u := range runUses {
+			if u.r.Job.Class != job.BestEffort {
+				continue
+			}
+			elapsed := u.r.Elapsed(now)
+			cost := cfg.BEWeight * float64(u.r.Job.Tasks) * (cfg.PreemptBase + elapsed/cfg.BEDecayWindow)
+			v := b.model.AddVar(milp.Binary, -cost, fmt.Sprintf("P[j%d]", u.r.Job.ID))
+			b.model.AddLE(fmt.Sprintf("ub_P[j%d]", u.r.Job.ID), []int{v}, []float64{1}, 1)
+			b.preempts = append(b.preempts, preemptVar{r: u.r, varIdx: v, surv: u.surv})
+		}
+	}
+
+	// Option generation reasons about the capacity that *could* be made
+	// available, including by preempting running best-effort jobs; the
+	// capacity rows below still charge actual expected capacity, with the
+	// preemption credits as indicator-gated terms.
+	relaxedCap := capacity
+	if len(b.preempts) > 0 {
+		relaxedCap = make([][]float64, nParts)
+		for p := range relaxedCap {
+			relaxedCap[p] = append([]float64(nil), capacity[p]...)
+		}
+		for i := range b.preempts {
+			pv := &b.preempts[i]
+			for k := 0; k < slots; k++ {
+				for p, n := range pv.r.Alloc {
+					relaxedCap[p][k] += float64(n) * pv.surv[k]
+				}
+			}
+		}
+	}
+
+	// Placement options for the selected pending jobs.
+	sel := s.selectPending(st.Pending, now)
+	b.jobs = sel
+	for _, j := range sel {
+		d := s.distFor(j)
+		util := s.utilityFor(j, d, now)
+		type spaceChoice struct {
+			space  int8
+			factor float64
+		}
+		var spaces []spaceChoice
+		constrained := len(j.Preferred) > 0 && len(j.Preferred) < nParts
+		if constrained {
+			// Preferred spread at full speed; whole-cluster spread pays
+			// the slowdown.
+			prefNodes := 0
+			for _, p := range j.Preferred {
+				if p >= 0 && p < nParts {
+					prefNodes += st.Cluster.Partitions[p]
+				}
+			}
+			if prefNodes >= j.Tasks {
+				spaces = append(spaces, spaceChoice{spacePref, 1})
+			}
+			spaces = append(spaces, spaceChoice{spaceAny, runtimeFactor(j)})
+		} else {
+			spaces = append(spaces, spaceChoice{spaceAny, 1})
+		}
+		var jobVars []int
+		anyUtility := false // any space has nonzero utility at an immediate start
+		for _, sc := range spaces {
+			od := dist.NewScaled(d, sc.factor)
+			if job.ExpectedUtility(od, util, now, cfg.UtilitySteps) > 1e-9 {
+				anyUtility = true
+			}
+			var allowed []int
+			if sc.space == spacePref {
+				allowed = j.Preferred
+			} else {
+				allowed = allParts(nParts)
+			}
+			// Deferral options exist so deadline jobs can wait for
+			// preferred (or freed) resources. Best-effort jobs only lose
+			// utility by waiting, and window-edge truncation would
+			// otherwise make late starts look artificially cheap, so they
+			// get immediate-start options only — a BE job that does not
+			// fit now is simply reconsidered next cycle.
+			jobSlots := slots
+			if !j.HasDeadline() {
+				jobSlots = 1
+			}
+			for k := 0; k < jobSlots; k++ {
+				// Spread the gang proportionally to the *expected free
+				// capacity* of the allowed partitions at this start slot —
+				// a planning approximation of the paper's per-partition
+				// allocation variables ("the sum of allocations from
+				// different resource partitions is equal to k", §4.3.3)
+				// that lets a busy partition carry zero share instead of
+				// blocking the whole option.
+				avail := 0.0
+				for _, p := range allowed {
+					avail += relaxedCap[p][k]
+				}
+				if avail < float64(j.Tasks)*0.999 {
+					continue // cannot start in this slot even with preemption
+				}
+				shares := make([]float64, nParts)
+				for _, p := range allowed {
+					shares[p] = float64(j.Tasks) * relaxedCap[p][k] / avail
+				}
+				start := times[k]
+				eu := job.ExpectedUtility(od, util, start, cfg.UtilitySteps)
+				if eu <= 1e-9 {
+					continue // zero-utility term: prune (§4.3.6)
+				}
+				// Earlier-is-better bonus for best-effort jobs. Old BE jobs
+				// sit at their utility floor, where every slot is
+				// objective-neutral and the budgeted solver has no pressure
+				// to realize starts promptly. SLO jobs get only a hair of
+				// bonus: deferring them must stay "free" so the scheduler
+				// can trade their slack for BE latency (§2.3 scenario 2).
+				if j.Class == job.BestEffort {
+					eu += 0.05 * eu * float64(slots-k) / float64(slots)
+				} else {
+					eu += 1e-3 * eu * float64(slots-k) / float64(slots)
+				}
+				o := option{
+					j:       j,
+					space:   sc.space,
+					slot:    k,
+					start:   start,
+					util:    eu,
+					shares:  shares,
+					rc:      make([]float64, slots-k),
+					allowed: allowed,
+				}
+				for k2 := k; k2 < slots; k2++ {
+					o.rc[k2-k] = dist.Survival(od, times[k2]-start)
+				}
+				o.varIdx = b.model.AddVar(milp.Binary, eu, fmt.Sprintf("I[j%d,s%d,t%d]", j.ID, sc.space, k))
+				if cfg.ExactShares {
+					// §4.3.3 demand constraint (a): continuous allocation
+					// variables a_{o,p} with Σ_p a_op >= k·I_o (the LP
+					// never over-allocates since allocations only consume
+					// capacity).
+					idx := []int{o.varIdx}
+					coef := []float64{float64(j.Tasks)}
+					for _, p := range allowed {
+						av := b.model.AddVar(milp.Continuous, 0, fmt.Sprintf("a[j%d,s%d,t%d,p%d]", j.ID, sc.space, k, p))
+						o.allocVars = append(o.allocVars, av)
+						idx = append(idx, av)
+						coef = append(coef, -1)
+					}
+					b.model.AddLE(fmt.Sprintf("link[j%d,s%d,t%d]", j.ID, sc.space, k), idx, coef, 0)
+				}
+				b.options = append(b.options, o)
+				jobVars = append(jobVars, o.varIdx)
+			}
+		}
+		if len(jobVars) > 0 {
+			coef := make([]float64, len(jobVars))
+			for i := range coef {
+				coef[i] = 1
+			}
+			b.model.AddLE(fmt.Sprintf("demand[j%d]", j.ID), jobVars, coef, 1)
+		}
+		if !anyUtility && j.HasDeadline() {
+			// Even an immediate start earns zero utility, and deadline
+			// utilities are non-increasing in start time, so this job can
+			// never earn utility again: abandon it now rather than letting
+			// it clog the consideration window (it would crowd out
+			// feasible jobs under EDF ordering). Capacity-blocked jobs are
+			// NOT abandoned — they regain options when resources free up.
+			s.abandoned[j.ID] = true
+			delete(s.planned, j.ID)
+			s.logDecision(DecisionEvent{Time: now, Kind: DecisionAbandon, Job: j.ID})
+		}
+	}
+
+	// Capacity constraints per (partition, slot), Eq. 3 with preemption
+	// credits moved to the left-hand side.
+	for p := 0; p < nParts; p++ {
+		for k := 0; k < slots; k++ {
+			var idx []int
+			var coef []float64
+			for i := range b.options {
+				o := &b.options[i]
+				if k < o.slot {
+					continue
+				}
+				if cfg.ExactShares {
+					// The allocation variables, not the indicator, carry
+					// the per-partition consumption.
+					for ai, ap := range o.allowed {
+						if ap != p {
+							continue
+						}
+						if c := o.rc[k-o.slot]; c > 1e-9 {
+							idx = append(idx, o.allocVars[ai])
+							coef = append(coef, c)
+						}
+					}
+					continue
+				}
+				c := o.shares[p] * o.rc[k-o.slot]
+				if c > 1e-9 {
+					idx = append(idx, o.varIdx)
+					coef = append(coef, c)
+				}
+			}
+			for i := range b.preempts {
+				pv := &b.preempts[i]
+				c := float64(pv.r.Alloc[p]) * pv.surv[k]
+				if c > 1e-9 {
+					idx = append(idx, pv.varIdx)
+					coef = append(coef, -c)
+				}
+			}
+			if len(idx) == 0 {
+				continue
+			}
+			b.model.AddLE(fmt.Sprintf("cap[p%d,t%d]", p, k), idx, coef, capacity[p][k])
+		}
+	}
+	return b
+}
+
+// allParts returns [0, 1, ..., n-1].
+func allParts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// seed builds the warm-start vector from the previous cycle's plan
+// (§4.3.6): each planned job re-selects the option nearest its previously
+// chosen space and start time; running jobs stay running (preempt = 0).
+func (b *builder) seed() []float64 {
+	if b.model.NumVars() == 0 {
+		return nil
+	}
+	x := make([]float64, b.model.NumVars())
+	half := b.s.cfg.SlotDur / 2
+	seeded := make(map[job.ID]bool)
+	for i := range b.options {
+		o := &b.options[i]
+		if seeded[o.j.ID] {
+			continue
+		}
+		pl, ok := b.s.planned[o.j.ID]
+		if !ok || pl.space != o.space {
+			continue
+		}
+		if math.Abs(pl.start-o.start) <= half {
+			x[o.varIdx] = 1
+			if len(o.allocVars) > 0 {
+				for ai, p := range o.allowed {
+					x[o.allocVars[ai]] = o.shares[p]
+				}
+			}
+			seeded[o.j.ID] = true
+		}
+	}
+	return x
+}

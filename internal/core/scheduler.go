@@ -1,0 +1,487 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"threesigma/internal/dist"
+	"threesigma/internal/job"
+	"threesigma/internal/milp"
+	"threesigma/internal/simulator"
+)
+
+// space classes for placement options. The paper's equivalence sets (§4.3.3)
+// are modeled at two granularities per job: the job's preferred partitions
+// (full speed) and the whole cluster (NonPrefFactor slowdown).
+const (
+	spacePref int8 = iota // spread over the job's preferred partitions
+	spaceAny              // spread over all partitions
+)
+
+// ueState tracks §4.2.1 exponential under-estimate extension for a running
+// job whose elapsed time passed its distribution's upper bound.
+type ueState struct {
+	bumps     int
+	extFinish float64 // current extended finish estimate (absolute time)
+}
+
+// plan remembers a job's chosen option for warm-starting the next cycle's
+// MILP (§4.3.6: "seeding each new cycle's MILP problem with the solution
+// from the previous cycle").
+type plan struct {
+	space int8
+	start float64
+}
+
+// Stats aggregates scheduler-side measurements (Fig. 12).
+type Stats struct {
+	Cycles         int
+	SolveTime      time.Duration // cumulative
+	MaxSolveTime   time.Duration
+	CycleTime      time.Duration // cumulative (option gen + compile + solve)
+	MaxCycleTime   time.Duration
+	PredictTime    time.Duration // cumulative 3σPredict latency at submission
+	MaxPredictTime time.Duration
+	Predictions    int
+	LastModel      milp.Stats
+	MaxVars        int
+	MaxRows        int
+	Preemptions    int
+	Starts         int
+	AllocFailures  int // chosen slot-0 options whose discrete allocation failed
+	Deferrals      int // chosen options planned for a later slot
+}
+
+// Scheduler is a 3σSched instance implementing simulator.Scheduler.
+type Scheduler struct {
+	cfg Config
+	est Estimator
+
+	dists     map[job.ID]dist.Distribution
+	ue        map[job.ID]*ueState
+	planned   map[job.ID]plan
+	abandoned map[job.ID]bool
+
+	stats Stats
+}
+
+// New returns a scheduler with the given estimator and configuration.
+func New(est Estimator, cfg Config) *Scheduler {
+	cfg.fill()
+	return &Scheduler{
+		cfg:       cfg,
+		est:       est,
+		dists:     make(map[job.ID]dist.Distribution),
+		ue:        make(map[job.ID]*ueState),
+		planned:   make(map[job.ID]plan),
+		abandoned: make(map[job.ID]bool),
+	}
+}
+
+// Stats returns a copy of the accumulated measurements.
+func (s *Scheduler) Stats() Stats { return s.stats }
+
+// Config returns the effective configuration (defaults filled).
+func (s *Scheduler) Config() Config { return s.cfg }
+
+// JobSubmitted estimates the job's runtime distribution (step 2 of Fig. 4)
+// and caches it for the job's lifetime.
+func (s *Scheduler) JobSubmitted(j *job.Job, now float64) {
+	t0 := time.Now()
+	d := s.est.EstimateDist(j)
+	if !s.cfg.Policy.UseDistribution {
+		// Point-estimate mode: collapse the distribution to its mean.
+		d = dist.NewPoint(d.Mean())
+	}
+	lat := time.Since(t0)
+	s.stats.PredictTime += lat
+	if lat > s.stats.MaxPredictTime {
+		s.stats.MaxPredictTime = lat
+	}
+	s.stats.Predictions++
+	s.dists[j.ID] = d
+}
+
+// JobCompleted feeds the observed runtime back to the estimator (step 4 of
+// Fig. 4) and clears per-job state.
+func (s *Scheduler) JobCompleted(j *job.Job, baseRuntime, now float64) {
+	s.est.Observe(j, baseRuntime)
+	delete(s.dists, j.ID)
+	delete(s.ue, j.ID)
+	delete(s.planned, j.ID)
+	delete(s.abandoned, j.ID)
+}
+
+// distFor returns the cached submission-time distribution, estimating
+// lazily for jobs the scheduler has not seen (e.g. after a restart).
+func (s *Scheduler) distFor(j *job.Job) dist.Distribution {
+	if d, ok := s.dists[j.ID]; ok {
+		return d
+	}
+	d := s.est.EstimateDist(j)
+	if !s.cfg.Policy.UseDistribution {
+		d = dist.NewPoint(d.Mean())
+	}
+	s.dists[j.ID] = d
+	return d
+}
+
+// runtimeFactor returns the slowdown for running off preferred resources.
+func runtimeFactor(j *job.Job) float64 {
+	if j.NonPrefFactor > 1 {
+		return j.NonPrefFactor
+	}
+	return 1
+}
+
+// runningSurvival builds the residual survival function of a running job:
+// P(still holding resources dt seconds from now), applying the Eq. 2
+// conditional update and §4.2.1 under-estimate handling.
+func (s *Scheduler) runningSurvival(r *simulator.RunningJob, now float64) func(dt float64) float64 {
+	d := s.distFor(r.Job)
+	if !r.OnPreferred {
+		d = dist.NewScaled(d, runtimeFactor(r.Job))
+	}
+	elapsed := r.Elapsed(now)
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	cond := dist.NewConditional(d, elapsed)
+	if !cond.Exhausted() {
+		delete(s.ue, r.Job.ID)
+		return cond.SurvivalRemaining
+	}
+	// Distribution exhausted: the job ran longer than all history.
+	var remaining float64
+	if s.cfg.Policy.Underestimate {
+		st := s.ue[r.Job.ID]
+		if st == nil {
+			st = &ueState{bumps: 0, extFinish: now + s.cfg.CycleInterval}
+			s.ue[r.Job.ID] = st
+		}
+		for now >= st.extFinish {
+			st.bumps++
+			st.extFinish = now + math.Pow(2, float64(st.bumps))*s.cfg.CycleInterval
+		}
+		remaining = st.extFinish - now
+	} else {
+		remaining = s.cfg.CycleInterval
+	}
+	return func(dt float64) float64 {
+		if dt < remaining {
+			return 1
+		}
+		return 0
+	}
+}
+
+// utilityFor builds the job's utility curve, applying over-estimate
+// handling per policy (§4.2.2–4.2.3). A configured UtilityFn takes
+// precedence (per-job administrator-defined utilities, §3.1).
+func (s *Scheduler) utilityFor(j *job.Job, d dist.Distribution, now float64) job.Utility {
+	if s.cfg.UtilityFn != nil {
+		if u := s.cfg.UtilityFn(j); u != nil {
+			return u
+		}
+	}
+	if j.HasDeadline() {
+		v := s.cfg.SLOWeight * float64(j.Tasks)
+		oe := false
+		switch s.cfg.Policy.Overestimate {
+		case OEAlways:
+			oe = true
+		case OEAdaptive:
+			// Deadline-minus-submit is the paper's proxy for the runtime
+			// upper bound; if the distribution says the job (almost)
+			// cannot fit that window, the distribution is likely skewed
+			// toward over-estimation.
+			window := j.Deadline - j.Submit
+			if d.CDF(window) < s.cfg.OEThreshold {
+				oe = true
+			}
+		}
+		if oe {
+			ext := s.cfg.OEExtFactor * (j.Deadline - j.Submit)
+			if ext < s.cfg.SlotDur {
+				ext = s.cfg.SlotDur
+			}
+			return job.ExtendedStepUtility{Value: v, Deadline: j.Deadline, Extension: ext}
+		}
+		return job.StepUtility{Value: v, Deadline: j.Deadline}
+	}
+	return job.DecayUtility{
+		Value:  s.cfg.BEWeight * float64(j.Tasks),
+		Start:  j.Submit,
+		Window: s.cfg.BEDecayWindow,
+		Floor:  s.cfg.BEFloor,
+	}
+}
+
+// selectPending orders pending jobs by urgency (SLO by deadline, then BE by
+// submission) and returns at most MaxPending of them, skipping abandoned
+// jobs.
+func (s *Scheduler) selectPending(pending []*job.Job, now float64) []*job.Job {
+	slo := make([]*job.Job, 0, len(pending))
+	be := make([]*job.Job, 0, len(pending))
+	for _, j := range pending {
+		if s.abandoned[j.ID] {
+			continue
+		}
+		if j.HasDeadline() {
+			// Drop SLO jobs that are hopeless even with maximal OE
+			// extension; they would otherwise pin consideration slots.
+			maxExt := s.cfg.OEExtFactor * (j.Deadline - j.Submit)
+			if now > j.Deadline+maxExt {
+				s.abandoned[j.ID] = true
+				delete(s.planned, j.ID)
+				continue
+			}
+			slo = append(slo, j)
+		} else {
+			be = append(be, j)
+		}
+	}
+	sort.SliceStable(slo, func(a, b int) bool { return slo[a].Deadline < slo[b].Deadline })
+	sort.SliceStable(be, func(a, b int) bool { return be[a].Submit < be[b].Submit })
+	out := make([]*job.Job, 0, s.cfg.MaxPending)
+	// SLO jobs take priority for consideration slots, but reserve a
+	// quarter of the window for BE jobs so they cannot starve outright.
+	beReserve := s.cfg.MaxPending / 4
+	sloQuota := s.cfg.MaxPending - beReserve
+	if len(be) < beReserve {
+		sloQuota = s.cfg.MaxPending - len(be)
+	}
+	for _, j := range slo {
+		if len(out) >= sloQuota {
+			break
+		}
+		out = append(out, j)
+	}
+	for _, j := range be {
+		if len(out) >= s.cfg.MaxPending {
+			break
+		}
+		out = append(out, j)
+	}
+	return out
+}
+
+// Cycle implements one §4.3.1 scheduling round.
+func (s *Scheduler) Cycle(st *simulator.State) simulator.Decision {
+	t0 := time.Now()
+	dec := simulator.Decision{}
+	b := s.buildModel(st)
+	var seed []float64
+	if !s.cfg.NoWarmStart {
+		seed = b.seed()
+	}
+	sol := milp.Solve(&b.model, milp.Options{
+		Deadline: time.Now().Add(s.cfg.SolverBudget),
+		MaxNodes: s.cfg.SolverMaxNodes,
+		Gap:      1e-4,
+		Seed:     seed,
+	})
+	solveTime := sol.Elapsed
+	s.extract(b, &sol, st, &dec)
+
+	cycleTime := time.Since(t0)
+	dec.CycleLatency = cycleTime
+	dec.SolverLatency = solveTime
+	s.stats.Cycles++
+	s.stats.SolveTime += solveTime
+	if solveTime > s.stats.MaxSolveTime {
+		s.stats.MaxSolveTime = solveTime
+	}
+	s.stats.CycleTime += cycleTime
+	if cycleTime > s.stats.MaxCycleTime {
+		s.stats.MaxCycleTime = cycleTime
+	}
+	ms := b.model.Stats()
+	s.stats.LastModel = ms
+	if ms.Vars > s.stats.MaxVars {
+		s.stats.MaxVars = ms.Vars
+	}
+	if ms.Rows > s.stats.MaxRows {
+		s.stats.MaxRows = ms.Rows
+	}
+	s.stats.Preemptions += len(dec.Preempt)
+	s.stats.Starts += len(dec.Start)
+	return dec
+}
+
+// extract converts the MILP solution into preemptions and slot-0 starts and
+// refreshes the warm-start plan.
+func (s *Scheduler) extract(b *builder, sol *milp.Solution, st *simulator.State, dec *simulator.Decision) {
+	if sol.X == nil {
+		return
+	}
+	// Preemptions first: they free capacity for slot-0 starts.
+	freeAdj := st.Free.Clone()
+	for _, pv := range b.preempts {
+		if sol.Value(pv.varIdx) > 0.5 {
+			dec.Preempt = append(dec.Preempt, pv.r.Job.ID)
+			for p, n := range pv.r.Alloc {
+				freeAdj[p] += n
+			}
+			delete(s.planned, pv.r.Job.ID)
+			s.logDecision(DecisionEvent{Time: st.Now, Kind: DecisionPreempt, Job: pv.r.Job.ID})
+		}
+	}
+	// Chosen options; slot-0 SLO starts allocate before BE starts.
+	chosen := make([]*option, 0, len(b.jobs))
+	for i := range b.options {
+		o := &b.options[i]
+		if sol.Value(o.varIdx) > 0.5 {
+			chosen = append(chosen, o)
+		}
+	}
+	sort.SliceStable(chosen, func(a, b int) bool {
+		ca, cb := chosen[a], chosen[b]
+		if (ca.j.Class == job.SLO) != (cb.j.Class == job.SLO) {
+			return ca.j.Class == job.SLO
+		}
+		return ca.util > cb.util
+	})
+	for _, o := range chosen {
+		if o.slot > 0 {
+			s.stats.Deferrals++
+			s.planned[o.j.ID] = plan{space: o.space, start: o.start}
+			s.logDecision(DecisionEvent{
+				Time: st.Now, Kind: DecisionDefer, Job: o.j.ID,
+				PlannedStart: o.start, Utility: o.util,
+			})
+			continue
+		}
+		var alloc simulator.Alloc
+		if len(o.allocVars) > 0 {
+			// ExactShares mode: realize the MILP's own allocation variables.
+			alloc = allocFromSolution(o, sol, freeAdj)
+		}
+		if alloc == nil {
+			alloc = s.greedyAlloc(o.j, o.space, freeAdj, st)
+		}
+		if alloc == nil {
+			// Discretization mismatch: retry next cycle.
+			s.stats.AllocFailures++
+			delete(s.planned, o.j.ID)
+			continue
+		}
+		for p, n := range alloc {
+			freeAdj[p] -= n
+		}
+		dec.Start = append(dec.Start, simulator.StartAction{Job: o.j.ID, Alloc: alloc})
+		delete(s.planned, o.j.ID)
+		onPref := true
+		for p, n := range alloc {
+			if n > 0 && !o.j.PrefersPartition(p) {
+				onPref = false
+				break
+			}
+		}
+		s.logDecision(DecisionEvent{
+			Time: st.Now, Kind: DecisionStart, Job: o.j.ID,
+			PlannedStart: st.Now, OnPreferred: onPref, Utility: o.util,
+		})
+	}
+}
+
+// allocFromSolution rounds the ExactShares allocation variables of a chosen
+// option to an integral gang (largest-remainder method), validating against
+// the free nodes; it returns nil when the rounded allocation does not fit,
+// in which case the caller falls back to the greedy allocator.
+func allocFromSolution(o *option, sol *milp.Solution, free simulator.Alloc) simulator.Alloc {
+	alloc := make(simulator.Alloc, len(free))
+	type frac struct {
+		p int
+		f float64
+	}
+	var fracs []frac
+	total := 0
+	for ai, p := range o.allowed {
+		v := sol.Value(o.allocVars[ai])
+		if v < 0 {
+			v = 0
+		}
+		w := int(v)
+		alloc[p] = w
+		total += w
+		fracs = append(fracs, frac{p, v - float64(w)})
+	}
+	sort.Slice(fracs, func(a, b int) bool { return fracs[a].f > fracs[b].f })
+	for _, fr := range fracs {
+		if total >= o.j.Tasks {
+			break
+		}
+		alloc[fr.p]++
+		total++
+	}
+	if total < o.j.Tasks {
+		return nil // LP under-allocated (should not happen; fall back)
+	}
+	// Trim any over-allocation from the smallest-fraction partitions.
+	for i := len(fracs) - 1; i >= 0 && total > o.j.Tasks; i-- {
+		p := fracs[i].p
+		for alloc[p] > 0 && total > o.j.Tasks {
+			alloc[p]--
+			total--
+		}
+	}
+	for p, n := range alloc {
+		if n > free[p] {
+			return nil
+		}
+	}
+	return alloc
+}
+
+// greedyAlloc realizes a space-class choice as a concrete per-partition
+// allocation from the currently free nodes. For spaceAny it still fills
+// preferred partitions first, so a job planned pessimistically at 1.5× may
+// end up fully preferred and run at full speed.
+func (s *Scheduler) greedyAlloc(j *job.Job, space int8, free simulator.Alloc, st *simulator.State) simulator.Alloc {
+	alloc := make(simulator.Alloc, len(free))
+	need := j.Tasks
+	fill := func(preferredOnly bool) {
+		type pf struct{ p, free int }
+		var ps []pf
+		for p, f := range free {
+			avail := f - alloc[p] // headroom beyond what we already took
+			if avail <= 0 {
+				continue
+			}
+			if preferredOnly && !j.PrefersPartition(p) {
+				continue
+			}
+			ps = append(ps, pf{p, avail})
+		}
+		sort.Slice(ps, func(a, b int) bool {
+			if ps[a].free != ps[b].free {
+				return ps[a].free > ps[b].free
+			}
+			return ps[a].p < ps[b].p
+		})
+		for _, e := range ps {
+			if need == 0 {
+				return
+			}
+			take := e.free
+			if take > need {
+				take = need
+			}
+			alloc[e.p] += take
+			need -= take
+		}
+	}
+	fill(true)
+	if need > 0 {
+		if space == spacePref {
+			return nil // must stay on preferred resources
+		}
+		fill(false)
+	}
+	if need > 0 {
+		return nil
+	}
+	return alloc
+}

@@ -1,0 +1,129 @@
+package dist
+
+import "fmt"
+
+// Conditional is the runtime distribution of a job known to have been
+// running for Elapsed seconds: P(T <= t | T >= elapsed). 3σSched refreshes
+// this at every scheduling event for running jobs (Eq. 2 of the paper):
+//
+//	1 − CDF_updated(t) = (1 − CDF(t)) / (1 − CDF(elapsed))
+//
+// When the elapsed time reaches (or exceeds) the base distribution's upper
+// support bound, the survival denominator collapses to zero; that is the
+// under-estimate condition handled by 3σSched's exponential extension
+// (§4.2.1), implemented in internal/core — here we degenerate gracefully to
+// "finishes immediately".
+type Conditional struct {
+	Base    Distribution
+	Elapsed float64
+	surv0   float64 // survival at Elapsed, cached
+}
+
+// NewConditional returns the distribution of Base conditioned on having
+// survived past elapsed (clamped at 0).
+func NewConditional(base Distribution, elapsed float64) Conditional {
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	return Conditional{Base: base, Elapsed: elapsed, surv0: Survival(base, elapsed)}
+}
+
+// Exhausted reports whether the base distribution has no mass beyond the
+// elapsed time (the under-estimate condition).
+func (c Conditional) Exhausted() bool { return c.surv0 <= 0 }
+
+// CDF returns P(T <= t | T >= elapsed) where t is total runtime (not
+// additional time). For t < elapsed the result is 0.
+func (c Conditional) CDF(t float64) float64 {
+	if t < c.Elapsed {
+		return 0
+	}
+	if c.surv0 <= 0 {
+		return 1 // exhausted: treat as finishing immediately
+	}
+	v := 1 - Survival(c.Base, t)/c.surv0
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// CDFRemaining returns P(T - elapsed <= dt | T >= elapsed): the probability
+// of finishing within the next dt seconds. This is the form 3σSched uses to
+// compute expected residual resource consumption.
+func (c Conditional) CDFRemaining(dt float64) float64 {
+	if dt < 0 {
+		return 0
+	}
+	return c.CDF(c.Elapsed + dt)
+}
+
+// SurvivalRemaining returns P(T - elapsed > dt | T >= elapsed).
+func (c Conditional) SurvivalRemaining(dt float64) float64 {
+	s := 1 - c.CDFRemaining(dt)
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// Mean returns the conditional expectation E[T | T >= elapsed], computed by
+// numerically integrating the conditional survival function over the
+// remaining support (E[T] = elapsed + ∫ S(dt) ddt).
+func (c Conditional) Mean() float64 {
+	if c.surv0 <= 0 {
+		return c.Elapsed
+	}
+	upper := c.Base.Max()
+	if upper <= c.Elapsed {
+		return c.Elapsed
+	}
+	const steps = 256
+	h := (upper - c.Elapsed) / steps
+	sum := 0.0
+	for i := 0; i < steps; i++ {
+		dt := (float64(i) + 0.5) * h
+		sum += c.SurvivalRemaining(dt)
+	}
+	return c.Elapsed + sum*h
+}
+
+// Quantile returns the q-th quantile of the conditional total runtime.
+func (c Conditional) Quantile(q float64) float64 {
+	if c.surv0 <= 0 {
+		return c.Elapsed
+	}
+	if q <= 0 {
+		return c.Elapsed
+	}
+	upper := c.Base.Max()
+	if q >= 1 || upper <= c.Elapsed {
+		return upper
+	}
+	lo, hi := c.Elapsed, upper
+	for i := 0; i < 64; i++ {
+		mid := (lo + hi) / 2
+		if c.CDF(mid) < q {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Max returns the base distribution's upper bound (never below Elapsed).
+func (c Conditional) Max() float64 {
+	m := c.Base.Max()
+	if m < c.Elapsed {
+		return c.Elapsed
+	}
+	return m
+}
+
+func (c Conditional) String() string {
+	return fmt.Sprintf("Cond(%v | elapsed=%g)", c.Base, c.Elapsed)
+}

@@ -1,0 +1,27 @@
+package dist
+
+import "fmt"
+
+// Scaled stretches a base runtime distribution by a constant factor: if T
+// is distributed as Base, Scaled is the distribution of Factor·T. 3σSched
+// uses it to value placement options on non-preferred resources, where the
+// paper's workload runs jobs 1.5× longer (§5).
+type Scaled struct {
+	Base   Distribution
+	Factor float64
+}
+
+// NewScaled wraps base with the given positive factor (factor <= 0 is
+// treated as 1).
+func NewScaled(base Distribution, factor float64) Distribution {
+	if factor == 1 || factor <= 0 {
+		return base
+	}
+	return Scaled{Base: base, Factor: factor}
+}
+
+func (s Scaled) CDF(t float64) float64      { return s.Base.CDF(t / s.Factor) }
+func (s Scaled) Mean() float64              { return s.Base.Mean() * s.Factor }
+func (s Scaled) Quantile(q float64) float64 { return s.Base.Quantile(q) * s.Factor }
+func (s Scaled) Max() float64               { return s.Base.Max() * s.Factor }
+func (s Scaled) String() string             { return fmt.Sprintf("%.2gx%v", s.Factor, s.Base) }

@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"threesigma/internal/baselines"
+	"threesigma/internal/core"
+	"threesigma/internal/metrics"
+	"threesigma/internal/predictor"
+	"threesigma/internal/simulator"
+	"threesigma/internal/workload"
+)
+
+// This file holds the repository's own design-choice ablations, beyond the
+// paper's Fig. 8: the plan-ahead window width (how many deferral slots
+// 3σSched reasons over) and the previous-cycle warm start of the MILP
+// (§4.3.6). DESIGN.md §5 motivates both.
+
+// AblationPoint is one configuration's outcome.
+type AblationPoint struct {
+	Label     string
+	Report    metrics.Report
+	MeanSolve time.Duration
+}
+
+// AblationPlanAhead sweeps the number of plan-ahead slots for 3Sigma.
+// One slot means no deferral planning at all (greedy-in-time).
+func AblationPlanAhead(sc Scale, seed int64, slotCounts []int) ([]AblationPoint, error) {
+	if len(slotCounts) == 0 {
+		slotCounts = []int{1, 2, 4, 6, 8}
+	}
+	reps := sc.repeats()
+	ws := make([]*workload.Workload, reps)
+	for r := 0; r < reps; r++ {
+		ws[r] = workload.Generate(sc.WorkloadConfig(seed + int64(r)))
+	}
+	pts := make([]AblationPoint, len(slotCounts))
+	scratch := make([]metrics.Report, len(slotCounts)*reps)
+	solves := make([]time.Duration, len(slotCounts)*reps)
+	err := parallelEach(len(scratch), func(k int) error {
+		vi, r := k/reps, k%reps
+		cfg := sc.coreConfig()
+		cfg.Slots = slotCounts[vi]
+		rep, solve, err := runThreeSigma(ws[r], sc, cfg, seed+int64(r))
+		if err != nil {
+			return err
+		}
+		scratch[k] = rep
+		solves[k] = solve
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for vi, n := range slotCounts {
+		var solveSum time.Duration
+		for r := 0; r < reps; r++ {
+			solveSum += solves[vi*reps+r]
+		}
+		pts[vi] = AblationPoint{
+			Label:     fmt.Sprintf("slots=%d", n),
+			Report:    metrics.Average(scratch[vi*reps : (vi+1)*reps]),
+			MeanSolve: solveSum / time.Duration(reps),
+		}
+	}
+	return pts, nil
+}
+
+// AblationWarmStart compares 3Sigma with and without previous-cycle MILP
+// seeding.
+func AblationWarmStart(sc Scale, seed int64) ([]AblationPoint, error) {
+	reps := sc.repeats()
+	ws := make([]*workload.Workload, reps)
+	for r := 0; r < reps; r++ {
+		ws[r] = workload.Generate(sc.WorkloadConfig(seed + int64(r)))
+	}
+	variants := []struct {
+		label string
+		warm  bool
+	}{{"warm-start", true}, {"cold-start", false}}
+	scratch := make([]metrics.Report, len(variants)*reps)
+	solves := make([]time.Duration, len(variants)*reps)
+	err := parallelEach(len(scratch), func(k int) error {
+		vi, r := k/reps, k%reps
+		cfg := sc.coreConfig()
+		cfg.NoWarmStart = !variants[vi].warm
+		rep, solve, err := runThreeSigma(ws[r], sc, cfg, seed+int64(r))
+		if err != nil {
+			return err
+		}
+		scratch[k] = rep
+		solves[k] = solve
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]AblationPoint, len(variants))
+	for vi, v := range variants {
+		var solveSum time.Duration
+		for r := 0; r < reps; r++ {
+			solveSum += solves[vi*reps+r]
+		}
+		pts[vi] = AblationPoint{
+			Label:     v.label,
+			Report:    metrics.Average(scratch[vi*reps : (vi+1)*reps]),
+			MeanSolve: solveSum / time.Duration(reps),
+		}
+	}
+	return pts, nil
+}
+
+// AblationExactShares compares the default capacity-proportional-shares
+// MILP against the paper's literal §4.3.3 formulation with continuous
+// per-partition allocation variables. The exact model is several times
+// larger, so this ablation is meant for the Small scale.
+func AblationExactShares(sc Scale, seed int64) ([]AblationPoint, error) {
+	reps := sc.repeats()
+	ws := make([]*workload.Workload, reps)
+	for r := 0; r < reps; r++ {
+		ws[r] = workload.Generate(sc.WorkloadConfig(seed + int64(r)))
+	}
+	variants := []struct {
+		label string
+		exact bool
+	}{{"prop-shares", false}, {"exact-shares", true}}
+	scratch := make([]metrics.Report, len(variants)*reps)
+	solves := make([]time.Duration, len(variants)*reps)
+	err := parallelEach(len(scratch), func(k int) error {
+		vi, r := k/reps, k%reps
+		cfg := sc.coreConfig()
+		cfg.ExactShares = variants[vi].exact
+		if cfg.ExactShares {
+			// The exact model's LPs are several times larger; give the
+			// solver a budget that lets it finish its dives, so the
+			// comparison measures schedule quality and cost rather than
+			// starvation under an unfit budget.
+			cfg.SolverBudget = 10 * cfg.SolverBudget
+		}
+		rep, solve, err := runThreeSigma(ws[r], sc, cfg, seed+int64(r))
+		if err != nil {
+			return err
+		}
+		scratch[k] = rep
+		solves[k] = solve
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]AblationPoint, len(variants))
+	for vi, v := range variants {
+		var solveSum time.Duration
+		for r := 0; r < reps; r++ {
+			solveSum += solves[vi*reps+r]
+		}
+		pts[vi] = AblationPoint{
+			Label:     v.label,
+			Report:    metrics.Average(scratch[vi*reps : (vi+1)*reps]),
+			MeanSolve: solveSum / time.Duration(reps),
+		}
+	}
+	return pts, nil
+}
+
+// runThreeSigma runs the 3Sigma configuration with an explicit core config
+// and returns the report plus the mean solver time per cycle.
+func runThreeSigma(w *workload.Workload, sc Scale, cfg core.Config, seed int64) (metrics.Report, time.Duration, error) {
+	pred := predictor.New(predictor.Config{})
+	for _, r := range w.Train {
+		pred.Observe(r.Job(), r.Runtime)
+	}
+	sched := baselines.ThreeSigma(pred, cfg)
+	sim, err := simulator.New(sched, w.Jobs, simulator.Options{
+		Cluster:       w.Cluster,
+		CycleInterval: sc.CycleInterval,
+		DrainWindow:   sc.DrainWindow,
+		Seed:          seed,
+	})
+	if err != nil {
+		return metrics.Report{}, 0, err
+	}
+	res := sim.Run()
+	rep := metrics.FromResult("3Sigma", res, w.Cluster)
+	st := sched.Stats()
+	var meanSolve time.Duration
+	if st.Cycles > 0 {
+		meanSolve = st.SolveTime / time.Duration(st.Cycles)
+	}
+	return rep, meanSolve, nil
+}
+
+// FormatAblation renders ablation points as a table.
+func FormatAblation(title string, pts []AblationPoint) string {
+	var sb strings.Builder
+	sb.WriteString(title + "\n")
+	fmt.Fprintf(&sb, "%-14s %10s %12s %12s %10s %12s\n",
+		"config", "slo-miss%", "slo-gp", "be-gp", "be-lat(s)", "solve-mean")
+	for _, p := range pts {
+		fmt.Fprintf(&sb, "%-14s %10.2f %12.1f %12.1f %10.0f %12s\n",
+			p.Label, p.Report.SLOMissRate, p.Report.SLOGoodput, p.Report.BEGoodput,
+			p.Report.MeanBELatency, p.MeanSolve.Round(time.Microsecond))
+	}
+	return sb.String()
+}

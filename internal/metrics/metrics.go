@@ -1,0 +1,184 @@
+// Package metrics computes the paper's success metrics (§5) from a
+// simulation result: SLO miss rate (the primary objective), goodput in
+// machine-hours split by job class, mean best-effort latency, effective
+// load, and scheduler latency summaries (Fig. 12).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"threesigma/internal/job"
+	"threesigma/internal/simulator"
+)
+
+// Report summarizes one simulation run.
+type Report struct {
+	System string
+
+	SLOJobs     int
+	BEJobs      int
+	SLOMisses   int
+	SLOMissRate float64 // percent
+
+	// Goodput is completed useful work in machine-hours (work of jobs that
+	// ran to completion; preempted-and-lost work is excluded).
+	SLOGoodput   float64
+	BEGoodput    float64
+	TotalGoodput float64
+
+	// MeanBELatency is the mean response time (completion − submission) of
+	// completed best-effort jobs, in seconds.
+	MeanBELatency float64
+	// P99BELatency is the 99th-percentile BE response time, seconds.
+	P99BELatency float64
+
+	CompletedSLO int
+	CompletedBE  int
+	Preemptions  int
+	WastedHours  float64 // machine-hours lost to preemption
+
+	// EffectiveLoad is actually-allocated machine-time (useful + wasted)
+	// over cluster capacity for the experiment span.
+	EffectiveLoad float64
+
+	// Scheduler latencies (wall clock).
+	MeanCycleTime time.Duration
+	MaxCycleTime  time.Duration
+	MeanSolveTime time.Duration
+	MaxSolveTime  time.Duration
+	SkippedStarts int
+}
+
+// FromResult computes the report for a run on the given cluster.
+func FromResult(system string, res *simulator.Result, cluster simulator.Cluster) Report {
+	r := Report{System: system}
+	var beLat []float64
+	var allocated float64
+	for _, o := range res.Outcomes {
+		switch o.Job.Class {
+		case job.SLO:
+			r.SLOJobs++
+			if o.MissedDeadline() {
+				r.SLOMisses++
+			}
+			if o.Completed {
+				r.CompletedSLO++
+				r.SLOGoodput += float64(o.Job.Tasks) * o.ActualRuntime / 3600
+			}
+		case job.BestEffort:
+			r.BEJobs++
+			if o.Completed {
+				r.CompletedBE++
+				r.BEGoodput += float64(o.Job.Tasks) * o.ActualRuntime / 3600
+				beLat = append(beLat, o.CompletionTime-o.Job.Submit)
+			}
+		}
+		r.Preemptions += o.Preemptions
+		r.WastedHours += o.WastedWork / 3600
+		if o.Completed {
+			allocated += float64(o.Job.Tasks) * o.ActualRuntime
+		}
+		allocated += o.WastedWork
+	}
+	r.TotalGoodput = r.SLOGoodput + r.BEGoodput
+	if r.SLOJobs > 0 {
+		r.SLOMissRate = 100 * float64(r.SLOMisses) / float64(r.SLOJobs)
+	}
+	if len(beLat) > 0 {
+		sort.Float64s(beLat)
+		var sum float64
+		for _, l := range beLat {
+			sum += l
+		}
+		r.MeanBELatency = sum / float64(len(beLat))
+		r.P99BELatency = beLat[int(0.99*float64(len(beLat)-1))]
+	}
+	if res.EndTime > 0 && cluster.TotalNodes() > 0 {
+		r.EffectiveLoad = allocated / (float64(cluster.TotalNodes()) * res.EndTime)
+	}
+	r.MeanCycleTime, r.MaxCycleTime = durStats(res.CycleLatencies)
+	r.MeanSolveTime, r.MaxSolveTime = durStats(res.SolverLatency)
+	r.SkippedStarts = res.SkippedStarts
+	return r
+}
+
+func durStats(ds []time.Duration) (mean, max time.Duration) {
+	if len(ds) == 0 {
+		return 0, 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	return sum / time.Duration(len(ds)), max
+}
+
+// String renders the report as one table row.
+func (r Report) String() string {
+	return fmt.Sprintf("%-14s slo-miss=%5.1f%% goodput=%7.1f M-hr (slo %7.1f / be %7.1f) be-lat=%6.0fs preempt=%d",
+		r.System, r.SLOMissRate, r.TotalGoodput, r.SLOGoodput, r.BEGoodput, r.MeanBELatency, r.Preemptions)
+}
+
+// Average returns the component-wise mean of the reports (used to average
+// repeated experiment runs over different workload seeds). Count fields are
+// rounded means; the System name is taken from the first report.
+func Average(rs []Report) Report {
+	if len(rs) == 0 {
+		return Report{}
+	}
+	n := float64(len(rs))
+	avg := Report{System: rs[0].System}
+	for _, r := range rs {
+		avg.SLOJobs += r.SLOJobs
+		avg.BEJobs += r.BEJobs
+		avg.SLOMisses += r.SLOMisses
+		avg.SLOMissRate += r.SLOMissRate / n
+		avg.SLOGoodput += r.SLOGoodput / n
+		avg.BEGoodput += r.BEGoodput / n
+		avg.TotalGoodput += r.TotalGoodput / n
+		avg.MeanBELatency += r.MeanBELatency / n
+		avg.P99BELatency += r.P99BELatency / n
+		avg.CompletedSLO += r.CompletedSLO
+		avg.CompletedBE += r.CompletedBE
+		avg.Preemptions += r.Preemptions
+		avg.WastedHours += r.WastedHours / n
+		avg.EffectiveLoad += r.EffectiveLoad / n
+		avg.MeanCycleTime += r.MeanCycleTime / time.Duration(len(rs))
+		avg.MeanSolveTime += r.MeanSolveTime / time.Duration(len(rs))
+		if r.MaxCycleTime > avg.MaxCycleTime {
+			avg.MaxCycleTime = r.MaxCycleTime
+		}
+		if r.MaxSolveTime > avg.MaxSolveTime {
+			avg.MaxSolveTime = r.MaxSolveTime
+		}
+		avg.SkippedStarts += r.SkippedStarts
+	}
+	avg.SLOJobs = int(math.Round(float64(avg.SLOJobs) / n))
+	avg.BEJobs = int(math.Round(float64(avg.BEJobs) / n))
+	avg.SLOMisses = int(math.Round(float64(avg.SLOMisses) / n))
+	avg.CompletedSLO = int(math.Round(float64(avg.CompletedSLO) / n))
+	avg.CompletedBE = int(math.Round(float64(avg.CompletedBE) / n))
+	avg.Preemptions = int(math.Round(float64(avg.Preemptions) / n))
+	avg.SkippedStarts = int(math.Round(float64(avg.SkippedStarts) / n))
+	return avg
+}
+
+// Table renders reports with a header, one row per system (the shape of the
+// paper's bar-figure data).
+func Table(rows []Report) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-14s %10s %12s %12s %12s %10s\n",
+		"system", "slo-miss%", "goodput", "slo-gp", "be-gp", "be-lat(s)")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-14s %10.2f %12.1f %12.1f %12.1f %10.0f\n",
+			r.System, r.SLOMissRate, r.TotalGoodput, r.SLOGoodput, r.BEGoodput, r.MeanBELatency)
+	}
+	return sb.String()
+}

@@ -1,0 +1,65 @@
+package milp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteLPFormat(t *testing.T) {
+	var m Model
+	a := m.AddVar(Binary, 5, "I[j1,s0,t0]")
+	b := m.AddVar(Continuous, 0, "a[j1,p0]")
+	m.AddLE("demand", []int{a, b}, []float64{2, -1}, 0)
+	m.AddLE("cap", []int{b}, []float64{1}, 4)
+	var buf bytes.Buffer
+	if err := m.WriteLP(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Maximize", "Subject To", "Binary", "End",
+		"+5 I_j1_s0_t0_", "<= 0", "<= 4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("LP output missing %q:\n%s", want, out)
+		}
+	}
+	// The continuous variable must not be listed as binary.
+	binSection := out[strings.Index(out, "Binary"):]
+	if strings.Contains(binSection, "a_j1_p0_") {
+		t.Error("continuous variable listed as binary")
+	}
+}
+
+func TestWriteLPNameCollisions(t *testing.T) {
+	var m Model
+	m.AddVar(Binary, 1, "x!")
+	m.AddVar(Binary, 1, "x?") // sanitizes to the same "x_"
+	m.AddVar(Binary, 1, "9lives")
+	m.AddLE("ub0", []int{0}, []float64{1}, 1)
+	m.AddLE("ub1", []int{1}, []float64{1}, 1)
+	m.AddLE("ub2", []int{2}, []float64{1}, 1)
+	var buf bytes.Buffer
+	if err := m.WriteLP(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "x1") {
+		t.Errorf("colliding name should fall back to index form:\n%s", out)
+	}
+	if !strings.Contains(out, "v9lives") {
+		t.Errorf("digit-leading name should be prefixed:\n%s", out)
+	}
+}
+
+func TestWriteLPEmptyObjective(t *testing.T) {
+	var m Model
+	m.AddVar(Continuous, 0, "x")
+	m.AddLE("c", []int{0}, []float64{1}, 1)
+	var buf bytes.Buffer
+	if err := m.WriteLP(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "obj: 0 ") {
+		t.Errorf("zero objective should still emit a term:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,25 @@
+package milp
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestProbeExactLP(t *testing.T) {
+	// Minimal exact-shares shape: I binary, a continuous.
+	// demand: I <= 1
+	// link: 3I - a0 - a1 <= 0
+	// cap: a0 <= 2 ; a1 <= 2
+	var m Model
+	I := m.AddVar(Binary, 10, "I")
+	a0 := m.AddVar(Continuous, 0, "a0")
+	a1 := m.AddVar(Continuous, 0, "a1")
+	m.AddLE("demand", []int{I}, []float64{1}, 1)
+	m.AddLE("link", []int{I, a0, a1}, []float64{3, -1, -1}, 0)
+	m.AddLE("cap0", []int{a0}, []float64{1}, 2)
+	m.AddLE("cap1", []int{a1}, []float64{1}, 2)
+	res, oc, err := solveRelaxation(&m, map[int]int8{})
+	fmt.Printf("root LP: err=%v obj=%v+%v x=%v iters=%d\n", err, res.obj, oc, res.x, res.iters)
+	sol := Solve(&m, Options{})
+	fmt.Printf("solve: %v obj=%v x=%v\n", sol.Status, sol.Objective, sol.X)
+}

@@ -1,0 +1,162 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// randPacking builds a random scheduling-shaped packing instance: binaries
+// with positive utilities, "at most one per group" rows, and capacity rows.
+func randPacking(rng *rand.Rand, groups, perGroup, capRows int) *Model {
+	var m Model
+	for g := 0; g < groups; g++ {
+		idx := make([]int, perGroup)
+		coef := make([]float64, perGroup)
+		for o := 0; o < perGroup; o++ {
+			idx[o] = m.AddVar(Binary, 0.5+rng.Float64()*9.5, "I")
+			coef[o] = 1
+		}
+		m.AddLE("demand", idx, coef, 1)
+	}
+	for c := 0; c < capRows; c++ {
+		var idx []int
+		var coef []float64
+		for v := 0; v < m.NumVars(); v++ {
+			if rng.Float64() < 0.4 {
+				idx = append(idx, v)
+				coef = append(coef, 0.5+rng.Float64()*3.5)
+			}
+		}
+		if len(idx) > 0 {
+			m.AddLE("cap", idx, coef, 2+rng.Float64()*8)
+		}
+	}
+	return &m
+}
+
+// TestPropertySolutionsAlwaysFeasible: whatever the budget, any returned
+// solution satisfies every constraint and integrality.
+func TestPropertySolutionsAlwaysFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	for trial := 0; trial < 40; trial++ {
+		m := randPacking(rng, 2+rng.Intn(6), 1+rng.Intn(4), 1+rng.Intn(6))
+		sol := Solve(m, Options{MaxNodes: 1 + rng.Intn(50)})
+		if sol.X == nil {
+			continue // budget too small to find anything: allowed
+		}
+		if !m.Feasible(sol.X, 1e-6) {
+			t.Fatalf("trial %d: infeasible solution returned: %v", trial, sol.X)
+		}
+		if got := m.Objective(sol.X); math.Abs(got-sol.Objective) > 1e-6 {
+			t.Fatalf("trial %d: objective mismatch %v vs %v", trial, got, sol.Objective)
+		}
+	}
+}
+
+// TestPropertyBoundDominatesIncumbent: the reported bound is always an
+// upper bound on the incumbent objective.
+func TestPropertyBoundDominatesIncumbent(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 30; trial++ {
+		m := randPacking(rng, 3+rng.Intn(5), 2, 2+rng.Intn(4))
+		sol := Solve(m, Options{MaxNodes: 5})
+		if sol.X != nil && sol.Bound < sol.Objective-1e-6 {
+			t.Fatalf("trial %d: bound %v below incumbent %v", trial, sol.Bound, sol.Objective)
+		}
+	}
+}
+
+// TestPropertyDeterministicWithoutDeadline: with only node limits, the
+// solver is deterministic for a fixed instance.
+func TestPropertyDeterministicWithoutDeadline(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	m := randPacking(rng, 6, 3, 5)
+	a := Solve(m, Options{MaxNodes: 64})
+	b := Solve(m, Options{MaxNodes: 64})
+	if a.Objective != b.Objective || a.Nodes != b.Nodes {
+		t.Fatalf("nondeterministic: %v/%d vs %v/%d", a.Objective, a.Nodes, b.Objective, b.Nodes)
+	}
+	for i := range a.X {
+		if a.X[i] != b.X[i] {
+			t.Fatal("solution vectors differ")
+		}
+	}
+}
+
+// TestPropertyMoreBudgetNeverWorse: increasing the node budget never
+// decreases the incumbent objective (same instance, warm logic aside).
+func TestPropertyMoreBudgetNeverWorse(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 15; trial++ {
+		m := randPacking(rng, 4+rng.Intn(4), 2, 3)
+		small := Solve(m, Options{MaxNodes: 2})
+		big := Solve(m, Options{MaxNodes: 256})
+		if small.X != nil && big.X != nil && big.Objective < small.Objective-1e-9 {
+			t.Fatalf("trial %d: more budget got worse: %v -> %v", trial, small.Objective, big.Objective)
+		}
+	}
+}
+
+// TestPropertyLPOptimumDominatesRandomFeasiblePoints uses quick.Check to
+// confirm LP optimality against randomly sampled feasible points.
+func TestPropertyLPOptimumDominatesRandomFeasiblePoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	var m Model
+	n := 6
+	for v := 0; v < n; v++ {
+		m.AddVar(Continuous, 1+rng.Float64()*5, "x")
+	}
+	for r := 0; r < 4; r++ {
+		var idx []int
+		var coef []float64
+		for v := 0; v < n; v++ {
+			idx = append(idx, v)
+			coef = append(coef, 0.2+rng.Float64()*2)
+		}
+		m.AddLE("c", idx, coef, 5+rng.Float64()*5)
+	}
+	sol := Solve(&m, Options{})
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	err := quick.Check(func(raw [6]float64) bool {
+		x := make([]float64, n)
+		for i, v := range raw {
+			x[i] = math.Abs(math.Mod(v, 4))
+		}
+		if !m.Feasible(x, 1e-9) {
+			return true // only feasible points must be dominated
+		}
+		return m.Objective(x) <= sol.Objective+1e-6
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSeedRespectedUnderBudget: with a zero budget the seed is returned
+// verbatim whenever feasible.
+func TestSeedRespectedUnderBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	for trial := 0; trial < 20; trial++ {
+		m := randPacking(rng, 4, 2, 3)
+		// Construct a feasible seed greedily.
+		seed := make([]float64, m.NumVars())
+		for v := 0; v < m.NumVars(); v++ {
+			seed[v] = 1
+			if !m.Feasible(seed, 1e-9) {
+				seed[v] = 0
+			}
+		}
+		sol := Solve(m, Options{Deadline: time.Now().Add(-time.Minute), Seed: seed})
+		if sol.X == nil {
+			t.Fatalf("trial %d: feasible seed dropped", trial)
+		}
+		if sol.Objective < m.Objective(seed)-1e-9 {
+			t.Fatalf("trial %d: result worse than seed", trial)
+		}
+	}
+}

@@ -1,0 +1,321 @@
+package milp
+
+import (
+	"errors"
+	"math"
+)
+
+// LP solution statuses.
+var (
+	// ErrInfeasible reports that the LP has no feasible point.
+	ErrInfeasible = errors.New("milp: infeasible")
+	// ErrUnbounded reports that the LP objective is unbounded above.
+	ErrUnbounded = errors.New("milp: unbounded")
+	// ErrIterLimit reports that the simplex hit its iteration cap without
+	// converging (numerically pathological input).
+	ErrIterLimit = errors.New("milp: simplex iteration limit")
+)
+
+const (
+	pivTol  = 1e-9 // minimum pivot magnitude
+	zeroTol = 1e-9 // reduced-cost optimality tolerance
+	feasTol = 1e-6 // feasibility tolerance (must exceed total RHS perturbation)
+	perturb = 1e-8 // anti-degeneracy RHS perturbation unit
+)
+
+// lpResult is the outcome of one LP relaxation solve.
+type lpResult struct {
+	x     []float64 // structural variable values
+	obj   float64   // objective value (max form, includes no constant)
+	iters int
+}
+
+// denseLP is a dense two-phase primal simplex instance for
+//
+//	max c·x  s.t.  A·x <= b (b of any sign), x >= 0.
+//
+// Rows with negative rhs are negated into >= rows, given a surplus column
+// and an artificial; phase 1 drives artificials to zero.
+type denseLP struct {
+	m, n    int // constraint rows, structural columns
+	cols    int // total columns incl. slack/surplus + artificials
+	nArt    int
+	tab     [][]float64 // m rows × (cols+1); last column is rhs
+	zrow    []float64   // reduced costs, length cols+1 (last is -objective)
+	basis   []int       // basis[i] = column basic in row i
+	cost    []float64   // phase-2 cost per column (structural only nonzero)
+	artCol0 int         // first artificial column index
+	iters   int
+}
+
+// newDenseLP builds the tableau from fixed (substituted) model data:
+// objective c over n structural vars, sparse rows.
+func newDenseLP(c []float64, rows []Row) *denseLP {
+	m, n := len(rows), len(c)
+	lp := &denseLP{m: m, n: n}
+	// Count artificials: one per negative-rhs row.
+	for _, r := range rows {
+		if r.RHS < 0 {
+			lp.nArt++
+		}
+	}
+	lp.cols = n + m + lp.nArt
+	lp.artCol0 = n + m
+	lp.tab = make([][]float64, m)
+	lp.basis = make([]int, m)
+	lp.cost = make([]float64, lp.cols)
+	copy(lp.cost, c)
+	art := lp.artCol0
+	for i, r := range rows {
+		row := make([]float64, lp.cols+1)
+		neg := r.RHS < 0
+		sign := 1.0
+		if neg {
+			sign = -1
+		}
+		for k, id := range r.Idx {
+			row[id] += sign * r.Coef[k]
+		}
+		row[lp.cols] = sign * r.RHS
+		if neg {
+			// Negated row is >=: surplus with coefficient -1, artificial +1.
+			row[n+i] = -1
+			row[art] = 1
+			lp.basis[i] = art
+			art++
+		} else {
+			row[n+i] = 1
+			lp.basis[i] = n + i
+		}
+		// Deterministic RHS perturbation breaks degenerate ties that would
+		// otherwise stall the Dantzig rule; the error it introduces is far
+		// below the integrality and feasibility tolerances.
+		row[lp.cols] += perturb * float64(1+i%17)
+		lp.tab[i] = row
+	}
+	return lp
+}
+
+// solve runs both phases and returns the optimal structural solution.
+func (lp *denseLP) solve(maxIter int) (lpResult, error) {
+	if maxIter <= 0 {
+		maxIter = 200 * (lp.m + lp.n + 10)
+	}
+	if lp.nArt > 0 {
+		// Phase 1: maximize -(sum of artificials).
+		p1 := make([]float64, lp.cols)
+		for j := lp.artCol0; j < lp.cols; j++ {
+			p1[j] = -1
+		}
+		lp.initZ(p1)
+		if err := lp.iterate(p1, maxIter, lp.cols); err != nil {
+			if errors.Is(err, ErrUnbounded) {
+				// Phase-1 objective is bounded by construction; treat as numeric trouble.
+				return lpResult{}, ErrIterLimit
+			}
+			return lpResult{}, err
+		}
+		if -lp.zrow[lp.cols] > 1e-6 { // phase-1 optimum = -zrow[rhs]
+			return lpResult{}, ErrInfeasible
+		}
+		lp.purgeArtificials()
+	}
+	// Phase 2 on the real objective; artificials may not enter.
+	lp.initZ(lp.cost)
+	if err := lp.iterate(lp.cost, maxIter, lp.artCol0); err != nil {
+		return lpResult{}, err
+	}
+	x := make([]float64, lp.n)
+	for i, b := range lp.basis {
+		if b < lp.n {
+			x[b] = lp.tab[i][lp.cols]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < lp.n; j++ {
+		obj += lp.cost[j] * x[j]
+	}
+	return lpResult{x: x, obj: obj, iters: lp.iters}, nil
+}
+
+// initZ recomputes the reduced-cost row for the given column costs by
+// pricing out the current basis: z_j = c_B·T_j − c_j.
+func (lp *denseLP) initZ(c []float64) {
+	lp.zrow = make([]float64, lp.cols+1)
+	for j := 0; j < lp.cols; j++ {
+		lp.zrow[j] = -c[j]
+	}
+	for i, b := range lp.basis {
+		cb := c[b]
+		if cb == 0 {
+			continue
+		}
+		row := lp.tab[i]
+		for j := 0; j <= lp.cols; j++ {
+			lp.zrow[j] += cb * row[j]
+		}
+	}
+}
+
+// iterate runs primal simplex pivots until optimality. Columns with index
+// >= colLimit are barred from entering (used to freeze artificials in
+// phase 2). Devex pricing (a steepest-edge approximation) with a Bland
+// fallback for anti-cycling.
+func (lp *denseLP) iterate(c []float64, maxIter, colLimit int) error {
+	noImprove := 0
+	lastObj := math.Inf(-1)
+	// Devex reference weights.
+	w := make([]float64, lp.cols)
+	for j := range w {
+		w[j] = 1
+	}
+	for it := 0; it < maxIter; it++ {
+		lp.iters++
+		bland := noImprove > 4*(lp.m+8)
+		enter := -1
+		if bland {
+			for j := 0; j < colLimit; j++ {
+				if lp.zrow[j] < -zeroTol {
+					enter = j
+					break
+				}
+			}
+		} else {
+			best := 0.0
+			for j := 0; j < colLimit; j++ {
+				d := lp.zrow[j]
+				if d >= -zeroTol {
+					continue
+				}
+				score := d * d / w[j]
+				if score > best {
+					best = score
+					enter = j
+				}
+			}
+		}
+		if enter < 0 {
+			return nil // optimal
+		}
+		// Ratio test; ties broken on the larger pivot element for numeric
+		// stability (or smallest basis index under Bland's rule).
+		leave := -1
+		bestRatio := math.Inf(1)
+		bestPiv := 0.0
+		for i := 0; i < lp.m; i++ {
+			a := lp.tab[i][enter]
+			if a <= pivTol {
+				continue
+			}
+			ratio := lp.tab[i][lp.cols] / a
+			switch {
+			case ratio < bestRatio-1e-12:
+				bestRatio, bestPiv, leave = ratio, a, i
+			case ratio < bestRatio+1e-12 && leave >= 0:
+				if bland {
+					if lp.basis[i] < lp.basis[leave] {
+						bestRatio, bestPiv, leave = ratio, a, i
+					}
+				} else if a > bestPiv {
+					bestRatio, bestPiv, leave = ratio, a, i
+				}
+			}
+		}
+		if leave < 0 {
+			return ErrUnbounded
+		}
+		oldBasic := lp.basis[leave]
+		pivVal := lp.tab[leave][enter]
+		lp.pivot(leave, enter)
+		// Devex weight update using the normalized pivot row.
+		we := w[enter]
+		row := lp.tab[leave]
+		maxW := 1.0
+		for j := 0; j < colLimit; j++ {
+			if j == enter || row[j] == 0 {
+				continue
+			}
+			if t := row[j] * row[j] * we; t > w[j] {
+				w[j] = t
+				if t > maxW {
+					maxW = t
+				}
+			}
+		}
+		if lw := math.Max(we/(pivVal*pivVal), 1); lw > w[oldBasic] {
+			w[oldBasic] = lw
+		}
+		if maxW > 1e10 { // reference framework degraded: reset
+			for j := range w {
+				w[j] = 1
+			}
+		}
+		obj := -lp.zrow[lp.cols]
+		if obj > lastObj+1e-10 {
+			lastObj = obj
+			noImprove = 0
+		} else {
+			noImprove++
+		}
+	}
+	return ErrIterLimit
+}
+
+// pivot performs a Gauss-Jordan pivot on (row r, column e).
+func (lp *denseLP) pivot(r, e int) {
+	row := lp.tab[r]
+	p := row[e]
+	inv := 1 / p
+	for j := 0; j <= lp.cols; j++ {
+		row[j] *= inv
+	}
+	row[e] = 1 // exact
+	for i := 0; i < lp.m; i++ {
+		if i == r {
+			continue
+		}
+		f := lp.tab[i][e]
+		if f == 0 {
+			continue
+		}
+		ti := lp.tab[i]
+		for j := 0; j <= lp.cols; j++ {
+			ti[j] -= f * row[j]
+		}
+		ti[e] = 0
+	}
+	f := lp.zrow[e]
+	if f != 0 {
+		for j := 0; j <= lp.cols; j++ {
+			lp.zrow[j] -= f * row[j]
+		}
+		lp.zrow[e] = 0
+	}
+	lp.basis[r] = e
+}
+
+// purgeArtificials pivots any artificial still basic (at value ~0) out of
+// the basis where possible; rows where no pivot exists are redundant and
+// are zeroed so they cannot affect phase 2.
+func (lp *denseLP) purgeArtificials() {
+	for i := 0; i < lp.m; i++ {
+		if lp.basis[i] < lp.artCol0 {
+			continue
+		}
+		row := lp.tab[i]
+		done := false
+		for j := 0; j < lp.artCol0 && !done; j++ {
+			if math.Abs(row[j]) > pivTol {
+				lp.pivot(i, j)
+				done = true
+			}
+		}
+		if !done {
+			// Redundant row: neutralize it.
+			for j := 0; j <= lp.cols; j++ {
+				row[j] = 0
+			}
+			row[lp.basis[i]] = 1
+		}
+	}
+}

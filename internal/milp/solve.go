@@ -1,0 +1,432 @@
+package milp
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+	"time"
+)
+
+// Status reports the quality of a Solve result.
+type Status uint8
+
+const (
+	// Optimal means the branch-and-bound proved optimality (within Gap).
+	Optimal Status = iota
+	// Feasible means an integral incumbent was found but the search stopped
+	// early (deadline or node limit) before proving optimality.
+	Feasible
+	// Infeasible means the instance has no integral solution.
+	Infeasible
+	// NoSolution means the search stopped early without finding any
+	// integral solution (and the instance was not proved infeasible).
+	NoSolution
+)
+
+// String returns a human-readable status name.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	default:
+		return "no-solution"
+	}
+}
+
+// Options configures Solve.
+type Options struct {
+	// Deadline, if nonzero, bounds the wall-clock time; Solve returns the
+	// best incumbent found when it expires.
+	Deadline time.Time
+	// MaxNodes bounds the number of branch-and-bound nodes (default 4096).
+	MaxNodes int
+	// Gap is the relative optimality gap at which search stops (default 1e-6).
+	Gap float64
+	// Seed, when non-nil, is a candidate integral assignment (length
+	// NumVars) used as the initial incumbent if it is feasible. 3σSched
+	// seeds each cycle with the previous cycle's schedule (§4.3.6).
+	Seed []float64
+	// IntTol is the integrality tolerance (default 1e-6).
+	IntTol float64
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status    Status
+	X         []float64 // length NumVars; binaries are exact 0/1
+	Objective float64
+	Nodes     int           // branch-and-bound nodes explored
+	LPIters   int           // total simplex iterations
+	Bound     float64       // best remaining upper bound at stop time
+	Elapsed   time.Duration // wall-clock solve time
+}
+
+// Value returns X[v], or 0 when no solution is present.
+func (s *Solution) Value(v int) float64 {
+	if s.X == nil || v >= len(s.X) {
+		return 0
+	}
+	return s.X[v]
+}
+
+type bbNode struct {
+	fixed  map[int]int8 // var -> 0/1
+	bound  float64      // parent LP bound (upper bound on this subtree)
+	depth  int
+	branch int8 // value this node fixed at its branching variable
+}
+
+// nodeHeap orders nodes depth-first (deepest first, "1" children pushed
+// last so they pop first), with the LP bound as tie-break. Depth-first
+// diving reaches integral leaves — and therefore incumbents — within a few
+// nodes, which is what an anytime scheduler needs from its budgeted solves;
+// bound-based pruning still applies.
+type nodeHeap []*bbNode
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].depth != h[j].depth {
+		return h[i].depth > h[j].depth
+	}
+	if h[i].bound != h[j].bound {
+		return h[i].bound > h[j].bound
+	}
+	return h[i].branch > h[j].branch // dive the 1-branch first
+}
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*bbNode)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Solve optimizes the model. It never panics on well-formed input; numeric
+// trouble degrades to the best incumbent with Status Feasible/NoSolution.
+func Solve(m *Model, opts Options) Solution {
+	start := time.Now()
+	sol := Solution{Status: NoSolution, Bound: math.Inf(1)}
+	n := m.NumVars()
+	if n == 0 {
+		sol.Status = Optimal
+		sol.Objective = m.objConst
+		sol.X = nil
+		sol.Elapsed = time.Since(start)
+		return sol
+	}
+	if opts.MaxNodes <= 0 {
+		opts.MaxNodes = 4096
+	}
+	if opts.Gap <= 0 {
+		opts.Gap = 1e-6
+	}
+	if opts.IntTol <= 0 {
+		opts.IntTol = 1e-6
+	}
+
+	var incumbent []float64
+	incObj := math.Inf(-1)
+	if opts.Seed != nil && m.Feasible(opts.Seed, feasTol) {
+		incumbent = append([]float64(nil), opts.Seed...)
+		incObj = m.Objective(incumbent)
+	}
+
+	deadline := func() bool {
+		return !opts.Deadline.IsZero() && time.Now().After(opts.Deadline)
+	}
+
+	open := &nodeHeap{{fixed: map[int]int8{}, bound: math.Inf(1)}}
+	heap.Init(open)
+	provedOpt := false
+
+	for open.Len() > 0 {
+		if sol.Nodes >= opts.MaxNodes || deadline() {
+			break
+		}
+		node := heap.Pop(open).(*bbNode)
+		if node.bound <= incObj+opts.Gap*math.Max(1, math.Abs(incObj)) {
+			// This subtree cannot beat the incumbent. Under the depth-first
+			// ordering the popped node is not necessarily the best-bound
+			// node, so this prunes rather than proves optimality.
+			continue
+		}
+		sol.Nodes++
+		res, objConst, err := solveRelaxation(m, node.fixed)
+		sol.LPIters += res.iters
+		if err != nil {
+			continue // infeasible or numerically dead subtree: prune
+		}
+		lpObj := res.obj + objConst
+		if lpObj <= incObj+opts.Gap*math.Max(1, math.Abs(incObj)) {
+			continue
+		}
+		// Patch fixed values into the relaxation solution.
+		x := res.x
+		for v, val := range node.fixed {
+			x[v] = float64(val)
+		}
+		frac := mostFractionalBinary(m, x, opts.IntTol)
+		if frac < 0 {
+			// Integral: snap binaries and update incumbent. Snapping a
+			// binary up from 1−ε can violate a tight row (e.g. an
+			// exact-shares link row) by more than the feasibility
+			// tolerance; in that case re-solve the continuous variables
+			// with the binaries fixed at their snapped values.
+			for v, k := range m.kinds {
+				if k == Binary {
+					x[v] = math.Round(x[v])
+				}
+			}
+			if obj := m.Objective(x); obj > incObj && m.Feasible(x, feasTol) {
+				incObj = obj
+				incumbent = append([]float64(nil), x...)
+			} else if rx, ok := roundFixAndSolve(m, x); ok {
+				if obj := m.Objective(rx); obj > incObj {
+					incObj = obj
+					incumbent = rx
+				}
+			}
+			continue
+		}
+		// Rounding heuristics to tighten the incumbent cheaply: greedy
+		// selection for all-binary models, fix-and-solve for mixed models
+		// (round every binary to its nearest integer, then let one more LP
+		// set the continuous variables).
+		if rx, ok := roundGreedy(m, x, node.fixed); ok {
+			if obj := m.Objective(rx); obj > incObj {
+				incObj = obj
+				incumbent = rx
+			}
+		} else if rx, ok := roundFixAndSolve(m, x); ok {
+			if obj := m.Objective(rx); obj > incObj {
+				incObj = obj
+				incumbent = rx
+			}
+		}
+		for _, val := range []int8{0, 1} {
+			child := &bbNode{fixed: make(map[int]int8, len(node.fixed)+1), bound: lpObj, depth: node.depth + 1, branch: val}
+			for k, v := range node.fixed {
+				child.fixed[k] = v
+			}
+			child.fixed[frac] = val
+			heap.Push(open, child)
+		}
+	}
+
+	if open.Len() == 0 {
+		provedOpt = true
+	}
+	sol.Elapsed = time.Since(start)
+	if incumbent == nil {
+		if provedOpt {
+			sol.Status = Infeasible
+		}
+		return sol
+	}
+	sol.X = incumbent
+	sol.Objective = incObj
+	if provedOpt {
+		sol.Status = Optimal
+		sol.Bound = incObj
+	} else {
+		sol.Status = Feasible
+		best := incObj
+		for _, nd := range *open {
+			if nd.bound > best {
+				best = nd.bound
+			}
+		}
+		sol.Bound = best
+	}
+	return sol
+}
+
+// solveRelaxation builds and solves the LP relaxation of m with the given
+// variables fixed (substituted out). Returns the LP result plus the
+// objective constant contributed by fixed variables and the model constant.
+func solveRelaxation(m *Model, fixed map[int]int8) (lpResult, float64, error) {
+	n := m.NumVars()
+	c := make([]float64, n)
+	copy(c, m.obj)
+	objConst := m.objConst
+	for v, val := range fixed {
+		if val == 1 {
+			objConst += c[v]
+		}
+		c[v] = 0
+	}
+	rows := make([]Row, 0, len(m.rows))
+	for _, r := range m.rows {
+		nr := Row{Name: r.Name, RHS: r.RHS}
+		for k, id := range r.Idx {
+			if val, ok := fixed[id]; ok {
+				if val == 1 {
+					nr.RHS -= r.Coef[k]
+				}
+				continue
+			}
+			nr.Idx = append(nr.Idx, id)
+			nr.Coef = append(nr.Coef, r.Coef[k])
+		}
+		if len(nr.Idx) == 0 {
+			if nr.RHS < -feasTol {
+				return lpResult{}, 0, ErrInfeasible
+			}
+			continue // trivially satisfied row: prune
+		}
+		rows = append(rows, nr)
+	}
+	lp := newDenseLP(c, rows)
+	res, err := lp.solve(0)
+	return res, objConst, err
+}
+
+// mostFractionalBinary returns the binary variable whose value is farthest
+// from integral (>tol), or -1 when all binaries are integral.
+func mostFractionalBinary(m *Model, x []float64, tol float64) int {
+	best, bestD := -1, tol
+	for v, k := range m.kinds {
+		if k != Binary {
+			continue
+		}
+		f := x[v] - math.Floor(x[v])
+		d := math.Min(f, 1-f)
+		if d > bestD {
+			best, bestD = v, d
+		}
+	}
+	return best
+}
+
+// roundFixAndSolve rounds every binary to its nearest integer value and
+// solves the remaining LP over the continuous variables. Used for mixed
+// models (e.g. the exact-shares scheduling formulation), where greedy
+// row-checking cannot assign the continuous allocation variables.
+func roundFixAndSolve(m *Model, x []float64) ([]float64, bool) {
+	fixed := make(map[int]int8)
+	for v, k := range m.kinds {
+		if k != Binary {
+			continue
+		}
+		if x[v] >= 0.5 {
+			fixed[v] = 1
+		} else {
+			fixed[v] = 0
+		}
+	}
+	if len(fixed) == 0 || len(fixed) == len(m.kinds) {
+		return nil, false // pure-continuous or pure-binary: other paths apply
+	}
+	res, _, err := solveRelaxation(m, fixed)
+	if err != nil {
+		return nil, false
+	}
+	out := res.x
+	for v, val := range fixed {
+		out[v] = float64(val)
+	}
+	if !m.Feasible(out, feasTol) {
+		return nil, false
+	}
+	return out, true
+}
+
+// roundGreedy builds an integral solution from an LP point for all-binary
+// models: binaries are considered in decreasing LP value and switched on
+// whenever doing so keeps every row feasible. Returns ok=false for models
+// with continuous variables.
+func roundGreedy(m *Model, x []float64, fixed map[int]int8) ([]float64, bool) {
+	n := m.NumVars()
+	for _, k := range m.kinds {
+		if k != Binary {
+			return nil, false
+		}
+	}
+	type cand struct {
+		v   int
+		val float64
+	}
+	cands := make([]cand, 0, n)
+	out := make([]float64, n)
+	activity := make([]float64, len(m.rows))
+	// colRows[v] lists (row, coef) pairs; built lazily per call. For the
+	// model sizes 3σSched generates this is cheap relative to the LP solve.
+	type entry struct {
+		row  int
+		coef float64
+	}
+	colRows := make([][]entry, n)
+	for ri, r := range m.rows {
+		for k, id := range r.Idx {
+			colRows[id] = append(colRows[id], entry{ri, r.Coef[k]})
+		}
+	}
+	apply := func(v int) bool {
+		for _, e := range colRows[v] {
+			if activity[e.row]+e.coef > m.rows[e.row].RHS+feasTol {
+				return false
+			}
+		}
+		for _, e := range colRows[v] {
+			activity[e.row] += e.coef
+		}
+		out[v] = 1
+		return true
+	}
+	// Honor fixings first; a forced x=1 that is infeasible kills the heuristic.
+	for v, val := range fixed {
+		if val == 1 {
+			if !apply(v) {
+				return nil, false
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if _, ok := fixed[v]; ok {
+			continue
+		}
+		cands = append(cands, cand{v, x[v]})
+	}
+	// Sort by LP value desc, tie-break on objective coefficient desc.
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if math.Abs(a.val-b.val) > 1e-12 {
+			return a.val > b.val
+		}
+		return m.obj[a.v] > m.obj[b.v]
+	})
+	// Relaxing variables (negative objective, e.g. preemption indicators)
+	// that the LP chose enable placements that would otherwise violate
+	// capacity; apply them first when the LP leaned on them.
+	for _, cd := range cands {
+		if m.obj[cd.v] < 0 && cd.val >= 0.5 {
+			apply(cd.v)
+		}
+	}
+	for _, cd := range cands {
+		if cd.val < 1e-9 {
+			break
+		}
+		if m.obj[cd.v] <= 0 {
+			continue
+		}
+		apply(cd.v)
+	}
+	if !m.Feasible(out, feasTol) {
+		return nil, false
+	}
+	return out, true
+}
+
+// DebugSolveRoot solves the bare LP relaxation and surfaces the raw solver
+// error (for diagnosing model pathologies from other packages' tests).
+func DebugSolveRoot(m *Model) ([]float64, float64, error) {
+	res, oc, err := solveRelaxation(m, map[int]int8{})
+	return res.x, res.obj + oc, err
+}

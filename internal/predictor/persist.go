@@ -1,0 +1,109 @@
+package predictor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"threesigma/internal/histogram"
+	"threesigma/internal/stats"
+)
+
+// The paper's 3σPredict keeps its sketches in a "runtime history database"
+// that survives across scheduler restarts (§6.5 measures its lookup
+// latency). This file provides the equivalent persistence: a JSON encoding
+// of every feature-value group's constant-size state.
+
+// persistVersion guards the on-disk format.
+const persistVersion = 1
+
+type groupState struct {
+	Hist    histogram.State                `json:"hist"`
+	Count   int                            `json:"count"`
+	Sum     float64                        `json:"sum"`
+	Rolling float64                        `json:"rolling"`
+	Recent  []float64                      `json:"recent"`
+	RPos    int                            `json:"rpos"`
+	NMAE    [numEstimators]stats.NMAEState `json:"nmae"`
+}
+
+type predictorState struct {
+	Version int                     `json:"version"`
+	Groups  []map[string]groupState `json:"groups"` // one map per feature, by value
+}
+
+// Save serializes the predictor's history sketches to w. The feature set
+// itself is configuration (functions), so Load must be called on a
+// predictor constructed with the same features in the same order.
+func (p *Predictor) Save(w io.Writer) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := predictorState{Version: persistVersion, Groups: make([]map[string]groupState, len(p.groups))}
+	for fi, m := range p.groups {
+		st.Groups[fi] = make(map[string]groupState, len(m))
+		for val, g := range m {
+			gs := groupState{
+				Hist:    g.hist.Snapshot(),
+				Count:   g.count,
+				Sum:     g.sum,
+				Rolling: g.rolling,
+				Recent:  append([]float64(nil), g.recentValues()...),
+				RPos:    g.rPos,
+			}
+			for i := range g.nmae {
+				gs.NMAE[i] = g.nmae[i].State()
+			}
+			st.Groups[fi][val] = gs
+		}
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(&st); err != nil {
+		return fmt.Errorf("predictor: save: %w", err)
+	}
+	return nil
+}
+
+// Load replaces the predictor's history with a previously saved state. The
+// predictor must have been constructed with the same feature list (by
+// count and order).
+func (p *Predictor) Load(r io.Reader) error {
+	var st predictorState
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("predictor: load: %w", err)
+	}
+	if st.Version != persistVersion {
+		return fmt.Errorf("predictor: load: unsupported version %d", st.Version)
+	}
+	if len(st.Groups) != len(p.cfg.Features) {
+		return fmt.Errorf("predictor: load: %d feature groups, predictor has %d features",
+			len(st.Groups), len(p.cfg.Features))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	groups := make([]map[string]*group, len(st.Groups))
+	for fi, m := range st.Groups {
+		groups[fi] = make(map[string]*group, len(m))
+		for val, gs := range m {
+			g := newGroup(&p.cfg)
+			g.hist = histogram.FromState(gs.Hist)
+			g.count = gs.Count
+			g.sum = gs.Sum
+			g.rolling = gs.Rolling
+			// Restore the recent ring buffer: values come back in logical
+			// order (oldest first when the buffer wrapped).
+			n := len(gs.Recent)
+			if n > len(g.recent) {
+				n = len(g.recent)
+			}
+			copy(g.recent, gs.Recent[:n])
+			g.rLen = n
+			g.rPos = gs.RPos % len(g.recent)
+			for i := range g.nmae {
+				g.nmae[i] = stats.NMAEFromState(gs.NMAE[i])
+			}
+			groups[fi][val] = g
+		}
+	}
+	p.groups = groups
+	return nil
+}

@@ -1,0 +1,88 @@
+package predictor
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	p := New(Config{})
+	jobs := []struct {
+		user, name string
+		tasks      int
+		rt         float64
+	}{
+		{"alice", "etl", 4, 120},
+		{"alice", "etl", 4, 130},
+		{"alice", "etl", 4, 110},
+		{"bob", "train", 16, 3000},
+		{"bob", "train", 16, 3300},
+	}
+	for round := 0; round < 10; round++ {
+		for _, jd := range jobs {
+			p.Observe(mk(jd.user, jd.name, jd.tasks), jd.rt)
+		}
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q := New(Config{})
+	if err := q.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if q.GroupCount() != p.GroupCount() {
+		t.Fatalf("groups %d != %d", q.GroupCount(), p.GroupCount())
+	}
+	for _, jd := range jobs {
+		j := mk(jd.user, jd.name, jd.tasks)
+		ep, eq := p.Estimate(j), q.Estimate(j)
+		if eq.Novel {
+			t.Fatalf("%s/%s novel after load", jd.user, jd.name)
+		}
+		if math.Abs(ep.Point-eq.Point) > 1e-9 {
+			t.Errorf("point %v != %v", ep.Point, eq.Point)
+		}
+		if math.Abs(ep.Dist.Mean()-eq.Dist.Mean()) > 1e-9 {
+			t.Errorf("dist mean %v != %v", ep.Dist.Mean(), eq.Dist.Mean())
+		}
+		if ep.Expert != eq.Expert || ep.Samples != eq.Samples {
+			t.Errorf("expert/samples differ: %v/%d vs %v/%d", ep.Expert, ep.Samples, eq.Expert, eq.Samples)
+		}
+	}
+	// The restored predictor keeps learning normally.
+	q.Observe(mk("alice", "etl", 4), 125)
+	if e := q.Estimate(mk("alice", "etl", 4)); e.Samples != 31 {
+		t.Errorf("samples after continued training = %d, want 31", e.Samples)
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	p := New(Config{})
+	if err := p.Load(strings.NewReader("not json")); err == nil {
+		t.Error("garbage should fail")
+	}
+	if err := p.Load(strings.NewReader(`{"version":99,"groups":[]}`)); err == nil {
+		t.Error("wrong version should fail")
+	}
+	if err := p.Load(strings.NewReader(`{"version":1,"groups":[]}`)); err == nil {
+		t.Error("feature-count mismatch should fail")
+	}
+}
+
+func TestSaveEmptyPredictor(t *testing.T) {
+	p := New(Config{})
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q := New(Config{})
+	if err := q.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !q.Estimate(mk("x", "y", 1)).Novel {
+		t.Error("empty restored predictor should be novel")
+	}
+}

@@ -1,0 +1,428 @@
+// Package simulator is the discrete-event cluster substrate standing in for
+// the paper's YARN-based 256-node testbed (see DESIGN.md §3). It models a
+// cluster as machine-type partitions, gang-schedules jobs onto free nodes,
+// applies the 1.5× non-preferred runtime penalty, supports preemption with
+// loss of completed work, and drives a pluggable Scheduler on a periodic
+// scheduling cycle (§4.3.1: "the scheduler operates on a periodic cycle").
+//
+// The "real cluster" RC256 configuration is emulated by adding lognormal
+// execution jitter and a small placement delay on top of the noise-free
+// simulator (Options.RuntimeJitter / PlacementDelay), reproducing the
+// paper's real-vs-simulation methodology (Table 2).
+package simulator
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"threesigma/internal/job"
+	"threesigma/internal/stats"
+)
+
+// Cluster describes the machine partitions (equivalence sets at the
+// granularity 3σSched reasons about).
+type Cluster struct {
+	Partitions []int // node count per partition
+}
+
+// NewCluster builds a cluster of parts equal partitions totalling nodes
+// (remainder spread over the first partitions).
+func NewCluster(nodes, parts int) Cluster {
+	if parts <= 0 {
+		parts = 1
+	}
+	c := Cluster{Partitions: make([]int, parts)}
+	base, rem := nodes/parts, nodes%parts
+	for i := range c.Partitions {
+		c.Partitions[i] = base
+		if i < rem {
+			c.Partitions[i]++
+		}
+	}
+	return c
+}
+
+// TotalNodes returns the cluster size in nodes.
+func (c Cluster) TotalNodes() int {
+	t := 0
+	for _, p := range c.Partitions {
+		t += p
+	}
+	return t
+}
+
+// Alloc is a per-partition node allocation.
+type Alloc []int
+
+// Total returns the number of nodes in the allocation.
+func (a Alloc) Total() int {
+	t := 0
+	for _, n := range a {
+		t += n
+	}
+	return t
+}
+
+// Clone returns a copy of the allocation.
+func (a Alloc) Clone() Alloc { return append(Alloc(nil), a...) }
+
+// RunningJob is the simulator's view of an executing job, exposed to the
+// scheduler each cycle.
+type RunningJob struct {
+	Job         *job.Job
+	Start       float64 // current attempt's start time
+	Alloc       Alloc
+	OnPreferred bool // all nodes within the job's preferred partitions
+}
+
+// Elapsed returns how long the current attempt has been running at now.
+func (r *RunningJob) Elapsed(now float64) float64 { return now - r.Start }
+
+// State is the cluster snapshot handed to the scheduler on each cycle.
+type State struct {
+	Now     float64
+	Free    Alloc         // free nodes per partition
+	Pending []*job.Job    // submitted, not running, in submission order
+	Running []*RunningJob // currently executing
+	Cluster Cluster
+}
+
+// StartAction asks the simulator to launch a pending job now on Alloc.
+type StartAction struct {
+	Job   job.ID
+	Alloc Alloc
+}
+
+// Decision is a scheduler's output for one cycle. Preemptions are applied
+// before starts so freed nodes are available to them.
+type Decision struct {
+	Preempt []job.ID
+	Start   []StartAction
+	// CycleLatency and SolverLatency are the scheduler's own wall-clock
+	// measurements for this cycle (scheduling-option generation + MILP
+	// compile + solve, and the solver alone). Collected for Fig. 12.
+	CycleLatency  time.Duration
+	SolverLatency time.Duration
+}
+
+// Scheduler is the policy plugged into the simulator. 3σSched, the point
+// baselines, and Prio all implement it.
+type Scheduler interface {
+	// JobSubmitted is invoked when a job arrives (step 1-2 of Fig. 4).
+	JobSubmitted(j *job.Job, now float64)
+	// Cycle is invoked every scheduling interval with the cluster state.
+	Cycle(st *State) Decision
+	// JobCompleted reports a finished job and its base-equivalent runtime
+	// (actual runtime normalized by the non-preferred factor), feeding the
+	// predictor's history (step 4 of Fig. 4).
+	JobCompleted(j *job.Job, baseRuntime, now float64)
+}
+
+// Outcome records one job's fate for metric computation.
+type Outcome struct {
+	Job            *job.Job
+	Started        bool
+	Completed      bool
+	FirstStart     float64
+	CompletionTime float64
+	OnPreferred    bool
+	ActualRuntime  float64 // last (successful) attempt's runtime
+	Preemptions    int
+	WastedWork     float64 // machine-seconds lost to preemptions
+}
+
+// MissedDeadline reports whether an SLO job failed its deadline (incomplete
+// SLO jobs count as missed).
+func (o *Outcome) MissedDeadline() bool {
+	if !o.Job.HasDeadline() {
+		return false
+	}
+	return !o.Completed || o.CompletionTime > o.Job.Deadline
+}
+
+// Result is the full output of a simulation run.
+type Result struct {
+	Outcomes       []*Outcome
+	EndTime        float64
+	Cycles         int
+	CycleLatencies []time.Duration // per cycle, scheduler-reported
+	SolverLatency  []time.Duration
+	SkippedStarts  int // scheduler start actions that no longer fit
+}
+
+// Options configures a simulation run.
+type Options struct {
+	Cluster       Cluster
+	CycleInterval float64 // seconds between scheduling cycles (default 10)
+	// Horizon stops the simulation at this time even if jobs remain
+	// (default: last submission + DrainWindow).
+	DrainWindow float64 // extra time after last arrival (default 3600)
+	// RuntimeJitter, when > 0, multiplies every execution by a lognormal
+	// factor with this sigma (RC256 emulation).
+	RuntimeJitter float64
+	// PlacementDelay delays every start by this many seconds (RC256
+	// container-launch overhead emulation).
+	PlacementDelay float64
+	Seed           int64
+}
+
+type eventKind uint8
+
+const (
+	evArrival eventKind = iota
+	evCompletion
+	evCycle
+)
+
+type event struct {
+	time float64
+	seq  int64
+	kind eventKind
+	j    *job.Job
+	run  int64 // run generation for completions
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+type runInfo struct {
+	rj    *RunningJob
+	runID int64
+}
+
+// Sim is one simulation instance.
+type Sim struct {
+	opts    Options
+	sched   Scheduler
+	events  eventHeap
+	seq     int64
+	now     float64
+	free    Alloc
+	pending []*job.Job
+	running map[job.ID]*runInfo
+	runSeq  int64
+	out     map[job.ID]*Outcome
+	rng     stats.Rand
+	result  Result
+}
+
+// New creates a simulation of the given jobs under the scheduler. Jobs must
+// fit the cluster (Tasks <= total nodes); oversized jobs are rejected with
+// an error.
+func New(sched Scheduler, jobs []*job.Job, opts Options) (*Sim, error) {
+	if opts.CycleInterval <= 0 {
+		opts.CycleInterval = 10
+	}
+	if opts.DrainWindow <= 0 {
+		opts.DrainWindow = 3600
+	}
+	if len(opts.Cluster.Partitions) == 0 {
+		opts.Cluster = NewCluster(256, 8)
+	}
+	total := opts.Cluster.TotalNodes()
+	s := &Sim{
+		opts:    opts,
+		sched:   sched,
+		running: make(map[job.ID]*runInfo),
+		out:     make(map[job.ID]*Outcome),
+		rng:     stats.NewRand(opts.Seed + 777),
+	}
+	s.free = make(Alloc, len(opts.Cluster.Partitions))
+	for i, n := range opts.Cluster.Partitions {
+		s.free[i] = n
+	}
+	lastArrival := 0.0
+	for _, j := range jobs {
+		if j.Tasks <= 0 || j.Tasks > total {
+			return nil, fmt.Errorf("simulator: job %d requests %d nodes on a %d-node cluster", j.ID, j.Tasks, total)
+		}
+		s.push(event{time: j.Submit, kind: evArrival, j: j})
+		s.out[j.ID] = &Outcome{Job: j}
+		if j.Submit > lastArrival {
+			lastArrival = j.Submit
+		}
+	}
+	horizon := lastArrival + opts.DrainWindow
+	for t := 0.0; t <= horizon; t += opts.CycleInterval {
+		s.push(event{time: t, kind: evCycle})
+	}
+	s.result.EndTime = horizon
+	return s, nil
+}
+
+func (s *Sim) push(e event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, e)
+}
+
+// Run executes the simulation to completion and returns the result.
+func (s *Sim) Run() *Result {
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(event)
+		s.now = e.time
+		switch e.kind {
+		case evArrival:
+			s.pending = append(s.pending, e.j)
+			s.sched.JobSubmitted(e.j, s.now)
+		case evCompletion:
+			s.complete(e)
+		case evCycle:
+			s.cycle()
+		}
+	}
+	// Anything still pending/running at the horizon stays incomplete.
+	outs := make([]*Outcome, 0, len(s.out))
+	for _, o := range s.out {
+		outs = append(outs, o)
+	}
+	// Deterministic order by job ID for reproducible reports.
+	sort.Slice(outs, func(i, j int) bool { return outs[i].Job.ID < outs[j].Job.ID })
+	s.result.Outcomes = outs
+	return &s.result
+}
+
+func (s *Sim) complete(e event) {
+	ri, ok := s.running[e.j.ID]
+	if !ok || ri.runID != e.run {
+		return // stale completion from a preempted attempt
+	}
+	delete(s.running, e.j.ID)
+	for p, n := range ri.rj.Alloc {
+		s.free[p] += n
+	}
+	o := s.out[e.j.ID]
+	o.Completed = true
+	o.CompletionTime = s.now
+	o.OnPreferred = ri.rj.OnPreferred
+	o.ActualRuntime = s.now - ri.rj.Start
+	base := o.ActualRuntime
+	if !ri.rj.OnPreferred && e.j.NonPrefFactor > 1 {
+		base /= e.j.NonPrefFactor
+	}
+	s.sched.JobCompleted(e.j, base, s.now)
+}
+
+func (s *Sim) cycle() {
+	if len(s.pending) == 0 && len(s.running) == 0 {
+		s.result.Cycles++
+		return
+	}
+	st := &State{
+		Now:     s.now,
+		Free:    s.free.Clone(),
+		Cluster: s.opts.Cluster,
+		Pending: append([]*job.Job(nil), s.pending...),
+	}
+	st.Running = make([]*RunningJob, 0, len(s.running))
+	for _, ri := range s.running {
+		st.Running = append(st.Running, ri.rj)
+	}
+	// Deterministic order for reproducibility.
+	sort.Slice(st.Running, func(i, j int) bool { return st.Running[i].Job.ID < st.Running[j].Job.ID })
+	dec := s.sched.Cycle(st)
+	s.result.Cycles++
+	s.result.CycleLatencies = append(s.result.CycleLatencies, dec.CycleLatency)
+	s.result.SolverLatency = append(s.result.SolverLatency, dec.SolverLatency)
+	for _, id := range dec.Preempt {
+		s.preempt(id)
+	}
+	for _, a := range dec.Start {
+		s.start(a)
+	}
+}
+
+func (s *Sim) preempt(id job.ID) {
+	ri, ok := s.running[id]
+	if !ok {
+		return
+	}
+	delete(s.running, id)
+	for p, n := range ri.rj.Alloc {
+		s.free[p] += n
+	}
+	o := s.out[id]
+	o.Preemptions++
+	o.WastedWork += (s.now - ri.rj.Start) * float64(ri.rj.Job.Tasks)
+	// Work is lost; the job returns to the pending queue for a restart.
+	s.pending = append(s.pending, ri.rj.Job)
+}
+
+func (s *Sim) start(a StartAction) {
+	// Locate the pending job.
+	idx := -1
+	for i, j := range s.pending {
+		if j.ID == a.Job {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		s.result.SkippedStarts++
+		return
+	}
+	j := s.pending[idx]
+	if len(a.Alloc) != len(s.free) || a.Alloc.Total() != j.Tasks {
+		s.result.SkippedStarts++
+		return
+	}
+	for p, n := range a.Alloc {
+		if n < 0 || n > s.free[p] {
+			s.result.SkippedStarts++
+			return
+		}
+	}
+	s.pending = append(s.pending[:idx], s.pending[idx+1:]...)
+	onPref := true
+	for p, n := range a.Alloc {
+		if n > 0 && !j.PrefersPartition(p) {
+			onPref = false
+			break
+		}
+	}
+	for p, n := range a.Alloc {
+		s.free[p] -= n
+	}
+	startTime := s.now + s.opts.PlacementDelay
+	runtime := j.Runtime
+	if !onPref && j.NonPrefFactor > 1 {
+		runtime *= j.NonPrefFactor
+	}
+	if s.opts.RuntimeJitter > 0 {
+		runtime *= math.Exp(s.rng.NormFloat64() * s.opts.RuntimeJitter)
+	}
+	if runtime < 0.001 {
+		runtime = 0.001
+	}
+	s.runSeq++
+	ri := &runInfo{
+		rj:    &RunningJob{Job: j, Start: startTime, Alloc: a.Alloc.Clone(), OnPreferred: onPref},
+		runID: s.runSeq,
+	}
+	s.running[j.ID] = ri
+	o := s.out[j.ID]
+	if !o.Started {
+		o.Started = true
+		o.FirstStart = startTime
+	}
+	s.push(event{time: startTime + runtime, kind: evCompletion, j: j, run: s.runSeq})
+}

@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KMeansResult holds the outcome of a one-dimensional k-means clustering.
+type KMeansResult struct {
+	Centroids []float64 // sorted ascending
+	Labels    []int     // Labels[i] is the cluster index of the i-th input
+	Inertia   float64   // sum of squared distances to assigned centroids
+	Iters     int       // iterations until convergence
+}
+
+// KMeans1D clusters the values xs into k clusters using Lloyd's algorithm
+// with deterministic quantile-based initialization (no RNG, so job-class
+// derivation from traces is reproducible). The paper clusters trace jobs by
+// runtime with k-means to derive job classes (§5). Clustering is typically
+// done in log-space by the caller for heavy-tailed runtimes.
+//
+// It returns a result with min(k, distinct(xs)) effective clusters; empty
+// clusters are re-seeded at the farthest point. maxIter bounds iterations
+// (<=0 means 100).
+func KMeans1D(xs []float64, k, maxIter int) KMeansResult {
+	n := len(xs)
+	res := KMeansResult{Labels: make([]int, n)}
+	if n == 0 || k <= 0 {
+		return res
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	if k > n {
+		k = n
+	}
+	// Quantile initialization over the sorted values.
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	cents := make([]float64, k)
+	for i := range cents {
+		q := (float64(i) + 0.5) / float64(k)
+		cents[i] = sorted[int(q*float64(n-1))]
+	}
+	labels := res.Labels
+	for iter := 1; iter <= maxIter; iter++ {
+		res.Iters = iter
+		changed := false
+		// Assign.
+		for i, x := range xs {
+			best, bestD := 0, math.Inf(1)
+			for c, cv := range cents {
+				d := (x - cv) * (x - cv)
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if labels[i] != best {
+				labels[i] = best
+				changed = true
+			}
+		}
+		// Update.
+		sum := make([]float64, k)
+		cnt := make([]int, k)
+		for i, x := range xs {
+			sum[labels[i]] += x
+			cnt[labels[i]]++
+		}
+		for c := range cents {
+			if cnt[c] > 0 {
+				cents[c] = sum[c] / float64(cnt[c])
+				continue
+			}
+			// Re-seed an empty cluster at the point farthest from its centroid.
+			farI, farD := 0, -1.0
+			for i, x := range xs {
+				d := math.Abs(x - cents[labels[i]])
+				if d > farD {
+					farI, farD = i, d
+				}
+			}
+			cents[c] = xs[farI]
+		}
+		if !changed && iter > 1 {
+			break
+		}
+	}
+	// Sort centroids and remap labels so cluster 0 has the smallest centroid.
+	type cc struct {
+		v float64
+		i int
+	}
+	order := make([]cc, k)
+	for i, v := range cents {
+		order[i] = cc{v, i}
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a].v < order[b].v })
+	remap := make([]int, k)
+	res.Centroids = make([]float64, k)
+	for newIdx, o := range order {
+		remap[o.i] = newIdx
+		res.Centroids[newIdx] = o.v
+	}
+	for i := range labels {
+		labels[i] = remap[labels[i]]
+	}
+	for i, x := range xs {
+		d := x - res.Centroids[labels[i]]
+		res.Inertia += d * d
+	}
+	return res
+}

@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"threesigma/internal/job"
+)
+
+// csvHeader is the column layout of the trace CSV format.
+var csvHeader = []string{"id", "user", "name", "tasks", "priority", "submit", "runtime"}
+
+// WriteCSV encodes records to w in the repository's trace CSV format
+// (header row + one row per job; times and runtimes in seconds).
+func WriteCSV(w io.Writer, recs []Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, r := range recs {
+		row := []string{
+			strconv.FormatInt(int64(r.ID), 10),
+			r.User,
+			r.Name,
+			strconv.Itoa(r.Tasks),
+			strconv.Itoa(r.Priority),
+			strconv.FormatFloat(r.Submit, 'g', -1, 64),
+			strconv.FormatFloat(r.Runtime, 'g', -1, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: write record %d: %w", r.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV decodes records from the trace CSV format.
+func ReadCSV(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty csv")
+	}
+	if rows[0][0] != csvHeader[0] {
+		return nil, fmt.Errorf("trace: missing header row (got %q)", rows[0][0])
+	}
+	recs := make([]Record, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		id, err := strconv.ParseInt(row[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d: bad id %q", i+2, row[0])
+		}
+		tasks, err := strconv.Atoi(row[3])
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d: bad tasks %q", i+2, row[3])
+		}
+		prio, err := strconv.Atoi(row[4])
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d: bad priority %q", i+2, row[4])
+		}
+		submit, err := strconv.ParseFloat(row[5], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d: bad submit %q", i+2, row[5])
+		}
+		runtime, err := strconv.ParseFloat(row[6], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d: bad runtime %q", i+2, row[6])
+		}
+		recs = append(recs, Record{
+			ID: job.ID(id), User: row[1], Name: row[2],
+			Tasks: tasks, Priority: prio, Submit: submit, Runtime: runtime,
+		})
+	}
+	return recs, nil
+}

@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	in := []Record{
+		rec(1, "alice", "etl", 4, 0, 120.5),
+		rec(2, "bob", "train/model", 16, 30.25, 3600),
+		rec(3, "carol", "name,with,commas", 1, 60, 0.5),
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("records = %d, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Errorf("record %d: %+v != %+v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"no header":   "1,u,n,1,0,0,5\n",
+		"bad id":      "id,user,name,tasks,priority,submit,runtime\nx,u,n,1,0,0,5\n",
+		"bad tasks":   "id,user,name,tasks,priority,submit,runtime\n1,u,n,x,0,0,5\n",
+		"bad runtime": "id,user,name,tasks,priority,submit,runtime\n1,u,n,1,0,0,x\n",
+		"bad columns": "id,user,name,tasks,priority,submit,runtime\n1,u,n,1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestWriteCSVEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "id,user,name") {
+		t.Error("header missing")
+	}
+}

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"threesigma/internal/job"
+	"threesigma/internal/predictor"
+)
+
+func rec(id int64, user, name string, tasks int, submit, rt float64) Record {
+	return Record{ID: job.ID(id), User: user, Name: name, Tasks: tasks, Submit: submit, Runtime: rt}
+}
+
+func TestRuntimeCDF(t *testing.T) {
+	recs := []Record{
+		rec(1, "u", "a", 1, 0, 10),
+		rec(2, "u", "a", 1, 1, 100),
+		rec(3, "u", "a", 1, 2, 1000),
+		rec(4, "u", "a", 1, 3, 10000),
+	}
+	cdf := RuntimeCDF(recs, 20)
+	if len(cdf) != 20 {
+		t.Fatalf("points = %d", len(cdf))
+	}
+	if cdf[0].Y <= 0 || cdf[len(cdf)-1].Y != 1 {
+		t.Errorf("CDF endpoints wrong: %v ... %v", cdf[0], cdf[len(cdf)-1])
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Y < cdf[i-1].Y || cdf[i].X <= cdf[i-1].X {
+			t.Fatal("CDF not monotone / x not increasing")
+		}
+	}
+	if RuntimeCDF(nil, 5) != nil {
+		t.Error("empty input should give nil")
+	}
+}
+
+func TestCoVByGroup(t *testing.T) {
+	recs := []Record{
+		// User a: constant runtimes -> CoV 0.
+		rec(1, "a", "x", 1, 0, 100), rec(2, "a", "x", 1, 1, 100), rec(3, "a", "x", 1, 2, 100),
+		// User b: variable -> CoV > 0.
+		rec(4, "b", "y", 4, 3, 10), rec(5, "b", "y", 4, 4, 1000),
+		// User c: single job -> excluded.
+		rec(6, "c", "z", 2, 5, 50),
+	}
+	covs := CoVByGroup(recs, ByUser, 2)
+	if len(covs) != 2 {
+		t.Fatalf("groups = %d, want 2", len(covs))
+	}
+	if covs[0] != 0 {
+		t.Errorf("constant group CoV = %v, want 0", covs[0])
+	}
+	if covs[1] < 0.9 { // population CoV of {10,1000} is ~0.98
+		t.Errorf("variable group CoV = %v, want ~0.98", covs[1])
+	}
+	if got := FractionAbove(covs, 0.5); got != 0.5 {
+		t.Errorf("FractionAbove(0.5) = %v, want 0.5", got)
+	}
+}
+
+func TestByResourcesBuckets(t *testing.T) {
+	if ByResources(rec(1, "u", "n", 3, 0, 1)) != "<=4" {
+		t.Error("bucket for 3 tasks wrong")
+	}
+	if ByResources(rec(1, "u", "n", 16, 0, 1)) != "<=16" {
+		t.Error("bucket for 16 tasks wrong")
+	}
+}
+
+// predAdapter exposes 3σPredict through the PointPredictor contract.
+type predAdapter struct{ p *predictor.Predictor }
+
+func (a predAdapter) EstimatePoint(j *job.Job) (float64, bool) {
+	e := a.p.Estimate(j)
+	return e.Point, !e.Novel
+}
+func (a predAdapter) ObservePoint(j *job.Job, rt float64) { a.p.Observe(j, rt) }
+
+func TestEstimateErrorsPerfectlyPredictable(t *testing.T) {
+	var recs []Record
+	for i := 0; i < 100; i++ {
+		recs = append(recs, rec(int64(i), "u", "stable", 1, float64(i), 500))
+	}
+	h := EstimateErrors(recs, predAdapter{predictor.New(predictor.Config{})})
+	if h.N == 0 {
+		t.Fatal("no estimates scored")
+	}
+	if h.WithinFactor2 < 0.99 {
+		t.Errorf("WithinFactor2 = %v, want ~1", h.WithinFactor2)
+	}
+	// All errors should land in the [0,10) bucket (index 10).
+	if h.Buckets[10] < 0.99 {
+		t.Errorf("perfect errors not centered: %v", h.Buckets)
+	}
+	if h.MisestimatedByFactor2() > 0.01 {
+		t.Error("MisestimatedByFactor2 should be ~0")
+	}
+}
+
+func TestEstimateErrorsUnpredictable(t *testing.T) {
+	var recs []Record
+	rt := []float64{10, 10000}
+	for i := 0; i < 200; i++ {
+		recs = append(recs, rec(int64(i), "u", "wild", 1, float64(i), rt[i%2]))
+	}
+	h := EstimateErrors(recs, predAdapter{predictor.New(predictor.Config{})})
+	if h.MisestimatedByFactor2() < 0.5 {
+		t.Errorf("bimodal extreme runtimes should mis-estimate often: %v", h.MisestimatedByFactor2())
+	}
+	if h.Tail == 0 {
+		t.Error("expected tail mass for huge over-estimates")
+	}
+	// Histogram masses sum to ~1.
+	sum := h.Tail
+	for _, b := range h.Buckets {
+		sum += b
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("histogram mass = %v", sum)
+	}
+}
+
+func TestBucketLabel(t *testing.T) {
+	if BucketLabel(0) != "[-100,-90)" || BucketLabel(19) != "[90,100)" {
+		t.Errorf("labels: %q %q", BucketLabel(0), BucketLabel(19))
+	}
+}
+
+func TestRecordJobConversion(t *testing.T) {
+	r := rec(7, "u", "n", 3, 12, 99)
+	j := r.Job()
+	if j.ID != 7 || j.User != "u" || j.Name != "n" || j.Tasks != 3 || j.Runtime != 99 {
+		t.Errorf("conversion lost fields: %+v", j)
+	}
+}

@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"sort"
+	"testing"
+
+	"threesigma/internal/job"
+	"threesigma/internal/predictor"
+	"threesigma/internal/trace"
+)
+
+type predAdapter struct{ p *predictor.Predictor }
+
+func (a predAdapter) EstimatePoint(j *job.Job) (float64, bool) {
+	e := a.p.Estimate(j)
+	return e.Point, !e.Novel
+}
+func (a predAdapter) ObservePoint(j *job.Job, rt float64) { a.p.Observe(j, rt) }
+
+// TestFig2Calibration locks in the §2.1 properties the environments are
+// calibrated to: the JVuPredict-style predictor mis-estimates by a factor of
+// two or more for ~8% of Google jobs and ~23% of HedgeFund/Mustang jobs,
+// with most estimates within 2× (77–92% in the paper), and large fractions
+// of per-user groups with CoV > 1.
+func TestFig2Calibration(t *testing.T) {
+	type band struct{ lo, hi float64 }
+	cases := []struct {
+		env     *Env
+		off2    band // fraction mis-estimated by >= 2x
+		within2 band
+	}{
+		{Google(), band{0.04, 0.14}, band{0.86, 0.96}},
+		{HedgeFund(), band{0.17, 0.33}, band{0.67, 0.83}},
+		{Mustang(), band{0.17, 0.33}, band{0.67, 0.83}},
+	}
+	var off2 [3]float64
+	for i, c := range cases {
+		recs := GenerateTrace(c.env, 10000, 11)
+		h := trace.EstimateErrors(recs, predAdapter{predictor.New(predictor.Config{})})
+		if h.N < 5000 {
+			t.Fatalf("%s: only %d scored estimates", c.env.Name, h.N)
+		}
+		got := h.MisestimatedByFactor2()
+		off2[i] = got
+		if got < c.off2.lo || got > c.off2.hi {
+			t.Errorf("%s: >=2x mis-estimates = %.3f, want in [%.2f,%.2f]",
+				c.env.Name, got, c.off2.lo, c.off2.hi)
+		}
+		if h.WithinFactor2 < c.within2.lo || h.WithinFactor2 > c.within2.hi {
+			t.Errorf("%s: within-2x = %.3f, want in [%.2f,%.2f]",
+				c.env.Name, h.WithinFactor2, c.within2.lo, c.within2.hi)
+		}
+	}
+	// Ordering: Google is the most predictable environment.
+	if off2[0] >= off2[1] || off2[0] >= off2[2] {
+		t.Errorf("Google should be most predictable: %v", off2)
+	}
+}
+
+// TestFig2HighVariabilityGroups checks Fig. 2b/2c: large percentages of
+// per-user and per-resources subsets have CoV > 1, with HedgeFund and
+// Mustang showing more high-variability user groups than... (the paper
+// notes "more occurring in the HedgeFund and Mustang workloads"; at user
+// granularity HedgeFund is clearly the extreme).
+func TestFig2HighVariabilityGroups(t *testing.T) {
+	frac := map[string]float64{}
+	for _, env := range []*Env{Google(), HedgeFund(), Mustang()} {
+		recs := GenerateTrace(env, 8000, 12)
+		covs := trace.CoVByGroup(recs, trace.ByUser, 2)
+		if len(covs) == 0 {
+			t.Fatalf("%s: no groups", env.Name)
+		}
+		frac[env.Name] = trace.FractionAbove(covs, 1)
+	}
+	if frac["HedgeFund"] <= frac["Google"] {
+		t.Errorf("HedgeFund should have more high-CoV user groups than Google: %v", frac)
+	}
+	for name, f := range frac {
+		if f < 0.2 {
+			t.Errorf("%s: only %.0f%% groups with CoV>1; traces should be variable", name, f*100)
+		}
+	}
+}
+
+// TestFig2HeavyTailRuntimes checks Fig. 2a's heavy-tailed runtime CDFs: the
+// 99.9th percentile dwarfs the median in every environment.
+func TestFig2HeavyTailRuntimes(t *testing.T) {
+	for _, env := range []*Env{Google(), HedgeFund(), Mustang()} {
+		recs := GenerateTrace(env, 8000, 13)
+		var rts []float64
+		for _, r := range recs {
+			rts = append(rts, r.Runtime)
+		}
+		cdf := trace.RuntimeCDF(recs, 50)
+		if len(cdf) != 50 {
+			t.Fatalf("%s: cdf points = %d", env.Name, len(cdf))
+		}
+		p999 := percentile(rts, 99.9)
+		med := percentile(rts, 50)
+		if p999 < 20*med {
+			t.Errorf("%s: tail too light: p99.9=%v median=%v", env.Name, p999, med)
+		}
+	}
+}
+
+func percentile(xs []float64, p float64) float64 {
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	idx := int(p / 100 * float64(len(cp)-1))
+	return cp[idx]
+}

@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"threesigma/internal/job"
+	"threesigma/internal/simulator"
+	"threesigma/internal/trace"
+)
+
+func mkRec(id int64, submit, rt float64, tasks int) trace.Record {
+	return trace.Record{ID: job.ID(id), User: "u", Name: "n", Tasks: tasks, Submit: submit, Runtime: rt}
+}
+
+func TestFromTraceSegmentsAndPretrains(t *testing.T) {
+	recs := []trace.Record{
+		mkRec(1, 0, 100, 2),     // pre-training (before segment)
+		mkRec(2, 500, 100, 2),   // pre-training
+		mkRec(3, 1000, 200, 4),  // in segment
+		mkRec(4, 2000, 300, 8),  // in segment
+		mkRec(5, 1e6, 100, 2),   // after segment
+		mkRec(6, 1500, 100, -1), // invalid tasks: filtered
+		mkRec(7, 1500, 100, 999),
+	}
+	w := FromTrace(recs, ReplayConfig{
+		Cluster:      simulator.NewCluster(16, 4),
+		SegmentStart: 1000,
+		SegmentHours: 1,
+		Seed:         1,
+	})
+	if len(w.Train) != 2 {
+		t.Fatalf("train = %d, want 2", len(w.Train))
+	}
+	if len(w.Jobs) != 2 {
+		t.Fatalf("jobs = %d, want 2 (oversized and out-of-window filtered)", len(w.Jobs))
+	}
+	// Submission times are rebased to the segment start.
+	if w.Jobs[0].Submit != 0 || w.Jobs[1].Submit != 1000 {
+		t.Errorf("submits = %v, %v", w.Jobs[0].Submit, w.Jobs[1].Submit)
+	}
+	if w.OfferedLoad <= 0 {
+		t.Error("offered load not computed")
+	}
+}
+
+func TestFromTraceClassStriping(t *testing.T) {
+	var recs []trace.Record
+	for i := 0; i < 100; i++ {
+		recs = append(recs, mkRec(int64(i+1), float64(i*10), 50, 1))
+	}
+	w := FromTrace(recs, ReplayConfig{Cluster: simulator.NewCluster(8, 4), Seed: 2})
+	slo := 0
+	for _, j := range w.Jobs {
+		if j.Class == job.SLO {
+			slo++
+			if !j.HasDeadline() {
+				t.Fatal("SLO job without deadline")
+			}
+			if s := j.Slack(); s < 0.19 || s > 0.81 {
+				t.Fatalf("slack %v outside menu", s)
+			}
+			if len(j.Preferred) != 3 { // 75% of 4 partitions
+				t.Fatalf("preferred = %v", j.Preferred)
+			}
+		} else if j.Deadline != 0 {
+			t.Fatal("BE job with deadline")
+		}
+	}
+	if math.Abs(float64(slo)-50) > 1 {
+		t.Errorf("SLO jobs = %d, want ~50", slo)
+	}
+}
+
+func TestFromTraceRoundTripsThroughGenerator(t *testing.T) {
+	// A generated trace replayed through FromTrace yields a simulatable
+	// workload (the cmd/3sigma-sim -trace path).
+	recs := GenerateTrace(Google(), 500, 3)
+	w := FromTrace(recs, ReplayConfig{Cluster: simulator.NewCluster(64, 8), Seed: 3})
+	if len(w.Jobs) == 0 {
+		t.Fatal("no jobs")
+	}
+	for i := 1; i < len(w.Jobs); i++ {
+		if w.Jobs[i].Submit < w.Jobs[i-1].Submit {
+			t.Fatal("jobs out of order")
+		}
+	}
+}

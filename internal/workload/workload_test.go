@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"threesigma/internal/job"
+	"threesigma/internal/simulator"
+	"threesigma/internal/stats"
+)
+
+func TestGenerateDefaultsMatchPaperSetup(t *testing.T) {
+	w := Generate(Config{Seed: 1, DurationHours: 1})
+	if len(w.Jobs) == 0 {
+		t.Fatal("no jobs generated")
+	}
+	if w.Cluster.TotalNodes() != 256 || len(w.Cluster.Partitions) != 8 {
+		t.Errorf("cluster = %+v, want 256 nodes / 8 partitions", w.Cluster)
+	}
+	// Offered load ~1.4 (hit within one job's work of the target).
+	if w.OfferedLoad < 1.35 || w.OfferedLoad > 1.55 {
+		t.Errorf("offered load = %v, want ~1.4", w.OfferedLoad)
+	}
+	// Roughly even SLO/BE split by work.
+	var sloW, beW float64
+	for _, j := range w.Jobs {
+		if j.Class == job.SLO {
+			sloW += j.Work()
+		} else {
+			beW += j.Work()
+		}
+	}
+	ratio := sloW / (sloW + beW)
+	if ratio < 0.4 || ratio > 0.6 {
+		t.Errorf("SLO work share = %v, want ~0.5", ratio)
+	}
+	// Jobs fit the cluster and are submitted within the window.
+	for _, j := range w.Jobs {
+		if j.Tasks <= 0 || j.Tasks > 256 {
+			t.Fatalf("job %d tasks=%d", j.ID, j.Tasks)
+		}
+		if j.Submit < 0 || j.Submit > 3600+1e-6 {
+			t.Fatalf("job %d submit=%v outside window", j.ID, j.Submit)
+		}
+		if j.Runtime <= 0 {
+			t.Fatalf("job %d runtime=%v", j.ID, j.Runtime)
+		}
+	}
+	if len(w.Train) == 0 {
+		t.Error("no pre-training history")
+	}
+}
+
+func TestSLOJobsHaveDeadlinesAndPreferences(t *testing.T) {
+	w := Generate(Config{Seed: 2, DurationHours: 1})
+	slackSet := map[float64]bool{}
+	for _, j := range w.Jobs {
+		if j.Class == job.SLO {
+			if !j.HasDeadline() {
+				t.Fatalf("SLO job %d has no deadline", j.ID)
+			}
+			s := math.Round(j.Slack()*100) / 100
+			slackSet[s] = true
+			if len(j.Preferred) != 6 { // 75% of 8 partitions
+				t.Fatalf("SLO job %d preferred=%v, want 6 partitions", j.ID, j.Preferred)
+			}
+			if !sort.IntsAreSorted(j.Preferred) {
+				t.Fatal("preferred set must be sorted")
+			}
+			if j.NonPrefFactor != 1.5 {
+				t.Fatalf("NonPrefFactor = %v", j.NonPrefFactor)
+			}
+		} else {
+			if j.Deadline != 0 || len(j.Preferred) != 0 {
+				t.Fatalf("BE job %d has SLO attributes", j.ID)
+			}
+		}
+	}
+	// All four default slack choices should appear.
+	for _, s := range []float64{0.2, 0.4, 0.6, 0.8} {
+		if !slackSet[s] {
+			t.Errorf("slack %v never drawn (got %v)", s, slackSet)
+		}
+	}
+}
+
+func TestSubmissionsSorted(t *testing.T) {
+	w := Generate(Config{Seed: 3, DurationHours: 1})
+	for i := 1; i < len(w.Jobs); i++ {
+		if w.Jobs[i].Submit < w.Jobs[i-1].Submit {
+			t.Fatal("jobs not sorted by submit time")
+		}
+	}
+}
+
+func TestArrivalBurstiness(t *testing.T) {
+	w := Generate(Config{Seed: 4, DurationHours: 5})
+	var gaps []float64
+	for i := 1; i < len(w.Jobs); i++ {
+		gaps = append(gaps, w.Jobs[i].Submit-w.Jobs[i-1].Submit)
+	}
+	cov := stats.CoV(gaps)
+	// c_a²=4 → CoV of inter-arrivals ~2 (sampling noise allowed).
+	if cov < 1.4 || cov > 2.8 {
+		t.Errorf("inter-arrival CoV = %v, want ~2", cov)
+	}
+}
+
+func TestDeadlineSlackOverride(t *testing.T) {
+	w := Generate(Config{Seed: 5, DurationHours: 1, SlackChoices: []float64{1.2}})
+	for _, j := range w.Jobs {
+		if j.Class == job.SLO {
+			if s := j.Slack(); math.Abs(s-1.2) > 1e-9 {
+				t.Fatalf("slack = %v, want 1.2", s)
+			}
+		}
+	}
+}
+
+func TestLoadKnob(t *testing.T) {
+	lo := Generate(Config{Seed: 6, DurationHours: 1, Load: 1.0})
+	hi := Generate(Config{Seed: 6, DurationHours: 1, Load: 1.6})
+	if hi.OfferedLoad <= lo.OfferedLoad {
+		t.Errorf("load knob broken: %v vs %v", lo.OfferedLoad, hi.OfferedLoad)
+	}
+	if math.Abs(lo.OfferedLoad-1.0) > 0.1 || math.Abs(hi.OfferedLoad-1.6) > 0.15 {
+		t.Errorf("loads %v/%v off targets 1.0/1.6", lo.OfferedLoad, hi.OfferedLoad)
+	}
+}
+
+func TestPretrainPerApp(t *testing.T) {
+	w := Generate(Config{Seed: 7, DurationHours: 1, PretrainPerApp: 5})
+	perApp := map[string]int{}
+	for _, r := range w.Train {
+		perApp[r.Name]++
+	}
+	for app, n := range perApp {
+		if n != 5 {
+			t.Fatalf("app %s has %d pretrain samples, want 5", app, n)
+		}
+	}
+}
+
+func TestJobsPerHourMode(t *testing.T) {
+	w := Generate(Config{
+		Seed: 8, DurationHours: 1, JobsPerHour: 500, Load: 0.95,
+		Cluster: simulator.NewCluster(1024, 8),
+	})
+	if len(w.Jobs) != 500 {
+		t.Fatalf("jobs = %d, want 500", len(w.Jobs))
+	}
+	if math.Abs(w.OfferedLoad-0.95) > 0.02 {
+		t.Errorf("offered load = %v, want 0.95", w.OfferedLoad)
+	}
+}
+
+func TestEnvByName(t *testing.T) {
+	for _, n := range []string{"google", "hedgefund", "mustang"} {
+		if _, err := EnvByName(n); err != nil {
+			t.Errorf("EnvByName(%q): %v", n, err)
+		}
+	}
+	if _, err := EnvByName("nope"); err == nil {
+		t.Error("unknown env should error")
+	}
+}
+
+func TestGenerateTraceShape(t *testing.T) {
+	recs := GenerateTrace(Mustang(), 2000, 9)
+	if len(recs) != 2000 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	var rts []float64
+	for _, r := range recs {
+		if r.Runtime <= 0 || r.Tasks <= 0 || r.User == "" || r.Name == "" {
+			t.Fatalf("bad record %+v", r)
+		}
+		rts = append(rts, r.Runtime)
+	}
+	// Heavy tail: max should dwarf the median.
+	if stats.Max(rts) < 10*stats.Median(rts) {
+		t.Errorf("runtime tail too light: max=%v median=%v", stats.Max(rts), stats.Median(rts))
+	}
+}
+
+func TestDeterminismBySeed(t *testing.T) {
+	a := Generate(Config{Seed: 42, DurationHours: 1})
+	b := Generate(Config{Seed: 42, DurationHours: 1})
+	if len(a.Jobs) != len(b.Jobs) {
+		t.Fatal("same seed produced different job counts")
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i].Runtime != b.Jobs[i].Runtime || a.Jobs[i].Submit != b.Jobs[i].Submit {
+			t.Fatal("same seed produced different jobs")
+		}
+	}
+	c := Generate(Config{Seed: 43, DurationHours: 1})
+	if len(a.Jobs) == len(c.Jobs) && a.Jobs[0].Runtime == c.Jobs[0].Runtime {
+		t.Error("different seeds suspiciously identical")
+	}
+}

@@ -1,0 +1,294 @@
+// Package threesigma is a from-scratch Go implementation of 3Sigma, the
+// distribution-based cluster scheduler of Park et al. (EuroSys 2018),
+// together with every substrate the paper depends on: the 3σPredict runtime
+// distribution predictor, a pure-Go MILP solver, a discrete-event cluster
+// simulator, trace-derived workload generators for the paper's three
+// environments, and the comparison baselines (PointPerfEst, PointRealEst,
+// Prio).
+//
+// The package is a thin facade over the internal packages; it exposes
+// everything a downstream user needs to schedule a workload with 3σSched,
+// predict runtime distributions from job history, or reproduce the paper's
+// evaluation. See the examples/ directory for runnable programs and
+// DESIGN.md for the architecture.
+//
+// # Quick start
+//
+//	w := threesigma.GenerateWorkload(threesigma.WorkloadConfig{Seed: 1})
+//	res, err := threesigma.Simulate(threesigma.SystemThreeSigma, w, threesigma.SimConfig{})
+//	if err != nil { ... }
+//	fmt.Println(res.Report)
+package threesigma
+
+import (
+	"fmt"
+	"io"
+
+	"threesigma/internal/baselines"
+	"threesigma/internal/core"
+	"threesigma/internal/dist"
+	"threesigma/internal/job"
+	"threesigma/internal/metrics"
+	"threesigma/internal/predictor"
+	"threesigma/internal/simulator"
+	"threesigma/internal/trace"
+	"threesigma/internal/workload"
+)
+
+// Core model types re-exported for library users.
+type (
+	// Job is a gang-scheduled cluster job request.
+	Job = job.Job
+	// JobID identifies a job within one workload.
+	JobID = job.ID
+	// Class distinguishes SLO (deadline) jobs from best-effort jobs.
+	Class = job.Class
+	// Distribution is an estimated job runtime distribution.
+	Distribution = dist.Distribution
+	// Cluster describes the machine partitions of a simulated cluster.
+	Cluster = simulator.Cluster
+	// Report carries the success metrics of one run (§5 of the paper).
+	Report = metrics.Report
+	// Outcome records one job's fate in a simulation.
+	Outcome = simulator.Outcome
+	// SchedulerStats carries 3σSched-side latency and model-size counters.
+	SchedulerStats = core.Stats
+	// Workload is a generated experiment input (pre-training history plus
+	// timed job submissions).
+	Workload = workload.Workload
+	// WorkloadConfig parameterizes workload generation (§5 defaults).
+	WorkloadConfig = workload.Config
+	// PredictorConfig tunes 3σPredict.
+	PredictorConfig = predictor.Config
+	// SchedulerConfig tunes 3σSched (plan-ahead window, solver budget,
+	// utility weights, mis-estimate handling).
+	SchedulerConfig = core.Config
+	// Estimate is 3σPredict's answer for one job: a runtime distribution,
+	// the best point estimate, and the winning expert.
+	Estimate = predictor.Estimate
+)
+
+// Job classes.
+const (
+	// SLO marks deadline (production) jobs.
+	SLO = job.SLO
+	// BestEffort marks latency-sensitive deadline-free jobs.
+	BestEffort = job.BestEffort
+)
+
+// NewCluster builds a cluster of equal partitions totalling nodes.
+func NewCluster(nodes, partitions int) Cluster { return simulator.NewCluster(nodes, partitions) }
+
+// Predictor is a 3σPredict instance (§4.1): feature-based history sketches
+// scored by NMAE, returning empirical runtime distributions.
+type Predictor struct{ p *predictor.Predictor }
+
+// NewPredictor returns a predictor; the zero PredictorConfig selects the
+// paper's defaults (80 histogram bins, α = 0.6, recent window 20).
+func NewPredictor(cfg PredictorConfig) *Predictor {
+	return &Predictor{p: predictor.New(cfg)}
+}
+
+// Estimate returns the runtime distribution and point estimate for a job.
+func (p *Predictor) Estimate(j *Job) Estimate { return p.p.Estimate(j) }
+
+// Observe records a completed job's runtime into the history.
+func (p *Predictor) Observe(j *Job, runtime float64) { p.p.Observe(j, runtime) }
+
+// Train replays a slice of (job, runtime) history (e.g. a workload's
+// pre-training records) into the predictor.
+func (p *Predictor) Train(w *Workload) {
+	for _, r := range w.Train {
+		p.p.Observe(r.Job(), r.Runtime)
+	}
+}
+
+// Save serializes the predictor's history sketches (the paper's runtime
+// history database) for reuse across processes.
+func (p *Predictor) Save(w io.Writer) error { return p.p.Save(w) }
+
+// Load restores history saved by Save into a predictor constructed with
+// the same feature configuration.
+func (p *Predictor) Load(r io.Reader) error { return p.p.Load(r) }
+
+// System selects one of the scheduler configurations compared in the paper
+// (Table 1 plus the Fig. 8 ablations).
+type System string
+
+// Available systems.
+const (
+	SystemThreeSigma   System = "3Sigma"
+	SystemPointPerfEst System = "PointPerfEst"
+	SystemPointRealEst System = "PointRealEst"
+	SystemPrio         System = "Prio"
+	SystemNoDist       System = "3SigmaNoDist"
+	SystemNoOE         System = "3SigmaNoOE"
+	SystemNoAdapt      System = "3SigmaNoAdapt"
+)
+
+// Scheduler is the simulator-facing scheduling interface; 3σSched and the
+// baselines implement it.
+type Scheduler = simulator.Scheduler
+
+// NewScheduler builds the named system. The predictor may be nil for
+// systems that do not use one (PointPerfEst, Prio); it is required for
+// 3Sigma, PointRealEst and the ablations.
+func NewScheduler(sys System, p *Predictor, cfg SchedulerConfig) (Scheduler, error) {
+	var pp *predictor.Predictor
+	if p != nil {
+		pp = p.p
+	}
+	switch sys {
+	case SystemThreeSigma, SystemPointRealEst, SystemNoDist, SystemNoOE, SystemNoAdapt:
+		if pp == nil {
+			return nil, fmt.Errorf("threesigma: system %s requires a predictor", sys)
+		}
+	}
+	switch sys {
+	case SystemThreeSigma:
+		return baselines.ThreeSigma(pp, cfg), nil
+	case SystemPointPerfEst:
+		return baselines.PointPerfEst(cfg), nil
+	case SystemPointRealEst:
+		return baselines.PointRealEst(pp, cfg), nil
+	case SystemNoDist:
+		return baselines.NoDist(pp, cfg), nil
+	case SystemNoOE:
+		return baselines.NoOE(pp, cfg), nil
+	case SystemNoAdapt:
+		return baselines.NoAdapt(pp, cfg), nil
+	case SystemPrio:
+		return baselines.NewPrio(), nil
+	}
+	return nil, fmt.Errorf("threesigma: unknown system %q", sys)
+}
+
+// GenerateWorkload builds a trace-derived synthetic workload; the zero
+// config selects the paper's E2E defaults (Google environment, 256 nodes,
+// 5 hours, load 1.4, 50/50 SLO/BE, slack {20,40,60,80}%).
+func GenerateWorkload(cfg WorkloadConfig) *Workload { return workload.Generate(cfg) }
+
+// TraceRecord is one completed job of a raw trace (see the trace CSV tools).
+type TraceRecord = trace.Record
+
+// ReplayConfig controls converting a raw trace into a workload (§5's
+// segment-replay recipe for the HedgeFund and Mustang experiments).
+type ReplayConfig = workload.ReplayConfig
+
+// WorkloadFromTrace converts raw trace records into an experiment workload:
+// a time segment becomes the submissions (with SLO/BE classes, deadlines
+// and preferences assigned), everything earlier becomes pre-training
+// history.
+func WorkloadFromTrace(recs []TraceRecord, cfg ReplayConfig) *Workload {
+	return workload.FromTrace(recs, cfg)
+}
+
+// SimConfig controls a Simulate run.
+type SimConfig struct {
+	// CycleInterval is the scheduling period in simulated seconds
+	// (default 10).
+	CycleInterval float64
+	// DrainWindow is the extra simulated time after the last submission
+	// before the run is cut off (default 2400).
+	DrainWindow float64
+	// RealCluster emulates the paper's RC256 configuration by adding
+	// execution jitter and placement delay.
+	RealCluster bool
+	// Scheduler overrides the system's default scheduler configuration.
+	Scheduler SchedulerConfig
+	Seed      int64
+}
+
+// SimResult bundles the metric report with raw outcomes and scheduler stats.
+type SimResult struct {
+	Report   Report
+	Outcomes []*Outcome
+	Stats    SchedulerStats // zero value for Prio
+}
+
+// Simulate runs the workload under the named system on the workload's
+// cluster and reports the paper's success metrics. Systems needing a
+// predictor get a fresh one pre-trained on the workload's history.
+func Simulate(sys System, w *Workload, cfg SimConfig) (*SimResult, error) {
+	var p *Predictor
+	switch sys {
+	case SystemThreeSigma, SystemPointRealEst, SystemNoDist, SystemNoOE, SystemNoAdapt:
+		p = NewPredictor(PredictorConfig{})
+		p.Train(w)
+	}
+	if cfg.CycleInterval <= 0 {
+		cfg.CycleInterval = 10
+	}
+	if cfg.DrainWindow <= 0 {
+		cfg.DrainWindow = 2400
+	}
+	scfg := cfg.Scheduler
+	if scfg.CycleInterval == 0 {
+		scfg.CycleInterval = cfg.CycleInterval
+	}
+	sched, err := NewScheduler(sys, p, scfg)
+	if err != nil {
+		return nil, err
+	}
+	opts := simulator.Options{
+		Cluster:       w.Cluster,
+		CycleInterval: cfg.CycleInterval,
+		DrainWindow:   cfg.DrainWindow,
+		Seed:          cfg.Seed,
+	}
+	if cfg.RealCluster {
+		opts.RuntimeJitter = 0.04
+		opts.PlacementDelay = 1.5
+	}
+	sim, err := simulator.New(sched, w.Jobs, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := sim.Run()
+	out := &SimResult{
+		Report:   metrics.FromResult(string(sys), res, w.Cluster),
+		Outcomes: res.Outcomes,
+	}
+	if cs, ok := sched.(*core.Scheduler); ok {
+		out.Stats = cs.Stats()
+	}
+	return out, nil
+}
+
+// SimulateScheduler runs an arbitrary scheduler (e.g. one built with
+// NewCustomScheduler) on explicit jobs over the given cluster.
+func SimulateScheduler(sched Scheduler, jobs []*Job, cluster Cluster, cfg SimConfig) (*SimResult, error) {
+	if cfg.CycleInterval <= 0 {
+		cfg.CycleInterval = 10
+	}
+	if cfg.DrainWindow <= 0 {
+		cfg.DrainWindow = 2400
+	}
+	opts := simulator.Options{
+		Cluster:       cluster,
+		CycleInterval: cfg.CycleInterval,
+		DrainWindow:   cfg.DrainWindow,
+		Seed:          cfg.Seed,
+	}
+	if cfg.RealCluster {
+		opts.RuntimeJitter = 0.04
+		opts.PlacementDelay = 1.5
+	}
+	sim, err := simulator.New(sched, jobs, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := sim.Run()
+	out := &SimResult{
+		Report:   metrics.FromResult("custom", res, cluster),
+		Outcomes: res.Outcomes,
+	}
+	if cs, ok := sched.(*core.Scheduler); ok {
+		out.Stats = cs.Stats()
+	}
+	return out, nil
+}
+
+// FormatReports renders reports as the comparison table used throughout the
+// paper's figures.
+func FormatReports(rows []Report) string { return metrics.Table(rows) }

@@ -1,0 +1,201 @@
+package threesigma
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func smallWorkload(seed int64) *Workload {
+	return GenerateWorkload(WorkloadConfig{
+		Cluster:       NewCluster(32, 4),
+		DurationHours: 0.2,
+		Seed:          seed,
+	})
+}
+
+func TestSimulateThreeSigma(t *testing.T) {
+	w := smallWorkload(1)
+	res, err := Simulate(SystemThreeSigma, w, SimConfig{Seed: 1, CycleInterval: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.SLOJobs+res.Report.BEJobs != len(w.Jobs) {
+		t.Errorf("job accounting wrong: %+v", res.Report)
+	}
+	if res.Report.CompletedSLO+res.Report.CompletedBE == 0 {
+		t.Error("nothing completed")
+	}
+	if res.Stats.Cycles == 0 {
+		t.Error("no scheduler stats")
+	}
+	if len(res.Outcomes) != len(w.Jobs) {
+		t.Error("outcomes incomplete")
+	}
+}
+
+func TestSimulateAllSystems(t *testing.T) {
+	w := smallWorkload(2)
+	for _, sys := range []System{
+		SystemThreeSigma, SystemPointPerfEst, SystemPointRealEst, SystemPrio,
+		SystemNoDist, SystemNoOE, SystemNoAdapt,
+	} {
+		res, err := Simulate(sys, w, SimConfig{Seed: 2, CycleInterval: 20})
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		if res.Report.System != string(sys) {
+			t.Errorf("report system = %q", res.Report.System)
+		}
+	}
+}
+
+func TestSimulateUnknownSystem(t *testing.T) {
+	w := smallWorkload(3)
+	if _, err := Simulate(System("nope"), w, SimConfig{}); err == nil {
+		t.Fatal("unknown system should error")
+	}
+}
+
+func TestNewSchedulerRequiresPredictor(t *testing.T) {
+	if _, err := NewScheduler(SystemThreeSigma, nil, SchedulerConfig{}); err == nil {
+		t.Fatal("3Sigma without predictor should error")
+	}
+	if _, err := NewScheduler(SystemPointPerfEst, nil, SchedulerConfig{}); err != nil {
+		t.Fatalf("PointPerfEst should not need a predictor: %v", err)
+	}
+	if _, err := NewScheduler(SystemPrio, nil, SchedulerConfig{}); err != nil {
+		t.Fatalf("Prio should not need a predictor: %v", err)
+	}
+}
+
+func TestPredictorFacade(t *testing.T) {
+	p := NewPredictor(PredictorConfig{})
+	j := &Job{ID: 1, User: "u", Name: "n", Tasks: 2}
+	for i := 0; i < 15; i++ {
+		p.Observe(j, 120)
+	}
+	e := p.Estimate(j)
+	if e.Novel {
+		t.Fatal("trained job should not be novel")
+	}
+	if e.Point < 100 || e.Point > 140 {
+		t.Errorf("Point = %v", e.Point)
+	}
+	if e.Dist.CDF(200) < 0.9 {
+		t.Errorf("distribution CDF wrong: %v", e.Dist.CDF(200))
+	}
+}
+
+func TestPredictorTrainFromWorkload(t *testing.T) {
+	w := smallWorkload(4)
+	p := NewPredictor(PredictorConfig{})
+	p.Train(w)
+	novel := 0
+	for _, j := range w.Jobs[:10] {
+		if p.Estimate(j).Novel {
+			novel++
+		}
+	}
+	if novel > 5 {
+		t.Errorf("%d/10 jobs novel after pre-training", novel)
+	}
+}
+
+func TestFormatReports(t *testing.T) {
+	w := smallWorkload(5)
+	res, err := Simulate(SystemPrio, w, SimConfig{Seed: 5, CycleInterval: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatReports([]Report{res.Report})
+	if !strings.Contains(out, "Prio") || !strings.Contains(out, "slo-miss") {
+		t.Errorf("table malformed:\n%s", out)
+	}
+}
+
+func TestRealClusterEmulation(t *testing.T) {
+	w := smallWorkload(6)
+	sim, err := Simulate(SystemPointPerfEst, w, SimConfig{Seed: 6, CycleInterval: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := Simulate(SystemPointPerfEst, w, SimConfig{Seed: 6, CycleInterval: 20, RealCluster: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jitter must actually change some completion time.
+	diff := false
+	for i := range sim.Outcomes {
+		if sim.Outcomes[i].Completed && rc.Outcomes[i].Completed &&
+			sim.Outcomes[i].CompletionTime != rc.Outcomes[i].CompletionTime {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("RC emulation produced identical timings")
+	}
+}
+
+func TestWorkloadFromTraceFacade(t *testing.T) {
+	var recs []TraceRecord
+	for i := 0; i < 50; i++ {
+		recs = append(recs, TraceRecord{
+			ID: JobID(i + 1), User: "u", Name: "n", Tasks: 1 + i%4,
+			Submit: float64(i * 20), Runtime: 60,
+		})
+	}
+	w := WorkloadFromTrace(recs, ReplayConfig{
+		Cluster:      NewCluster(16, 4),
+		SegmentStart: 200,
+		Seed:         1,
+	})
+	if len(w.Train) == 0 || len(w.Jobs) == 0 {
+		t.Fatalf("train=%d jobs=%d", len(w.Train), len(w.Jobs))
+	}
+	res, err := Simulate(SystemThreeSigma, w, SimConfig{Seed: 1, CycleInterval: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.CompletedSLO+res.Report.CompletedBE == 0 {
+		t.Error("replayed workload did not run")
+	}
+}
+
+func TestPredictorSaveLoadFacade(t *testing.T) {
+	p := NewPredictor(PredictorConfig{})
+	j := &Job{ID: 1, User: "u", Name: "app", Tasks: 2}
+	for i := 0; i < 10; i++ {
+		p.Observe(j, 300)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q := NewPredictor(PredictorConfig{})
+	if err := q.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if e := q.Estimate(j); e.Novel || e.Point < 290 || e.Point > 310 {
+		t.Errorf("restored estimate = %+v", e)
+	}
+}
+
+func TestCustomUtilityFunction(t *testing.T) {
+	// An administrator-defined utility: value everything like an SLO job
+	// with a custom horizon.
+	cfg := SchedulerConfig{Policy: DefaultPolicy(), CycleInterval: 10}
+	cfg.UtilityFn = func(j *Job) JobUtility {
+		return StepUtility{Value: 100, Deadline: j.Submit + 500}
+	}
+	sched := NewCustomScheduler(PerfectEstimator(), cfg)
+	jobs := []*Job{{ID: 1, Class: BestEffort, Submit: 0, Tasks: 1, Runtime: 100}}
+	res, err := SimulateScheduler(sched, jobs, NewCluster(2, 1), SimConfig{CycleInterval: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Outcomes[0].Completed {
+		t.Error("custom-utility job should run")
+	}
+}
