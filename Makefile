@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test race vet verify bench bench-fig1
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# verify is the CI gate: vet + build + race-enabled tests.
+verify:
+	./scripts/ci.sh
+
+# bench runs the solver microbenchmarks (sparse simplex, parallel B&B).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkSimplexSparse|BenchmarkSolveParallel' -benchmem ./internal/milp
+
+# bench-fig1 reproduces the medium-scale Fig 1 end-to-end benchmark.
+bench-fig1:
+	$(GO) test -run '^$$' -bench 'BenchmarkFig1_SLOMiss' -benchtime 1x .

@@ -3,14 +3,18 @@
 //
 // Usage:
 //
-//	3sigma-bench [-scale small|medium|full] [-seed N] [-fig 1|2|6|7|8|9|10|11|12] [-table 2] [-all]
+//	3sigma-bench [-scale small|medium|full] [-seed N] [-fig 1|2|6|7|8|9|10|11|12] [-table 2] [-all] [-json]
 //
 // Without -fig/-table/-all it prints the available experiments. The full
 // scale matches the paper (SC256, 5-hour workloads) and takes tens of
-// minutes; medium is the EXPERIMENTS.md default.
+// minutes; medium is the EXPERIMENTS.md default. With -json each experiment
+// is emitted as one JSON object (name, elapsed, structured rows — including
+// the MILP solver's work counters for the end-to-end figures) instead of the
+// formatted tables.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +30,7 @@ func main() {
 	table := flag.Int("table", 0, "table number to regenerate (2)")
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	ablations := flag.Bool("ablations", false, "also run the repository's design-choice ablations")
+	jsonOut := flag.Bool("json", false, "emit one JSON object per experiment instead of formatted tables")
 	fig12Hours := flag.Float64("fig12-hours", 0.2, "measurement window for the Fig 12 scalability run")
 	flag.Parse()
 
@@ -55,93 +60,113 @@ func main() {
 		fmt.Println("  -fig 11   sample-size sensitivity")
 		fmt.Println("  -fig 12   scalability (12,583 nodes)")
 		fmt.Println("  -all      everything above")
+		fmt.Println("  -json     machine-readable output (incl. solver counters)")
 		return
 	}
 
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
 	want := func(n int) bool { return *all || *fig == n }
-	run := func(name string, f func() (string, error)) {
+	// run executes one experiment; f returns the structured rows (for -json)
+	// and the formatted table (for the default text output).
+	run := func(name string, f func() (interface{}, string, error)) {
 		t0 := time.Now()
-		out, err := f()
+		data, out, err := f()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("== %s (scale=%s seed=%d, %s) ==\n%s\n", name, sc.Name, *seed, time.Since(t0).Round(time.Millisecond), out)
+		elapsed := time.Since(t0).Round(time.Millisecond)
+		if *jsonOut {
+			if err := enc.Encode(struct {
+				Name    string      `json:"name"`
+				Scale   string      `json:"scale"`
+				Seed    int64       `json:"seed"`
+				Elapsed string      `json:"elapsed"`
+				Data    interface{} `json:"data"`
+			}{name, sc.Name, *seed, elapsed.String(), data}); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: encode: %v\n", name, err)
+				os.Exit(1)
+			}
+			return
+		}
+		fmt.Printf("== %s (scale=%s seed=%d, %s) ==\n%s\n", name, sc.Name, *seed, elapsed, out)
 	}
 
 	if want(1) {
-		run("Fig 1", func() (string, error) {
+		run("Fig 1", func() (interface{}, string, error) {
 			rows, err := experiments.EndToEnd(sc, *seed, false)
-			return experiments.FormatEndToEnd("Fig 1: SLO miss, E2E on SC", rows), err
+			return rows, experiments.FormatEndToEnd("Fig 1: SLO miss, E2E on SC", rows), err
 		})
 	}
 	if want(2) {
-		run("Fig 2", func() (string, error) {
-			return experiments.FormatFig2(experiments.Fig2(sc, *seed)), nil
+		run("Fig 2", func() (interface{}, string, error) {
+			rows := experiments.Fig2(sc, *seed)
+			return rows, experiments.FormatFig2(rows), nil
 		})
 	}
 	if want(6) {
-		run("Fig 6", func() (string, error) {
+		run("Fig 6", func() (interface{}, string, error) {
 			rows, err := experiments.EndToEnd(sc, *seed, true)
-			return experiments.FormatEndToEnd("Fig 6: E2E on RC (emulated)", rows), err
+			return rows, experiments.FormatEndToEnd("Fig 6: E2E on RC (emulated)", rows), err
 		})
 	}
 	if *all || *table == 2 {
-		run("Table 2", func() (string, error) {
+		run("Table 2", func() (interface{}, string, error) {
 			rows, err := experiments.Table2(sc, *seed)
-			return experiments.FormatTable2(rows), err
+			return rows, experiments.FormatTable2(rows), err
 		})
 	}
 	if want(7) {
-		run("Fig 7", func() (string, error) {
+		run("Fig 7", func() (interface{}, string, error) {
 			cells, err := experiments.Fig7(sc, *seed)
-			return experiments.FormatFig7(cells), err
+			return cells, experiments.FormatFig7(cells), err
 		})
 	}
 	if want(8) {
-		run("Fig 8", func() (string, error) {
+		run("Fig 8", func() (interface{}, string, error) {
 			pts, err := experiments.Fig8(sc, *seed, nil)
-			return experiments.FormatFig8(pts), err
+			return pts, experiments.FormatFig8(pts), err
 		})
 	}
 	if want(9) {
-		run("Fig 9", func() (string, error) {
+		run("Fig 9", func() (interface{}, string, error) {
 			pts, err := experiments.Fig9(sc, *seed, nil, nil)
-			return experiments.FormatFig9(pts), err
+			return pts, experiments.FormatFig9(pts), err
 		})
 	}
 	if want(10) {
-		run("Fig 10", func() (string, error) {
+		run("Fig 10", func() (interface{}, string, error) {
 			pts, err := experiments.Fig10(sc, *seed, nil)
-			return experiments.FormatFig10(pts), err
+			return pts, experiments.FormatFig10(pts), err
 		})
 	}
 	if want(11) {
-		run("Fig 11", func() (string, error) {
+		run("Fig 11", func() (interface{}, string, error) {
 			pts, err := experiments.Fig11(sc, *seed, nil)
-			return experiments.FormatFig11(pts), err
+			return pts, experiments.FormatFig11(pts), err
 		})
 	}
 	if want(12) {
-		run("Fig 12", func() (string, error) {
+		run("Fig 12", func() (interface{}, string, error) {
 			pts, err := experiments.Fig12(*seed, nil, *fig12Hours)
-			return experiments.FormatFig12(pts), err
+			return pts, experiments.FormatFig12(pts), err
 		})
 	}
 	if *ablations {
-		run("Ablation: plan-ahead", func() (string, error) {
+		run("Ablation: plan-ahead", func() (interface{}, string, error) {
 			pts, err := experiments.AblationPlanAhead(sc, *seed, nil)
-			return experiments.FormatAblation("Ablation: plan-ahead slots", pts), err
+			return pts, experiments.FormatAblation("Ablation: plan-ahead slots", pts), err
 		})
-		run("Ablation: warm start", func() (string, error) {
+		run("Ablation: warm start", func() (interface{}, string, error) {
 			pts, err := experiments.AblationWarmStart(sc, *seed)
-			return experiments.FormatAblation("Ablation: MILP warm start", pts), err
+			return pts, experiments.FormatAblation("Ablation: MILP warm start", pts), err
 		})
-		run("Ablation: share formulation", func() (string, error) {
+		run("Ablation: share formulation", func() (interface{}, string, error) {
 			small := experiments.Small()
 			small.Repeats = 2
 			pts, err := experiments.AblationExactShares(small, *seed)
-			return experiments.FormatAblation("Ablation: MILP share formulation (small scale)", pts), err
+			return pts, experiments.FormatAblation("Ablation: MILP share formulation (small scale)", pts), err
 		})
 	}
 }

@@ -1,0 +1,58 @@
+package core
+
+import "threesigma/internal/job"
+
+// buildMemo caches the model-builder terms that are stable across scheduling
+// cycles. Deferral options (start slot >= 1) sit on an absolute time grid
+// (multiples of SlotDur), so their expected utility and their survival-based
+// expected-consumption coefficients are identical from one cycle to the next
+// as long as the job's runtime distribution has not changed; only slot-0
+// options depend on `now`. Each job's page carries the distribution version
+// it was built from — a predictor update bumps the version and the page is
+// discarded on next access, and job completion drops it outright.
+type buildMemo struct {
+	jobs map[job.ID]*memoPage
+}
+
+// memoPage is one job's cached terms.
+type memoPage struct {
+	ver uint64
+	// eu maps (space class, absolute grid slot) to the raw expected utility
+	// of starting there (before the earlier-is-better bonus, which depends
+	// on the cycle-relative slot index).
+	eu map[euKey]float64
+	// surv maps a space class to its survival curve sampled on the slot
+	// grid: surv[dk] = P(runtime > dk·SlotDur). Serves every grid-aligned
+	// option of the job, since a start at slot k consumes capacity in slot
+	// k2 with probability surv[k2−k].
+	surv map[int8][]float64
+}
+
+type euKey struct {
+	space int8
+	grid  int64 // absolute slot index: start time / SlotDur
+}
+
+func newBuildMemo() *buildMemo {
+	return &buildMemo{jobs: make(map[job.ID]*memoPage)}
+}
+
+// forJob returns the job's memo page for the given distribution version,
+// discarding any page built from an older distribution.
+func (m *buildMemo) forJob(id job.ID, ver uint64) *memoPage {
+	pg := m.jobs[id]
+	if pg == nil || pg.ver != ver {
+		pg = &memoPage{
+			ver:  ver,
+			eu:   make(map[euKey]float64),
+			surv: make(map[int8][]float64),
+		}
+		m.jobs[id] = pg
+	}
+	return pg
+}
+
+// drop forgets a job's page (completion, abandonment, or resubmission).
+func (m *buildMemo) drop(id job.ID) {
+	delete(m.jobs, id)
+}

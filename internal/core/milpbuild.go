@@ -70,9 +70,14 @@ func (s *Scheduler) buildModel(st *simulator.State) *builder {
 	times := make([]float64, slots)
 	offsets := make([]float64, slots) // times[k] − now
 	times[0] = now
-	base := math.Floor(now/cfg.SlotDur) * cfg.SlotDur
+	// grid0 is the absolute slot index of the grid slot at or before now;
+	// computing each slot time as (grid0+k)·SlotDur (rather than
+	// base + k·SlotDur) makes the same grid slot produce the bitwise-same
+	// start time in every cycle, which is what lets the memo below reuse
+	// expected-utility terms across cycles.
+	grid0 := int64(math.Floor(now / cfg.SlotDur))
 	for k := 1; k < slots; k++ {
-		times[k] = base + float64(k)*cfg.SlotDur
+		times[k] = float64(grid0+int64(k)) * cfg.SlotDur
 		offsets[k] = times[k] - now
 	}
 
@@ -142,6 +147,7 @@ func (s *Scheduler) buildModel(st *simulator.State) *builder {
 	for _, j := range sel {
 		d := s.distFor(j)
 		util := s.utilityFor(j, d, now)
+		memo := s.memo.forJob(j.ID, s.distVer[j.ID])
 		type spaceChoice struct {
 			space  int8
 			factor float64
@@ -170,6 +176,21 @@ func (s *Scheduler) buildModel(st *simulator.State) *builder {
 			od := dist.NewScaled(d, sc.factor)
 			if job.ExpectedUtility(od, util, now, cfg.UtilitySteps) > 1e-9 {
 				anyUtility = true
+			}
+			// Survival curve sampled on the slot grid, shared by every
+			// grid-aligned option of this (job, space): a start at slot k
+			// consumes capacity in slot k2 with probability surv[k2−k].
+			// Cached across cycles; invalidated by distribution updates.
+			surv, hit := memo.surv[sc.space]
+			if hit {
+				s.stats.CacheHits++
+			} else {
+				surv = make([]float64, slots)
+				for dk := 0; dk < slots; dk++ {
+					surv[dk] = dist.Survival(od, float64(dk)*cfg.SlotDur)
+				}
+				memo.surv[sc.space] = surv
+				s.stats.CacheMisses++
 			}
 			var allowed []int
 			if sc.space == spacePref {
@@ -207,7 +228,25 @@ func (s *Scheduler) buildModel(st *simulator.State) *builder {
 					shares[p] = float64(j.Tasks) * relaxedCap[p][k] / avail
 				}
 				start := times[k]
-				eu := job.ExpectedUtility(od, util, start, cfg.UtilitySteps)
+				// Expected utility of this start. Grid-aligned starts
+				// (k >= 1) recur with bitwise-identical start times every
+				// cycle, so the Eq. 1 integration is memoized per
+				// (space, absolute grid slot); slot 0 starts at `now` and
+				// must be integrated fresh.
+				var eu float64
+				if k == 0 {
+					eu = job.ExpectedUtility(od, util, start, cfg.UtilitySteps)
+				} else {
+					key := euKey{space: sc.space, grid: grid0 + int64(k)}
+					var hit bool
+					if eu, hit = memo.eu[key]; hit {
+						s.stats.CacheHits++
+					} else {
+						eu = job.ExpectedUtility(od, util, start, cfg.UtilitySteps)
+						memo.eu[key] = eu
+						s.stats.CacheMisses++
+					}
+				}
 				if eu <= 1e-9 {
 					continue // zero-utility term: prune (§4.3.6)
 				}
@@ -232,8 +271,14 @@ func (s *Scheduler) buildModel(st *simulator.State) *builder {
 					rc:      make([]float64, slots-k),
 					allowed: allowed,
 				}
-				for k2 := k; k2 < slots; k2++ {
-					o.rc[k2-k] = dist.Survival(od, times[k2]-start)
+				if k == 0 {
+					for k2 := 0; k2 < slots; k2++ {
+						o.rc[k2] = dist.Survival(od, offsets[k2])
+					}
+				} else {
+					// Grid-aligned: times[k2] − start == (k2−k)·SlotDur, the
+					// exact offsets the memoized curve was sampled at.
+					copy(o.rc, surv[:slots-k])
 				}
 				o.varIdx = b.model.AddVar(milp.Binary, eu, fmt.Sprintf("I[j%d,s%d,t%d]", j.ID, sc.space, k))
 				if cfg.ExactShares {
@@ -271,6 +316,7 @@ func (s *Scheduler) buildModel(st *simulator.State) *builder {
 			// NOT abandoned — they regain options when resources free up.
 			s.abandoned[j.ID] = true
 			delete(s.planned, j.ID)
+			s.memo.drop(j.ID)
 			s.logDecision(DecisionEvent{Time: now, Kind: DecisionAbandon, Job: j.ID})
 		}
 	}

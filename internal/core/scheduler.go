@@ -51,6 +51,28 @@ type Stats struct {
 	Starts         int
 	AllocFailures  int // chosen slot-0 options whose discrete allocation failed
 	Deferrals      int // chosen options planned for a later slot
+
+	// Solver counters (cumulative over cycles, except SolverWorkers).
+	SolverNodes   int // branch-and-bound nodes explored
+	SolverLPIters int // simplex pivots of consumed node relaxations
+	SolverWorkers int // effective LP worker-pool size of the last solve
+	SpecLPs       int // node relaxations solved by speculation workers
+	SpecUsed      int // of those, consumed by the coordinator
+
+	// Model-builder memoization counters (cross-cycle expected-utility and
+	// survival-term cache; see memo.go).
+	CacheHits   int
+	CacheMisses int
+}
+
+// CacheHitRate returns the fraction of builder term lookups served from the
+// cross-cycle memo (0 when nothing was looked up).
+func (st *Stats) CacheHitRate() float64 {
+	tot := st.CacheHits + st.CacheMisses
+	if tot == 0 {
+		return 0
+	}
+	return float64(st.CacheHits) / float64(tot)
 }
 
 // Scheduler is a 3σSched instance implementing simulator.Scheduler.
@@ -59,9 +81,11 @@ type Scheduler struct {
 	est Estimator
 
 	dists     map[job.ID]dist.Distribution
+	distVer   map[job.ID]uint64 // bumped on every (re-)estimate
 	ue        map[job.ID]*ueState
 	planned   map[job.ID]plan
 	abandoned map[job.ID]bool
+	memo      *buildMemo
 
 	stats Stats
 }
@@ -73,9 +97,11 @@ func New(est Estimator, cfg Config) *Scheduler {
 		cfg:       cfg,
 		est:       est,
 		dists:     make(map[job.ID]dist.Distribution),
+		distVer:   make(map[job.ID]uint64),
 		ue:        make(map[job.ID]*ueState),
 		planned:   make(map[job.ID]plan),
 		abandoned: make(map[job.ID]bool),
+		memo:      newBuildMemo(),
 	}
 }
 
@@ -100,7 +126,14 @@ func (s *Scheduler) JobSubmitted(j *job.Job, now float64) {
 		s.stats.MaxPredictTime = lat
 	}
 	s.stats.Predictions++
-	s.dists[j.ID] = d
+	s.setDist(j.ID, d)
+}
+
+// setDist installs a (re-)estimated distribution and advances the job's
+// distribution version, invalidating its memoized builder terms.
+func (s *Scheduler) setDist(id job.ID, d dist.Distribution) {
+	s.dists[id] = d
+	s.distVer[id]++
 }
 
 // JobCompleted feeds the observed runtime back to the estimator (step 4 of
@@ -108,9 +141,11 @@ func (s *Scheduler) JobSubmitted(j *job.Job, now float64) {
 func (s *Scheduler) JobCompleted(j *job.Job, baseRuntime, now float64) {
 	s.est.Observe(j, baseRuntime)
 	delete(s.dists, j.ID)
+	delete(s.distVer, j.ID)
 	delete(s.ue, j.ID)
 	delete(s.planned, j.ID)
 	delete(s.abandoned, j.ID)
+	s.memo.drop(j.ID)
 }
 
 // distFor returns the cached submission-time distribution, estimating
@@ -123,7 +158,7 @@ func (s *Scheduler) distFor(j *job.Job) dist.Distribution {
 	if !s.cfg.Policy.UseDistribution {
 		d = dist.NewPoint(d.Mean())
 	}
-	s.dists[j.ID] = d
+	s.setDist(j.ID, d)
 	return d
 }
 
@@ -235,6 +270,7 @@ func (s *Scheduler) selectPending(pending []*job.Job, now float64) []*job.Job {
 			if now > j.Deadline+maxExt {
 				s.abandoned[j.ID] = true
 				delete(s.planned, j.ID)
+				s.memo.drop(j.ID)
 				continue
 			}
 			slo = append(slo, j)
@@ -281,8 +317,14 @@ func (s *Scheduler) Cycle(st *simulator.State) simulator.Decision {
 		MaxNodes: s.cfg.SolverMaxNodes,
 		Gap:      1e-4,
 		Seed:     seed,
+		Workers:  s.cfg.SolverWorkers,
 	})
 	solveTime := sol.Elapsed
+	s.stats.SolverNodes += sol.Nodes
+	s.stats.SolverLPIters += sol.LPIters
+	s.stats.SolverWorkers = sol.Workers
+	s.stats.SpecLPs += sol.SpecLPs
+	s.stats.SpecUsed += sol.SpecUsed
 	s.extract(b, &sol, st, &dec)
 
 	cycleTime := time.Since(t0)

@@ -199,6 +199,15 @@ func Run(sys System, w *workload.Workload, sc Scale, opts RunOptions) (RunResult
 	rr := RunResult{Report: metrics.FromResult(string(sys), res, w.Cluster)}
 	if coreSched != nil {
 		rr.Sched = coreSched.Stats()
+		rr.Report.Solver = metrics.SolverStats{
+			Nodes:       rr.Sched.SolverNodes,
+			LPIters:     rr.Sched.SolverLPIters,
+			Workers:     rr.Sched.SolverWorkers,
+			SpecLPs:     rr.Sched.SpecLPs,
+			SpecUsed:    rr.Sched.SpecUsed,
+			CacheHits:   rr.Sched.CacheHits,
+			CacheMisses: rr.Sched.CacheMisses,
+		}
 	}
 	return rr, nil
 }

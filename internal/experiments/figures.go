@@ -75,9 +75,17 @@ func EndToEnd(sc Scale, seed int64, rc bool) ([]metrics.Report, error) {
 	return averageVariants(grid, 1, reps, len(systems))[0], nil
 }
 
-// FormatEndToEnd renders the Fig. 1/6 rows.
+// FormatEndToEnd renders the Fig. 1/6 rows, with one solver-diagnostic line
+// per MILP-based system.
 func FormatEndToEnd(title string, rows []metrics.Report) string {
-	return title + "\n" + metrics.Table(rows)
+	var sb strings.Builder
+	sb.WriteString(title + "\n" + metrics.Table(rows))
+	for _, r := range rows {
+		if r.Solver.Nodes > 0 {
+			fmt.Fprintf(&sb, "solver[%s]: %s\n", r.System, r.Solver)
+		}
+	}
+	return sb.String()
 }
 
 // ---------------------------------------------------------------------------

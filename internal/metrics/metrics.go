@@ -51,6 +51,40 @@ type Report struct {
 	MeanSolveTime time.Duration
 	MaxSolveTime  time.Duration
 	SkippedStarts int
+
+	// Solver aggregates the MILP solver's work counters over the run
+	// (zero for schedulers without a MILP, e.g. Prio).
+	Solver SolverStats
+}
+
+// SolverStats carries the MILP solver's cumulative work counters: how much
+// branch-and-bound and simplex effort the run spent, how the parallel LP
+// workers were used, and how well the model builder's cross-cycle memo
+// performed. Filled by the experiment driver from the scheduler's stats.
+type SolverStats struct {
+	Nodes       int // branch-and-bound nodes explored
+	LPIters     int // simplex pivots of consumed node relaxations
+	Workers     int // effective LP worker-pool size of the last solve
+	SpecLPs     int // node relaxations solved speculatively by extra workers
+	SpecUsed    int // of those, consumed by the coordinator
+	CacheHits   int // builder memo lookups served from cache
+	CacheMisses int // builder memo lookups computed fresh
+}
+
+// CacheHitRate returns the fraction of builder memo lookups served from
+// cache (0 when nothing was looked up).
+func (s SolverStats) CacheHitRate() float64 {
+	tot := s.CacheHits + s.CacheMisses
+	if tot == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(tot)
+}
+
+// String renders the counters as one diagnostic line.
+func (s SolverStats) String() string {
+	return fmt.Sprintf("nodes=%d lp-iters=%d workers=%d spec=%d/%d cache-hit=%.1f%%",
+		s.Nodes, s.LPIters, s.Workers, s.SpecUsed, s.SpecLPs, 100*s.CacheHitRate())
 }
 
 // FromResult computes the report for a run on the given cluster.
@@ -159,6 +193,15 @@ func Average(rs []Report) Report {
 			avg.MaxSolveTime = r.MaxSolveTime
 		}
 		avg.SkippedStarts += r.SkippedStarts
+		avg.Solver.Nodes += r.Solver.Nodes
+		avg.Solver.LPIters += r.Solver.LPIters
+		avg.Solver.SpecLPs += r.Solver.SpecLPs
+		avg.Solver.SpecUsed += r.Solver.SpecUsed
+		avg.Solver.CacheHits += r.Solver.CacheHits
+		avg.Solver.CacheMisses += r.Solver.CacheMisses
+		if r.Solver.Workers > avg.Solver.Workers {
+			avg.Solver.Workers = r.Solver.Workers
+		}
 	}
 	avg.SLOJobs = int(math.Round(float64(avg.SLOJobs) / n))
 	avg.BEJobs = int(math.Round(float64(avg.BEJobs) / n))
@@ -167,6 +210,12 @@ func Average(rs []Report) Report {
 	avg.CompletedBE = int(math.Round(float64(avg.CompletedBE) / n))
 	avg.Preemptions = int(math.Round(float64(avg.Preemptions) / n))
 	avg.SkippedStarts = int(math.Round(float64(avg.SkippedStarts) / n))
+	avg.Solver.Nodes = int(math.Round(float64(avg.Solver.Nodes) / n))
+	avg.Solver.LPIters = int(math.Round(float64(avg.Solver.LPIters) / n))
+	avg.Solver.SpecLPs = int(math.Round(float64(avg.Solver.SpecLPs) / n))
+	avg.Solver.SpecUsed = int(math.Round(float64(avg.Solver.SpecUsed) / n))
+	avg.Solver.CacheHits = int(math.Round(float64(avg.Solver.CacheHits) / n))
+	avg.Solver.CacheMisses = int(math.Round(float64(avg.Solver.CacheMisses) / n))
 	return avg
 }
 

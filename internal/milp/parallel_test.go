@@ -1,0 +1,141 @@
+package milp
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestSolveParallelDeterministic is the workers=1 vs workers=N contract: on
+// 50 randomized scheduler-shaped models, runs terminated by node budget or
+// proved optimality return the same objective AND the same chosen
+// assignments (the coordinator commits exploration in sequential order; the
+// lexicographic incumbent tie-break pins equal-objective choices).
+func TestSolveParallelDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9001))
+	for trial := 0; trial < 50; trial++ {
+		m := randPacking(rng, 3+rng.Intn(8), 2+rng.Intn(4), 2+rng.Intn(7))
+		budget := 16 + rng.Intn(240)
+		seq := Solve(m, Options{MaxNodes: budget, Workers: 1})
+		par := Solve(m, Options{MaxNodes: budget, Workers: 8})
+		if seq.Status != par.Status {
+			t.Fatalf("trial %d: status %v vs %v", trial, seq.Status, par.Status)
+		}
+		if seq.Objective != par.Objective {
+			t.Fatalf("trial %d: objective %v (w=1) vs %v (w=8)", trial, seq.Objective, par.Objective)
+		}
+		if seq.Nodes != par.Nodes || seq.LPIters != par.LPIters {
+			t.Fatalf("trial %d: nodes/iters %d/%d vs %d/%d",
+				trial, seq.Nodes, seq.LPIters, par.Nodes, par.LPIters)
+		}
+		if (seq.X == nil) != (par.X == nil) {
+			t.Fatalf("trial %d: one run found a solution, the other did not", trial)
+		}
+		for v := range seq.X {
+			if seq.X[v] != par.X[v] {
+				t.Fatalf("trial %d: assignment differs at var %d: %v vs %v",
+					trial, v, seq.X[v], par.X[v])
+			}
+		}
+		if seq.Bound != par.Bound {
+			t.Fatalf("trial %d: bound %v vs %v", trial, seq.Bound, par.Bound)
+		}
+	}
+}
+
+// TestSolveParallelMixedModels covers determinism for mixed binary +
+// continuous (exact-shares-shaped) models.
+func TestSolveParallelMixedModels(t *testing.T) {
+	rng := rand.New(rand.NewSource(9002))
+	for trial := 0; trial < 15; trial++ {
+		var m Model
+		groups := 2 + rng.Intn(4)
+		parts := 2 + rng.Intn(3)
+		for g := 0; g < groups; g++ {
+			I := m.AddVar(Binary, 1+rng.Float64()*9, "I")
+			m.AddLE("demand", []int{I}, []float64{1}, 1)
+			need := 1 + rng.Float64()*3
+			idx := []int{I}
+			coef := []float64{need}
+			for p := 0; p < parts; p++ {
+				a := m.AddVar(Continuous, 0, "a")
+				idx = append(idx, a)
+				coef = append(coef, -1)
+				m.AddLE("cap", []int{a}, []float64{1}, 0.5+rng.Float64()*2)
+			}
+			m.AddLE("link", idx, coef, 0)
+		}
+		seq := Solve(&m, Options{MaxNodes: 128, Workers: 1})
+		par := Solve(&m, Options{MaxNodes: 128, Workers: 6})
+		if seq.Status != par.Status || seq.Objective != par.Objective || seq.Nodes != par.Nodes {
+			t.Fatalf("trial %d: %v/%v/%d vs %v/%v/%d", trial,
+				seq.Status, seq.Objective, seq.Nodes, par.Status, par.Objective, par.Nodes)
+		}
+		for v := range seq.X {
+			if seq.X[v] != par.X[v] {
+				t.Fatalf("trial %d: X[%d] %v vs %v", trial, v, seq.X[v], par.X[v])
+			}
+		}
+	}
+}
+
+// TestSolveWorkersDefault checks the GOMAXPROCS default and that the worker
+// count is surfaced in the solution counters.
+func TestSolveWorkersDefault(t *testing.T) {
+	var m Model
+	a := m.AddVar(Binary, 2, "a")
+	m.AddLE("ub", []int{a}, []float64{1}, 1)
+	sol := Solve(&m, Options{})
+	if sol.Workers < 1 {
+		t.Fatalf("Workers = %d, want >= 1", sol.Workers)
+	}
+	sol = Solve(&m, Options{Workers: 3})
+	if sol.Workers != 3 {
+		t.Fatalf("Workers = %d, want 3", sol.Workers)
+	}
+}
+
+// TestSolveBoundIncludesPendingNodeAtDeadline reproduces the timeout audit:
+// when the deadline expires right after a node is popped (here: an
+// already-expired deadline with a seeded incumbent), the reported Bound must
+// still dominate that popped-but-unexpanded node's subtree — it must not
+// collapse to the incumbent objective just because the heap drained.
+func TestSolveBoundIncludesPendingNodeAtDeadline(t *testing.T) {
+	var m Model
+	a := m.AddVar(Binary, 5, "a")
+	b := m.AddVar(Binary, 4, "b")
+	m.AddLE("d", []int{a, b}, []float64{1, 1}, 1)
+	seed := []float64{0, 1} // feasible, objective 4; optimum is 5
+	sol := Solve(&m, Options{Seed: seed, Deadline: time.Now().Add(-time.Second), Workers: 1})
+	if sol.Status != Feasible {
+		t.Fatalf("status = %v, want feasible (budget-truncated)", sol.Status)
+	}
+	if sol.Objective != 4 {
+		t.Fatalf("objective = %v, want seed's 4", sol.Objective)
+	}
+	// The root node was popped but never expanded; its (infinite) parent
+	// bound must flow into Bound rather than being dropped with the
+	// drained heap.
+	if sol.Bound < 5 {
+		t.Fatalf("Bound = %v: pending node's bound was dropped at expiry", sol.Bound)
+	}
+}
+
+// TestSolveSpecCountersConsistent sanity-checks the speculation counters:
+// used results never exceed solved ones, and a single-worker run performs no
+// speculation at all.
+func TestSolveSpecCountersConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(9003))
+	m := randPacking(rng, 6, 3, 5)
+	seq := Solve(m, Options{MaxNodes: 128, Workers: 1})
+	if seq.SpecLPs != 0 || seq.SpecUsed != 0 {
+		t.Fatalf("sequential run speculated: %d/%d", seq.SpecLPs, seq.SpecUsed)
+	}
+	par := Solve(m, Options{MaxNodes: 128, Workers: 8})
+	if par.SpecUsed > par.SpecLPs {
+		t.Fatalf("SpecUsed %d > SpecLPs %d", par.SpecUsed, par.SpecLPs)
+	}
+	if par.SpecUsed > par.Nodes {
+		t.Fatalf("SpecUsed %d > Nodes %d", par.SpecUsed, par.Nodes)
+	}
+}

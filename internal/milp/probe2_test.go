@@ -18,7 +18,7 @@ func TestProbeExactLP(t *testing.T) {
 	m.AddLE("link", []int{I, a0, a1}, []float64{3, -1, -1}, 0)
 	m.AddLE("cap0", []int{a0}, []float64{1}, 2)
 	m.AddLE("cap1", []int{a1}, []float64{1}, 2)
-	res, oc, err := solveRelaxation(&m, map[int]int8{})
+	res, oc, err := solveRelaxation(&m, []int8{-1, -1, -1})
 	fmt.Printf("root LP: err=%v obj=%v+%v x=%v iters=%d\n", err, res.obj, oc, res.x, res.iters)
 	sol := Solve(&m, Options{})
 	fmt.Printf("solve: %v obj=%v x=%v\n", sol.Status, sol.Objective, sol.X)

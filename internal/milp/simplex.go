@@ -46,13 +46,22 @@ type denseLP struct {
 	cost    []float64   // phase-2 cost per column (structural only nonzero)
 	artCol0 int         // first artificial column index
 	iters   int
+	trace   *[]pivotRec // optional pivot trace (tests)
+	ar      *lpArena    // scratch backing for tab/zrow/basis/cost/w
 }
 
 // newDenseLP builds the tableau from fixed (substituted) model data:
 // objective c over n structural vars, sparse rows.
 func newDenseLP(c []float64, rows []Row) *denseLP {
+	return newDenseLPWith(c, rows, &lpArena{})
+}
+
+// newDenseLPWith is newDenseLP drawing all working memory from ar, which must
+// stay untouched by other LP instances until solve returns (the returned
+// lpResult.x is freshly allocated and safe to retain).
+func newDenseLPWith(c []float64, rows []Row, ar *lpArena) *denseLP {
 	m, n := len(rows), len(c)
-	lp := &denseLP{m: m, n: n}
+	lp := &denseLP{m: m, n: n, ar: ar}
 	// Count artificials: one per negative-rhs row.
 	for _, r := range rows {
 		if r.RHS < 0 {
@@ -61,13 +70,21 @@ func newDenseLP(c []float64, rows []Row) *denseLP {
 	}
 	lp.cols = n + m + lp.nArt
 	lp.artCol0 = n + m
-	lp.tab = make([][]float64, m)
-	lp.basis = make([]int, m)
-	lp.cost = make([]float64, lp.cols)
+	stride := lp.cols + 1
+	bk := f64z(&ar.tab, m*stride)
+	if cap(ar.tabHdr) < m {
+		ar.tabHdr = make([][]float64, m)
+	}
+	lp.tab = ar.tabHdr[:m]
+	lp.basis = ints(&ar.basis, m)
+	lp.cost = f64(&ar.cost, lp.cols)
 	copy(lp.cost, c)
+	for j := n; j < lp.cols; j++ {
+		lp.cost[j] = 0
+	}
 	art := lp.artCol0
 	for i, r := range rows {
-		row := make([]float64, lp.cols+1)
+		row := bk[i*stride : (i+1)*stride : (i+1)*stride]
 		neg := r.RHS < 0
 		sign := 1.0
 		if neg {
@@ -103,7 +120,7 @@ func (lp *denseLP) solve(maxIter int) (lpResult, error) {
 	}
 	if lp.nArt > 0 {
 		// Phase 1: maximize -(sum of artificials).
-		p1 := make([]float64, lp.cols)
+		p1 := f64z(&lp.ar.p1, lp.cols)
 		for j := lp.artCol0; j < lp.cols; j++ {
 			p1[j] = -1
 		}
@@ -141,10 +158,11 @@ func (lp *denseLP) solve(maxIter int) (lpResult, error) {
 // initZ recomputes the reduced-cost row for the given column costs by
 // pricing out the current basis: z_j = c_B·T_j − c_j.
 func (lp *denseLP) initZ(c []float64) {
-	lp.zrow = make([]float64, lp.cols+1)
+	lp.zrow = f64(&lp.ar.zrow, lp.cols+1)
 	for j := 0; j < lp.cols; j++ {
 		lp.zrow[j] = -c[j]
 	}
+	lp.zrow[lp.cols] = 0
 	for i, b := range lp.basis {
 		cb := c[b]
 		if cb == 0 {
@@ -165,7 +183,7 @@ func (lp *denseLP) iterate(c []float64, maxIter, colLimit int) error {
 	noImprove := 0
 	lastObj := math.Inf(-1)
 	// Devex reference weights.
-	w := make([]float64, lp.cols)
+	w := f64(&lp.ar.w, lp.cols)
 	for j := range w {
 		w[j] = 1
 	}
@@ -223,6 +241,9 @@ func (lp *denseLP) iterate(c []float64, maxIter, colLimit int) error {
 		}
 		if leave < 0 {
 			return ErrUnbounded
+		}
+		if lp.trace != nil {
+			*lp.trace = append(*lp.trace, pivotRec{enter, leave})
 		}
 		oldBasic := lp.basis[leave]
 		pivVal := lp.tab[leave][enter]

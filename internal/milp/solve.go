@@ -3,7 +3,10 @@ package milp
 import (
 	"container/heap"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -52,6 +55,16 @@ type Options struct {
 	Seed []float64
 	// IntTol is the integrality tolerance (default 1e-6).
 	IntTol float64
+	// Workers sets the LP worker-pool size (default GOMAXPROCS). Workers
+	// beyond the first speculatively solve the LP relaxations of open
+	// nodes; the exploration itself — node order, pruning, incumbent
+	// updates, branching — is committed by a single coordinator in the
+	// exact order a sequential run would use, so for runs that terminate
+	// on the node budget or on proved optimality the returned solution is
+	// identical for every worker count (see DESIGN.md "Solver
+	// architecture"). Deadline-terminated runs stop at a timing-dependent
+	// node and are exempt from that guarantee (with any worker count).
+	Workers int
 }
 
 // Solution is the result of Solve.
@@ -60,9 +73,12 @@ type Solution struct {
 	X         []float64 // length NumVars; binaries are exact 0/1
 	Objective float64
 	Nodes     int           // branch-and-bound nodes explored
-	LPIters   int           // total simplex iterations
+	LPIters   int           // simplex pivots of consumed node relaxations (deterministic)
 	Bound     float64       // best remaining upper bound at stop time
 	Elapsed   time.Duration // wall-clock solve time
+	Workers   int           // effective worker-pool size
+	SpecLPs   int           // node relaxations solved by speculation workers
+	SpecUsed  int           // of those, consumed by the coordinator
 }
 
 // Value returns X[v], or 0 when no solution is present.
@@ -73,11 +89,33 @@ func (s *Solution) Value(v int) float64 {
 	return s.X[v]
 }
 
+// LP computation states of a node (atomic).
+const (
+	lpUnclaimed int32 = iota
+	lpInFlight
+	lpDone
+)
+
 type bbNode struct {
-	fixed  map[int]int8 // var -> 0/1
-	bound  float64      // parent LP bound (upper bound on this subtree)
+	fixed  []int8  // per-var fixing: -1 free, 0/1 fixed
+	bound  float64 // parent LP bound (upper bound on this subtree)
 	depth  int
 	branch int8 // value this node fixed at its branching variable
+
+	// LP relaxation result, computed once — inline by the coordinator or
+	// speculatively by a worker. state transitions lpUnclaimed →
+	// lpInFlight (CAS by whoever claims it) → lpDone; done is closed when
+	// res/objC/err are published.
+	state int32
+	done  chan struct{}
+	res   lpResult
+	objC  float64
+	err   error
+	spec  bool // solved by a speculation worker
+}
+
+func newBBNode(fixed []int8, bound float64, depth int, branch int8) *bbNode {
+	return &bbNode{fixed: fixed, bound: bound, depth: depth, branch: branch, done: make(chan struct{})}
 }
 
 // nodeHeap orders nodes depth-first (deepest first, "1" children pushed
@@ -107,6 +145,20 @@ func (h *nodeHeap) Pop() interface{} {
 	return it
 }
 
+// bbState is the search state shared between the coordinator and the
+// speculation workers.
+type bbState struct {
+	m  *Model
+	mu sync.Mutex // guards open, incObj, stopped
+	// cond signals workers when nodes are pushed or the search stops.
+	cond    *sync.Cond
+	open    nodeHeap
+	incObj  float64 // workers read this for advisory pruning only
+	stopped bool
+
+	specLPs int64 // atomic
+}
+
 // Solve optimizes the model. It never panics on well-formed input; numeric
 // trouble degrades to the best incumbent with Status Feasible/NoSolution.
 func Solve(m *Model, opts Options) Solution {
@@ -129,6 +181,10 @@ func Solve(m *Model, opts Options) Solution {
 	if opts.IntTol <= 0 {
 		opts.IntTol = 1e-6
 	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	sol.Workers = opts.Workers
 
 	var incumbent []float64
 	incObj := math.Inf(-1)
@@ -136,40 +192,108 @@ func Solve(m *Model, opts Options) Solution {
 		incumbent = append([]float64(nil), opts.Seed...)
 		incObj = m.Objective(incumbent)
 	}
+	// updateIncumbent applies the deterministic acceptance rule: strictly
+	// better objectives always win; objective ties (within 1e-12) go to the
+	// lexicographically smallest solution vector, so the final incumbent
+	// does not depend on the order in which equal-quality leaves were
+	// discovered.
+	updateIncumbent := func(st *bbState, x []float64, obj float64) {
+		better := obj > incObj+1e-12
+		tie := !better && incumbent != nil && obj >= incObj-1e-12 && lexLess(x, incumbent)
+		if !better && !tie {
+			return
+		}
+		if obj > incObj {
+			incObj = obj
+		}
+		incumbent = append(incumbent[:0:0], x...)
+		st.mu.Lock()
+		st.incObj = incObj
+		st.mu.Unlock()
+	}
 
 	deadline := func() bool {
 		return !opts.Deadline.IsZero() && time.Now().After(opts.Deadline)
 	}
 
-	open := &nodeHeap{{fixed: map[int]int8{}, bound: math.Inf(1)}}
-	heap.Init(open)
-	provedOpt := false
+	st := &bbState{m: m, incObj: incObj}
+	st.cond = sync.NewCond(&st.mu)
+	rootFixed := make([]int8, n)
+	for i := range rootFixed {
+		rootFixed[i] = -1
+	}
+	st.open = nodeHeap{newBBNode(rootFixed, math.Inf(1), 0, 0)}
+	heap.Init(&st.open)
+	greedy := newGreedyCtx(m)
 
-	for open.Len() > 0 {
-		if sol.Nodes >= opts.MaxNodes || deadline() {
+	// Speculation workers: each repeatedly claims the most promising
+	// unclaimed open node and solves its LP relaxation ahead of the
+	// coordinator. They influence only wall-clock time, never the result.
+	var wg sync.WaitGroup
+	for w := 1; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st.speculate()
+		}()
+	}
+	stopWorkers := func() {
+		st.mu.Lock()
+		st.stopped = true
+		st.mu.Unlock()
+		st.cond.Broadcast()
+		wg.Wait()
+	}
+
+	provedOpt := false
+	var pending *bbNode // popped but not yet expanded when the search stops
+	gapTerm := func() float64 { return incObj + opts.Gap*math.Max(1, math.Abs(incObj)) }
+
+	for {
+		st.mu.Lock()
+		if st.open.Len() == 0 {
+			st.mu.Unlock()
+			provedOpt = true
 			break
 		}
-		node := heap.Pop(open).(*bbNode)
-		if node.bound <= incObj+opts.Gap*math.Max(1, math.Abs(incObj)) {
+		if sol.Nodes >= opts.MaxNodes {
+			st.mu.Unlock()
+			break
+		}
+		node := heap.Pop(&st.open).(*bbNode)
+		st.mu.Unlock()
+		if deadline() {
+			// Popped but not expanded: remember it so its bound still
+			// counts toward sol.Bound (a drained heap must not make a
+			// budget-truncated solve look proved-optimal).
+			pending = node
+			break
+		}
+		if node.bound <= gapTerm() {
 			// This subtree cannot beat the incumbent. Under the depth-first
 			// ordering the popped node is not necessarily the best-bound
 			// node, so this prunes rather than proves optimality.
 			continue
 		}
 		sol.Nodes++
-		res, objConst, err := solveRelaxation(m, node.fixed)
-		sol.LPIters += res.iters
-		if err != nil {
+		ensureLP(m, node)
+		sol.LPIters += node.res.iters
+		if node.spec {
+			sol.SpecUsed++
+		}
+		if node.err != nil {
 			continue // infeasible or numerically dead subtree: prune
 		}
-		lpObj := res.obj + objConst
-		if lpObj <= incObj+opts.Gap*math.Max(1, math.Abs(incObj)) {
+		lpObj := node.res.obj + node.objC
+		if lpObj <= gapTerm() {
 			continue
 		}
 		// Patch fixed values into the relaxation solution.
-		x := res.x
+		x := append([]float64(nil), node.res.x...)
 		for v, val := range node.fixed {
-			x[v] = float64(val)
+			if val >= 0 {
+				x[v] = float64(val)
+			}
 		}
 		frac := mostFractionalBinary(m, x, opts.IntTol)
 		if frac < 0 {
@@ -183,14 +307,10 @@ func Solve(m *Model, opts Options) Solution {
 					x[v] = math.Round(x[v])
 				}
 			}
-			if obj := m.Objective(x); obj > incObj && m.Feasible(x, feasTol) {
-				incObj = obj
-				incumbent = append([]float64(nil), x...)
+			if obj := m.Objective(x); m.Feasible(x, feasTol) {
+				updateIncumbent(st, x, obj)
 			} else if rx, ok := roundFixAndSolve(m, x); ok {
-				if obj := m.Objective(rx); obj > incObj {
-					incObj = obj
-					incumbent = rx
-				}
+				updateIncumbent(st, rx, m.Objective(rx))
 			}
 			continue
 		}
@@ -198,30 +318,24 @@ func Solve(m *Model, opts Options) Solution {
 		// selection for all-binary models, fix-and-solve for mixed models
 		// (round every binary to its nearest integer, then let one more LP
 		// set the continuous variables).
-		if rx, ok := roundGreedy(m, x, node.fixed); ok {
-			if obj := m.Objective(rx); obj > incObj {
-				incObj = obj
-				incumbent = rx
-			}
+		if rx, ok := roundGreedy(m, x, node.fixed, greedy); ok {
+			updateIncumbent(st, rx, m.Objective(rx))
 		} else if rx, ok := roundFixAndSolve(m, x); ok {
-			if obj := m.Objective(rx); obj > incObj {
-				incObj = obj
-				incumbent = rx
-			}
+			updateIncumbent(st, rx, m.Objective(rx))
 		}
+		st.mu.Lock()
 		for _, val := range []int8{0, 1} {
-			child := &bbNode{fixed: make(map[int]int8, len(node.fixed)+1), bound: lpObj, depth: node.depth + 1, branch: val}
-			for k, v := range node.fixed {
-				child.fixed[k] = v
-			}
-			child.fixed[frac] = val
-			heap.Push(open, child)
+			fixed := make([]int8, n)
+			copy(fixed, node.fixed)
+			fixed[frac] = val
+			heap.Push(&st.open, newBBNode(fixed, lpObj, node.depth+1, val))
 		}
+		st.mu.Unlock()
+		st.cond.Broadcast()
 	}
+	stopWorkers()
+	sol.SpecLPs = int(atomic.LoadInt64(&st.specLPs))
 
-	if open.Len() == 0 {
-		provedOpt = true
-	}
 	sol.Elapsed = time.Since(start)
 	if incumbent == nil {
 		if provedOpt {
@@ -237,53 +351,191 @@ func Solve(m *Model, opts Options) Solution {
 	} else {
 		sol.Status = Feasible
 		best := incObj
-		for _, nd := range *open {
+		for _, nd := range st.open {
 			if nd.bound > best {
 				best = nd.bound
 			}
+		}
+		if pending != nil && pending.bound > best {
+			best = pending.bound
 		}
 		sol.Bound = best
 	}
 	return sol
 }
 
+// ensureLP produces node's LP relaxation result: the caller solves it inline
+// if no worker has claimed the node, otherwise it waits for the in-flight
+// speculative solve. Either way node.res/objC/err are valid on return.
+func ensureLP(m *Model, node *bbNode) {
+	if atomic.CompareAndSwapInt32(&node.state, lpUnclaimed, lpInFlight) {
+		node.res, node.objC, node.err = solveRelaxation(m, node.fixed)
+		atomic.StoreInt32(&node.state, lpDone)
+		close(node.done)
+		return
+	}
+	<-node.done
+}
+
+// speculate is the worker loop: claim the most promising unclaimed open
+// node, solve its relaxation, publish, repeat. Claims skip nodes already
+// dominated by the shared incumbent — an advisory read that saves work but
+// cannot change what the coordinator commits.
+func (st *bbState) speculate() {
+	for {
+		st.mu.Lock()
+		var node *bbNode
+		for {
+			if st.stopped {
+				st.mu.Unlock()
+				return
+			}
+			node = st.claimLocked()
+			if node != nil {
+				break
+			}
+			st.cond.Wait()
+		}
+		st.mu.Unlock()
+		node.spec = true
+		node.res, node.objC, node.err = solveRelaxation(st.m, node.fixed)
+		atomic.AddInt64(&st.specLPs, 1)
+		atomic.StoreInt32(&node.state, lpDone)
+		close(node.done)
+	}
+}
+
+// claimLocked picks the unclaimed open node the coordinator is most likely
+// to pop next (heap order) and marks it in-flight. Caller holds st.mu.
+func (st *bbState) claimLocked() *bbNode {
+	var best *bbNode
+	var bestAt int
+	for i, nd := range st.open {
+		if atomic.LoadInt32(&nd.state) != lpUnclaimed {
+			continue
+		}
+		if nd.bound <= st.incObj { // advisory: will be pruned anyway
+			continue
+		}
+		if best == nil || st.open.Less(i, bestAt) {
+			best, bestAt = nd, i
+		}
+	}
+	if best != nil && atomic.CompareAndSwapInt32(&best.state, lpUnclaimed, lpInFlight) {
+		return best
+	}
+	return nil
+}
+
+// lexLess reports whether a is lexicographically smaller than b (the
+// deterministic incumbent tie-break).
+func lexLess(a, b []float64) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// lpSizeSparseCutoff is the tableau footprint (rows × columns) above which
+// solveRelaxation switches from the dense tableau to the sparse-row simplex.
+// Below it the dense path's contiguous arrays win on constant factors.
+const lpSizeSparseCutoff = 8192
+
+// lpForce overrides the dense/sparse choice in tests and microbenchmarks:
+// 0 = auto, 1 = always dense, 2 = always sparse.
+var lpForce int32
+
+// useSparseLP decides the representation for one relaxation: sparse when the
+// tableau is big and the structural matrix thin (scheduler instances: every
+// indicator sits in one demand row plus a few capacity rows), dense
+// otherwise.
+func useSparseLP(n int, rows []Row) bool {
+	switch atomic.LoadInt32(&lpForce) {
+	case 1:
+		return false
+	case 2:
+		return true
+	}
+	m := len(rows)
+	if m == 0 || n == 0 || m*(n+m) < lpSizeSparseCutoff {
+		return false
+	}
+	nnz := 0
+	for _, r := range rows {
+		nnz += len(r.Idx)
+	}
+	return nnz*3 <= m*n
+}
+
 // solveRelaxation builds and solves the LP relaxation of m with the given
-// variables fixed (substituted out). Returns the LP result plus the
+// variables fixed (substituted out). fixed is indexed by variable: -1 free,
+// 0/1 fixed; it must have length NumVars. Returns the LP result plus the
 // objective constant contributed by fixed variables and the model constant.
-func solveRelaxation(m *Model, fixed map[int]int8) (lpResult, float64, error) {
+// It is safe for concurrent use: every call draws its working memory from a
+// pooled arena, so parallel speculation workers never share LP state.
+func solveRelaxation(m *Model, fixed []int8) (lpResult, float64, error) {
 	n := m.NumVars()
-	c := make([]float64, n)
+	ar := lpArenaPool.Get().(*lpArena)
+	defer lpArenaPool.Put(ar)
+	c := f64(&ar.c, n)
 	copy(c, m.obj)
 	objConst := m.objConst
 	for v, val := range fixed {
+		if val < 0 {
+			continue
+		}
 		if val == 1 {
 			objConst += c[v]
 		}
 		c[v] = 0
 	}
-	rows := make([]Row, 0, len(m.rows))
+	// Substitute the fixings out of every row, packing the surviving entries
+	// into one arena-backed span per row.
+	nnz := 0
 	for _, r := range m.rows {
-		nr := Row{Name: r.Name, RHS: r.RHS}
+		nnz += len(r.Idx)
+	}
+	idxBk := ints(&ar.idx, nnz)
+	coefBk := f64(&ar.coef, nnz)
+	if cap(ar.rows) < len(m.rows) {
+		ar.rows = make([]Row, 0, len(m.rows))
+	}
+	rows := ar.rows[:0]
+	off := 0
+	for _, r := range m.rows {
+		start := off
+		rhs := r.RHS
 		for k, id := range r.Idx {
-			if val, ok := fixed[id]; ok {
+			if val := fixed[id]; val >= 0 {
 				if val == 1 {
-					nr.RHS -= r.Coef[k]
+					rhs -= r.Coef[k]
 				}
 				continue
 			}
-			nr.Idx = append(nr.Idx, id)
-			nr.Coef = append(nr.Coef, r.Coef[k])
+			idxBk[off], coefBk[off] = id, r.Coef[k]
+			off++
 		}
-		if len(nr.Idx) == 0 {
-			if nr.RHS < -feasTol {
+		if off == start {
+			if rhs < -feasTol {
+				ar.rows = rows
 				return lpResult{}, 0, ErrInfeasible
 			}
 			continue // trivially satisfied row: prune
 		}
-		rows = append(rows, nr)
+		rows = append(rows, Row{Name: r.Name, RHS: rhs,
+			Idx: idxBk[start:off:off], Coef: coefBk[start:off:off]})
 	}
-	lp := newDenseLP(c, rows)
-	res, err := lp.solve(0)
+	ar.rows = rows
+	if useSparseLP(n, rows) {
+		res, err := newSparseLPWith(c, rows, ar).solve(0)
+		return res, objConst, err
+	}
+	res, err := newDenseLPWith(c, rows, ar).solve(0)
 	return res, objConst, err
 }
 
@@ -309,18 +561,21 @@ func mostFractionalBinary(m *Model, x []float64, tol float64) int {
 // models (e.g. the exact-shares scheduling formulation), where greedy
 // row-checking cannot assign the continuous allocation variables.
 func roundFixAndSolve(m *Model, x []float64) ([]float64, bool) {
-	fixed := make(map[int]int8)
+	fixed := make([]int8, len(m.kinds))
+	nBin := 0
 	for v, k := range m.kinds {
 		if k != Binary {
+			fixed[v] = -1
 			continue
 		}
+		nBin++
 		if x[v] >= 0.5 {
 			fixed[v] = 1
 		} else {
 			fixed[v] = 0
 		}
 	}
-	if len(fixed) == 0 || len(fixed) == len(m.kinds) {
+	if nBin == 0 || nBin == len(m.kinds) {
 		return nil, false // pure-continuous or pure-binary: other paths apply
 	}
 	res, _, err := solveRelaxation(m, fixed)
@@ -329,7 +584,9 @@ func roundFixAndSolve(m *Model, x []float64) ([]float64, bool) {
 	}
 	out := res.x
 	for v, val := range fixed {
-		out[v] = float64(val)
+		if val >= 0 {
+			out[v] = float64(val)
+		}
 	}
 	if !m.Feasible(out, feasTol) {
 		return nil, false
@@ -337,43 +594,67 @@ func roundFixAndSolve(m *Model, x []float64) ([]float64, bool) {
 	return out, true
 }
 
+// greedyCtx holds the model-wide structures roundGreedy needs — the
+// column-to-rows index and per-call scratch — built once per Solve instead of
+// once per node.
+type greedyCtx struct {
+	allBinary bool
+	colRows   [][]greedyEntry
+	activity  []float64
+	cands     []greedyCand
+}
+
+type greedyEntry struct {
+	row  int
+	coef float64
+}
+
+type greedyCand struct {
+	v   int
+	val float64
+}
+
+func newGreedyCtx(m *Model) *greedyCtx {
+	g := &greedyCtx{allBinary: true}
+	for _, k := range m.kinds {
+		if k != Binary {
+			g.allBinary = false
+			return g
+		}
+	}
+	g.colRows = make([][]greedyEntry, m.NumVars())
+	for ri, r := range m.rows {
+		for k, id := range r.Idx {
+			g.colRows[id] = append(g.colRows[id], greedyEntry{ri, r.Coef[k]})
+		}
+	}
+	g.activity = make([]float64, len(m.rows))
+	return g
+}
+
 // roundGreedy builds an integral solution from an LP point for all-binary
 // models: binaries are considered in decreasing LP value and switched on
 // whenever doing so keeps every row feasible. Returns ok=false for models
-// with continuous variables.
-func roundGreedy(m *Model, x []float64, fixed map[int]int8) ([]float64, bool) {
+// with continuous variables. Not safe for concurrent use (shared g scratch);
+// only the coordinator calls it.
+func roundGreedy(m *Model, x []float64, fixed []int8, g *greedyCtx) ([]float64, bool) {
+	if !g.allBinary {
+		return nil, false
+	}
 	n := m.NumVars()
-	for _, k := range m.kinds {
-		if k != Binary {
-			return nil, false
-		}
-	}
-	type cand struct {
-		v   int
-		val float64
-	}
-	cands := make([]cand, 0, n)
+	cands := g.cands[:0]
 	out := make([]float64, n)
-	activity := make([]float64, len(m.rows))
-	// colRows[v] lists (row, coef) pairs; built lazily per call. For the
-	// model sizes 3σSched generates this is cheap relative to the LP solve.
-	type entry struct {
-		row  int
-		coef float64
-	}
-	colRows := make([][]entry, n)
-	for ri, r := range m.rows {
-		for k, id := range r.Idx {
-			colRows[id] = append(colRows[id], entry{ri, r.Coef[k]})
-		}
+	activity := g.activity
+	for i := range activity {
+		activity[i] = 0
 	}
 	apply := func(v int) bool {
-		for _, e := range colRows[v] {
+		for _, e := range g.colRows[v] {
 			if activity[e.row]+e.coef > m.rows[e.row].RHS+feasTol {
 				return false
 			}
 		}
-		for _, e := range colRows[v] {
+		for _, e := range g.colRows[v] {
 			activity[e.row] += e.coef
 		}
 		out[v] = 1
@@ -388,11 +669,12 @@ func roundGreedy(m *Model, x []float64, fixed map[int]int8) ([]float64, bool) {
 		}
 	}
 	for v := 0; v < n; v++ {
-		if _, ok := fixed[v]; ok {
+		if fixed[v] >= 0 {
 			continue
 		}
-		cands = append(cands, cand{v, x[v]})
+		cands = append(cands, greedyCand{v, x[v]})
 	}
+	defer func() { g.cands = cands }()
 	// Sort by LP value desc, tie-break on objective coefficient desc.
 	sort.Slice(cands, func(i, j int) bool {
 		a, b := cands[i], cands[j]
@@ -427,6 +709,10 @@ func roundGreedy(m *Model, x []float64, fixed map[int]int8) ([]float64, bool) {
 // DebugSolveRoot solves the bare LP relaxation and surfaces the raw solver
 // error (for diagnosing model pathologies from other packages' tests).
 func DebugSolveRoot(m *Model) ([]float64, float64, error) {
-	res, oc, err := solveRelaxation(m, map[int]int8{})
+	free := make([]int8, m.NumVars())
+	for i := range free {
+		free[i] = -1
+	}
+	res, oc, err := solveRelaxation(m, free)
 	return res.x, res.obj + oc, err
 }

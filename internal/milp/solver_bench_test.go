@@ -1,0 +1,117 @@
+package milp
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// schedShapedModel builds a scheduler-shaped instance at a given size: jobs
+// × options binaries with demand rows, plus partition × slot capacity rows
+// in which each option appears only from its start slot on — the sparsity
+// pattern milpbuild.go generates.
+func schedShapedModel(rng *rand.Rand, jobs, opts, parts, slots int) *Model {
+	var m Model
+	type opt struct {
+		v    int
+		part int
+		slot int
+	}
+	var options []opt
+	for j := 0; j < jobs; j++ {
+		idx := make([]int, opts)
+		coef := make([]float64, opts)
+		for o := 0; o < opts; o++ {
+			v := m.AddVar(Binary, 1+rng.Float64()*10, "I")
+			idx[o] = v
+			coef[o] = 1
+			options = append(options, opt{v: v, part: rng.Intn(parts), slot: o % slots})
+		}
+		m.AddLE("demand", idx, coef, 1)
+	}
+	for p := 0; p < parts; p++ {
+		for s := 0; s < slots; s++ {
+			var idx []int
+			var coef []float64
+			for _, o := range options {
+				if o.part != p || s < o.slot {
+					continue
+				}
+				idx = append(idx, o.v)
+				coef = append(coef, 1+rng.Float64()*4)
+			}
+			if len(idx) > 0 {
+				m.AddLE("cap", idx, coef, 4+rng.Float64()*20)
+			}
+		}
+	}
+	return &m
+}
+
+// BenchmarkSimplexSparse isolates the LP-core change: one root-relaxation
+// solve of a scheduler-shaped model, dense tableau vs compressed sparse
+// rows. Run with -bench BenchmarkSimplexSparse to see the per-backend split.
+func BenchmarkSimplexSparse(b *testing.B) {
+	for _, size := range []struct {
+		name                     string
+		jobs, opts, parts, slots int
+	}{
+		{"32jobs", 32, 10, 8, 5},
+		{"96jobs", 96, 12, 8, 6},
+	} {
+		m := schedShapedModel(rand.New(rand.NewSource(11)), size.jobs, size.opts, size.parts, size.slots)
+		c, rows := relaxationRows(m)
+		b.Run(size.name+"/dense", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := newDenseLP(c, rows).solve(0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(size.name+"/sparse", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := newSparseLP(c, rows).solve(0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolveParallel isolates the branch-and-bound change: a full Solve
+// of one scheduler-shaped model at workers=1 vs workers=GOMAXPROCS (and a
+// fixed 8 for cross-host comparability). Node budget replaces the deadline
+// so both variants do identical committed work.
+func BenchmarkSolveParallel(b *testing.B) {
+	m := schedShapedModel(rand.New(rand.NewSource(13)), 64, 12, 8, 6)
+	for _, w := range []int{1, 0, 8} {
+		name := "workers=gomaxprocs"
+		switch w {
+		case 1:
+			name = "workers=1"
+		case 8:
+			name = "workers=8"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sol := Solve(m, Options{MaxNodes: 48, Workers: w})
+				if sol.X == nil {
+					b.Fatal("no solution")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolveSchedulingCycle is the end-to-end hot path as 3σSched
+// invokes it: budgeted anytime solve on a cycle-sized model.
+func BenchmarkSolveSchedulingCycle(b *testing.B) {
+	m := schedShapedModel(rand.New(rand.NewSource(17)), 48, 12, 8, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol := Solve(m, Options{Deadline: time.Now().Add(150 * time.Millisecond), MaxNodes: 48})
+		if sol.X == nil {
+			b.Fatal("no solution")
+		}
+	}
+}

@@ -1,0 +1,541 @@
+package milp
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// sparseLP is a compressed sparse-row two-phase primal simplex for the same
+// problem class as denseLP:
+//
+//	max c·x  s.t.  A·x <= b (b of any sign), x >= 0.
+//
+// Scheduler constraint matrices are overwhelmingly zero — each placement
+// indicator appears in one demand row and a handful of capacity rows — so
+// rows start as sorted (index, value) pairs and every pivot touches only the
+// rows with a nonzero in the entering column. Gauss-Jordan pivoting causes
+// fill-in, so each row adaptively converts to a flat dense array once its
+// population crosses denseRowFrac of the column count; from then on updates
+// are contiguous multiply-adds over exactly the entries the dense tableau
+// would touch. The pivot sequence is bitwise-identical to denseLP on the
+// same input: identical operations on identical values in identical order,
+// with exact zeros either stored or absent (indistinguishable to every
+// pricing and ratio-test comparison). sparse_test.go asserts identical pivot
+// traces against denseLP.
+type sparseLP struct {
+	m, n    int // constraint rows, structural columns
+	cols    int // total columns incl. slack/surplus + artificials
+	nArt    int
+	rows    []spRow   // m hybrid sparse/dense rows
+	zrow    []float64 // reduced costs, length cols+1 (last is -objective)
+	basis   []int     // basis[i] = column basic in row i
+	cost    []float64 // phase-2 cost per column (structural only nonzero)
+	artCol0 int       // first artificial column index
+	iters   int
+	trace   *[]pivotRec // optional pivot trace (tests)
+	ar      *lpArena    // scratch backing for rows/zrow/basis/cost/w/dn
+	dnOff   int         // next free offset in ar.spDn (densified-row backing)
+
+	// merge scratch, swapped with row storage after each sparse row update.
+	scrIdx []int32
+	scrVal []float64
+}
+
+// denseRowFrac: a row converts to dense storage once nnz × denseRowFrac
+// exceeds the column count. Beyond that point the sorted-merge update costs
+// more than indexed writes into a flat array.
+const denseRowFrac = 4
+
+// spRow is one hybrid tableau row plus its right-hand side (the dense
+// tableau's last column). While dn == nil the row is sparse: entries sorted
+// by ascending column index. After densify, dn holds all cols coefficients
+// and idx/val are dead.
+type spRow struct {
+	idx []int32
+	val []float64
+	dn  []float64
+	rhs float64
+}
+
+// at returns the row's coefficient in column j (0 when absent).
+func (r *spRow) at(j int) float64 {
+	if r.dn != nil {
+		return r.dn[j]
+	}
+	k := sort.Search(len(r.idx), func(i int) bool { return int(r.idx[i]) >= j })
+	if k < len(r.idx) && int(r.idx[k]) == j {
+		return r.val[k]
+	}
+	return 0
+}
+
+// setExact overwrites (or inserts) the row's entry in column j.
+func (r *spRow) setExact(j int, v float64) {
+	if r.dn != nil {
+		r.dn[j] = v
+		return
+	}
+	k := sort.Search(len(r.idx), func(i int) bool { return int(r.idx[i]) >= j })
+	if k < len(r.idx) && int(r.idx[k]) == j {
+		r.val[k] = v
+		return
+	}
+	r.idx = append(r.idx, 0)
+	r.val = append(r.val, 0)
+	copy(r.idx[k+1:], r.idx[k:])
+	copy(r.val[k+1:], r.val[k:])
+	r.idx[k] = int32(j)
+	r.val[k] = v
+}
+
+// densify converts the row to flat storage, drawing the array from the
+// solver's preallocated backing (each row densifies at most once, so lp.m
+// segments of lp.cols suffice).
+func (lp *sparseLP) densify(r *spRow) {
+	if r.dn != nil {
+		return
+	}
+	dn := lp.ar.spDn[lp.dnOff : lp.dnOff+lp.cols : lp.dnOff+lp.cols]
+	lp.dnOff += lp.cols
+	for j := range dn {
+		dn[j] = 0
+	}
+	for k, j := range r.idx {
+		dn[j] = r.val[k]
+	}
+	r.dn = dn
+	r.idx, r.val = nil, nil
+}
+
+// pivotRec records one simplex pivot (for cross-implementation assertions).
+type pivotRec struct {
+	enter, leave int
+}
+
+// newSparseLP builds the CSR tableau from fixed (substituted) model data;
+// layout and RHS perturbation mirror newDenseLP exactly.
+func newSparseLP(c []float64, rows []Row) *sparseLP {
+	return newSparseLPWith(c, rows, &lpArena{})
+}
+
+// newSparseLPWith is newSparseLP drawing all working memory from ar, which
+// must stay untouched by other LP instances until solve returns (the returned
+// lpResult.x is freshly allocated and safe to retain).
+func newSparseLPWith(c []float64, rows []Row, ar *lpArena) *sparseLP {
+	m, n := len(rows), len(c)
+	lp := &sparseLP{m: m, n: n, ar: ar}
+	nnz := 0
+	for _, r := range rows {
+		if r.RHS < 0 {
+			lp.nArt++
+		}
+		nnz += len(r.Idx)
+	}
+	lp.cols = n + m + lp.nArt
+	lp.artCol0 = n + m
+	if cap(ar.spRows) < m {
+		ar.spRows = make([]spRow, m)
+	}
+	lp.rows = ar.spRows[:m]
+	lp.basis = ints(&ar.basis, m)
+	lp.cost = f64(&ar.cost, lp.cols)
+	copy(lp.cost, c)
+	for j := n; j < lp.cols; j++ {
+		lp.cost[j] = 0
+	}
+	// Entry backing: every structural coefficient plus up to two bookkeeping
+	// columns (slack/surplus + artificial) per row. Densified-row backing is
+	// reserved up front since each row densifies at most once.
+	idxBk := i32s(&ar.spIdx, nnz+2*m)
+	valBk := f64(&ar.spVal, nnz+2*m)
+	f64(&ar.spDn, m*lp.cols)
+	off := 0
+	art := lp.artCol0
+	for i, r := range rows {
+		neg := r.RHS < 0
+		sign := 1.0
+		if neg {
+			sign = -1
+		}
+		// Stable-sort the structural entries by column; duplicate indices
+		// (a Row may list one twice) then sit adjacent in their original
+		// relative order, so left-to-right accumulation reproduces the dense
+		// builder's += in Idx order bit for bit.
+		k := len(r.Idx)
+		si := i32s(&ar.srtIdx, k)
+		sv := f64(&ar.srtVal, k)
+		for kk, id := range r.Idx {
+			si[kk] = int32(id)
+			sv[kk] = sign * r.Coef[kk]
+		}
+		for a := 1; a < k; a++ {
+			ji, jv := si[a], sv[a]
+			b := a - 1
+			for b >= 0 && si[b] > ji {
+				si[b+1], sv[b+1] = si[b], sv[b]
+				b--
+			}
+			si[b+1], sv[b+1] = ji, jv
+		}
+		start := off
+		for a := 0; a < k; a++ {
+			if off > start && idxBk[off-1] == si[a] {
+				valBk[off-1] += sv[a]
+			} else {
+				idxBk[off], valBk[off] = si[a], sv[a]
+				off++
+			}
+		}
+		// Slack/surplus and artificial columns come after every structural
+		// index, so appending keeps the row sorted.
+		if neg {
+			idxBk[off], valBk[off] = int32(n+i), -1
+			off++
+			idxBk[off], valBk[off] = int32(art), 1
+			off++
+			lp.basis[i] = art
+			art++
+		} else {
+			idxBk[off], valBk[off] = int32(n+i), 1
+			off++
+			lp.basis[i] = n + i
+		}
+		// Full-slice caps keep later in-place appends (setExact, merge swaps)
+		// from spilling into the next row's segment.
+		lp.rows[i] = spRow{
+			idx: idxBk[start:off:off],
+			val: valBk[start:off:off],
+			rhs: sign*r.RHS + perturb*float64(1+i%17),
+		}
+	}
+	return lp
+}
+
+// solve runs both phases and returns the optimal structural solution.
+func (lp *sparseLP) solve(maxIter int) (lpResult, error) {
+	if maxIter <= 0 {
+		maxIter = 200 * (lp.m + lp.n + 10)
+	}
+	if lp.nArt > 0 {
+		p1 := f64z(&lp.ar.p1, lp.cols)
+		for j := lp.artCol0; j < lp.cols; j++ {
+			p1[j] = -1
+		}
+		lp.initZ(p1)
+		if err := lp.iterate(p1, maxIter, lp.cols); err != nil {
+			if errors.Is(err, ErrUnbounded) {
+				return lpResult{}, ErrIterLimit
+			}
+			return lpResult{}, err
+		}
+		if -lp.zrow[lp.cols] > 1e-6 {
+			return lpResult{}, ErrInfeasible
+		}
+		lp.purgeArtificials()
+	}
+	lp.initZ(lp.cost)
+	if err := lp.iterate(lp.cost, maxIter, lp.artCol0); err != nil {
+		return lpResult{}, err
+	}
+	x := make([]float64, lp.n)
+	for i, b := range lp.basis {
+		if b < lp.n {
+			x[b] = lp.rows[i].rhs
+		}
+	}
+	obj := 0.0
+	for j := 0; j < lp.n; j++ {
+		obj += lp.cost[j] * x[j]
+	}
+	return lpResult{x: x, obj: obj, iters: lp.iters}, nil
+}
+
+// initZ recomputes the reduced-cost row by pricing out the current basis.
+func (lp *sparseLP) initZ(c []float64) {
+	lp.zrow = f64(&lp.ar.zrow, lp.cols+1)
+	for j := 0; j < lp.cols; j++ {
+		lp.zrow[j] = -c[j]
+	}
+	lp.zrow[lp.cols] = 0
+	for i, b := range lp.basis {
+		cb := c[b]
+		if cb == 0 {
+			continue
+		}
+		r := &lp.rows[i]
+		if r.dn != nil {
+			for j, v := range r.dn {
+				lp.zrow[j] += cb * v
+			}
+		} else {
+			for k, j := range r.idx {
+				lp.zrow[j] += cb * r.val[k]
+			}
+		}
+		lp.zrow[lp.cols] += cb * r.rhs
+	}
+}
+
+// iterate runs primal simplex pivots until optimality; the algorithm (Devex
+// pricing, Bland fallback, stability-biased ratio test) matches
+// denseLP.iterate decision for decision.
+func (lp *sparseLP) iterate(c []float64, maxIter, colLimit int) error {
+	noImprove := 0
+	lastObj := math.Inf(-1)
+	w := f64(&lp.ar.w, lp.cols)
+	for j := range w {
+		w[j] = 1
+	}
+	for it := 0; it < maxIter; it++ {
+		lp.iters++
+		bland := noImprove > 4*(lp.m+8)
+		enter := -1
+		if bland {
+			for j := 0; j < colLimit; j++ {
+				if lp.zrow[j] < -zeroTol {
+					enter = j
+					break
+				}
+			}
+		} else {
+			best := 0.0
+			for j := 0; j < colLimit; j++ {
+				d := lp.zrow[j]
+				if d >= -zeroTol {
+					continue
+				}
+				score := d * d / w[j]
+				if score > best {
+					best = score
+					enter = j
+				}
+			}
+		}
+		if enter < 0 {
+			return nil // optimal
+		}
+		leave := -1
+		bestRatio := math.Inf(1)
+		bestPiv := 0.0
+		for i := 0; i < lp.m; i++ {
+			a := lp.rows[i].at(enter)
+			if a <= pivTol {
+				continue
+			}
+			ratio := lp.rows[i].rhs / a
+			switch {
+			case ratio < bestRatio-1e-12:
+				bestRatio, bestPiv, leave = ratio, a, i
+			case ratio < bestRatio+1e-12 && leave >= 0:
+				if bland {
+					if lp.basis[i] < lp.basis[leave] {
+						bestRatio, bestPiv, leave = ratio, a, i
+					}
+				} else if a > bestPiv {
+					bestRatio, bestPiv, leave = ratio, a, i
+				}
+			}
+		}
+		if leave < 0 {
+			return ErrUnbounded
+		}
+		if lp.trace != nil {
+			*lp.trace = append(*lp.trace, pivotRec{enter, leave})
+		}
+		oldBasic := lp.basis[leave]
+		pivVal := lp.rows[leave].at(enter)
+		lp.pivot(leave, enter)
+		// Devex weight update from the normalized pivot row.
+		we := w[enter]
+		pr := &lp.rows[leave]
+		maxW := 1.0
+		if pr.dn != nil {
+			for j := 0; j < colLimit; j++ {
+				v := pr.dn[j]
+				if j == enter || v == 0 {
+					continue
+				}
+				if t := v * v * we; t > w[j] {
+					w[j] = t
+					if t > maxW {
+						maxW = t
+					}
+				}
+			}
+		} else {
+			for k, j := range pr.idx {
+				jj := int(j)
+				if jj >= colLimit || jj == enter {
+					continue
+				}
+				v := pr.val[k]
+				if t := v * v * we; t > w[jj] {
+					w[jj] = t
+					if t > maxW {
+						maxW = t
+					}
+				}
+			}
+		}
+		if lw := math.Max(we/(pivVal*pivVal), 1); lw > w[oldBasic] {
+			w[oldBasic] = lw
+		}
+		if maxW > 1e10 {
+			for j := range w {
+				w[j] = 1
+			}
+		}
+		obj := -lp.zrow[lp.cols]
+		if obj > lastObj+1e-10 {
+			lastObj = obj
+			noImprove = 0
+		} else {
+			noImprove++
+		}
+	}
+	return ErrIterLimit
+}
+
+// pivot performs a Gauss-Jordan pivot on (row r, column e), eliminating e
+// from every other row that carries it.
+func (lp *sparseLP) pivot(r, e int) {
+	pr := &lp.rows[r]
+	p := pr.at(e)
+	inv := 1 / p
+	if pr.dn != nil {
+		for j := range pr.dn {
+			pr.dn[j] *= inv
+		}
+	} else {
+		for k := range pr.val {
+			pr.val[k] *= inv
+		}
+	}
+	pr.rhs *= inv
+	pr.setExact(e, 1)
+	for i := 0; i < lp.m; i++ {
+		if i == r {
+			continue
+		}
+		ti := &lp.rows[i]
+		f := ti.at(e)
+		if f == 0 {
+			continue
+		}
+		// A sparse target hit by a dense pivot row will fill in anyway;
+		// densify it up front and take the flat path.
+		if ti.dn == nil && (pr.dn != nil || (len(ti.idx)+len(pr.idx))*denseRowFrac > lp.cols) {
+			lp.densify(ti)
+		}
+		switch {
+		case ti.dn != nil && pr.dn != nil:
+			dn, pd := ti.dn, pr.dn
+			for j := range dn {
+				dn[j] -= f * pd[j]
+			}
+			dn[e] = 0
+		case ti.dn != nil:
+			for k, j := range pr.idx {
+				ti.dn[j] -= f * pr.val[k]
+			}
+			ti.dn[e] = 0
+		default:
+			lp.mergeSub(ti, pr, f, e)
+		}
+		ti.rhs -= f * pr.rhs
+	}
+	f := lp.zrow[e]
+	if f != 0 {
+		if pr.dn != nil {
+			for j, v := range pr.dn {
+				lp.zrow[j] -= f * v
+			}
+		} else {
+			for k, j := range pr.idx {
+				lp.zrow[j] -= f * pr.val[k]
+			}
+		}
+		lp.zrow[lp.cols] -= f * pr.rhs
+		lp.zrow[e] = 0
+	}
+	lp.basis[r] = e
+}
+
+// mergeSub computes t ← t − f·p over the sorted entry lists, dropping the
+// eliminated column e and any entry that cancels to exactly zero (identical,
+// for every later comparison, to the dense tableau's stored 0.0).
+func (lp *sparseLP) mergeSub(t, p *spRow, f float64, e int) {
+	oi, ov := lp.scrIdx[:0], lp.scrVal[:0]
+	a, b := 0, 0
+	for a < len(t.idx) || b < len(p.idx) {
+		var j int32
+		var v float64
+		switch {
+		case b >= len(p.idx) || (a < len(t.idx) && t.idx[a] < p.idx[b]):
+			j, v = t.idx[a], t.val[a]
+			a++
+		case a >= len(t.idx) || p.idx[b] < t.idx[a]:
+			j, v = p.idx[b], 0-f*p.val[b]
+			b++
+		default: // equal indices
+			j, v = t.idx[a], t.val[a]-f*p.val[b]
+			a++
+			b++
+		}
+		if int(j) == e || v == 0 {
+			continue
+		}
+		oi = append(oi, j)
+		ov = append(ov, v)
+	}
+	// Swap the scratch buffers with the row's storage; the old row slices
+	// become the next merge's scratch, so steady state allocates nothing.
+	lp.scrIdx, t.idx = t.idx[:0], oi
+	lp.scrVal, t.val = t.val[:0], ov
+}
+
+// purgeArtificials pivots basic artificials out (or neutralizes redundant
+// rows), mirroring denseLP.purgeArtificials.
+func (lp *sparseLP) purgeArtificials() {
+	for i := 0; i < lp.m; i++ {
+		if lp.basis[i] < lp.artCol0 {
+			continue
+		}
+		r := &lp.rows[i]
+		done := false
+		if r.dn != nil {
+			for j := 0; j < lp.artCol0; j++ {
+				if math.Abs(r.dn[j]) > pivTol {
+					lp.pivot(i, j)
+					done = true
+					break
+				}
+			}
+		} else {
+			for k, j := range r.idx {
+				if int(j) >= lp.artCol0 {
+					break // entries are sorted; nothing structural remains
+				}
+				if math.Abs(r.val[k]) > pivTol {
+					lp.pivot(i, int(j))
+					done = true
+					break
+				}
+			}
+		}
+		if !done {
+			// Redundant row: neutralize it.
+			if r.dn != nil {
+				for j := range r.dn {
+					r.dn[j] = 0
+				}
+			} else {
+				r.idx = r.idx[:0]
+				r.val = r.val[:0]
+			}
+			r.rhs = 0
+			r.setExact(lp.basis[i], 1)
+		}
+	}
+}

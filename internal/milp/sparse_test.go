@@ -1,0 +1,236 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// forceLP runs f with the dense/sparse choice pinned, restoring auto mode.
+func forceLP(mode int32, f func()) {
+	atomic.StoreInt32(&lpForce, mode)
+	defer atomic.StoreInt32(&lpForce, 0)
+	f()
+}
+
+// relaxationRows rebuilds the substituted-LP inputs the way solveRelaxation
+// does, so tests can instantiate both LP implementations on identical data.
+func relaxationRows(m *Model) ([]float64, []Row) {
+	c := append([]float64(nil), m.obj...)
+	rows := append([]Row(nil), m.rows...)
+	return c, rows
+}
+
+// TestSparseDensePivotsIdentical asserts the sparse simplex performs exactly
+// the pivot sequence of the dense simplex on scheduler-shaped instances —
+// the equivalence contract that lets solveRelaxation switch representations
+// by size without changing any solve result.
+func TestSparseDensePivotsIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7101))
+	for trial := 0; trial < 60; trial++ {
+		m := randPacking(rng, 2+rng.Intn(8), 1+rng.Intn(5), 1+rng.Intn(8))
+		c, rows := relaxationRows(m)
+
+		var dTrace, sTrace []pivotRec
+		dlp := newDenseLP(c, rows)
+		dlp.trace = &dTrace
+		dres, derr := dlp.solve(0)
+
+		slp := newSparseLP(c, rows)
+		slp.trace = &sTrace
+		sres, serr := slp.solve(0)
+
+		if (derr == nil) != (serr == nil) || (derr != nil && derr != serr) {
+			t.Fatalf("trial %d: error mismatch dense=%v sparse=%v", trial, derr, serr)
+		}
+		if len(dTrace) != len(sTrace) {
+			t.Fatalf("trial %d: pivot count %d vs %d", trial, len(dTrace), len(sTrace))
+		}
+		for i := range dTrace {
+			if dTrace[i] != sTrace[i] {
+				t.Fatalf("trial %d pivot %d: dense (e=%d,l=%d) sparse (e=%d,l=%d)",
+					trial, i, dTrace[i].enter, dTrace[i].leave, sTrace[i].enter, sTrace[i].leave)
+			}
+		}
+		if derr != nil {
+			continue
+		}
+		if dres.obj != sres.obj || dres.iters != sres.iters {
+			t.Fatalf("trial %d: obj/iters %v/%d vs %v/%d", trial, dres.obj, dres.iters, sres.obj, sres.iters)
+		}
+		for v := range dres.x {
+			if dres.x[v] != sres.x[v] {
+				t.Fatalf("trial %d: x[%d] = %v vs %v", trial, v, dres.x[v], sres.x[v])
+			}
+		}
+	}
+}
+
+// TestSparseDensePivotsIdenticalNegativeRHS covers the phase-1 path
+// (artificials, surplus columns, purge) with >= rows from negative RHS.
+func TestSparseDensePivotsIdenticalNegativeRHS(t *testing.T) {
+	rng := rand.New(rand.NewSource(7102))
+	for trial := 0; trial < 40; trial++ {
+		var m Model
+		n := 3 + rng.Intn(6)
+		for v := 0; v < n; v++ {
+			m.AddVar(Continuous, rng.Float64()*5-1, "x")
+		}
+		for r := 0; r < 2+rng.Intn(5); r++ {
+			var idx []int
+			var coef []float64
+			for v := 0; v < n; v++ {
+				if rng.Float64() < 0.6 {
+					idx = append(idx, v)
+					coef = append(coef, rng.Float64()*4-1)
+				}
+			}
+			if len(idx) == 0 {
+				continue
+			}
+			m.AddLE("r", idx, coef, rng.Float64()*10-3) // some RHS negative
+		}
+		c, rows := relaxationRows(&m)
+		var dTrace, sTrace []pivotRec
+		dlp := newDenseLP(c, rows)
+		dlp.trace = &dTrace
+		dres, derr := dlp.solve(0)
+		slp := newSparseLP(c, rows)
+		slp.trace = &sTrace
+		sres, serr := slp.solve(0)
+		if (derr == nil) != (serr == nil) || (derr != nil && derr != serr) {
+			t.Fatalf("trial %d: error mismatch dense=%v sparse=%v", trial, derr, serr)
+		}
+		if len(dTrace) != len(sTrace) {
+			t.Fatalf("trial %d: pivot count %d vs %d", trial, len(dTrace), len(sTrace))
+		}
+		for i := range dTrace {
+			if dTrace[i] != sTrace[i] {
+				t.Fatalf("trial %d pivot %d differs", trial, i)
+			}
+		}
+		if derr == nil && dres.obj != sres.obj {
+			t.Fatalf("trial %d: obj %v vs %v", trial, dres.obj, sres.obj)
+		}
+	}
+}
+
+// TestSparseSolveMatchesDenseSolve runs the full branch-and-bound with each
+// representation forced and asserts identical solutions.
+func TestSparseSolveMatchesDenseSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(7103))
+	for trial := 0; trial < 25; trial++ {
+		m := randPacking(rng, 3+rng.Intn(6), 2+rng.Intn(3), 2+rng.Intn(6))
+		var dense, sparse Solution
+		forceLP(1, func() { dense = Solve(m, Options{MaxNodes: 256, Workers: 1}) })
+		forceLP(2, func() { sparse = Solve(m, Options{MaxNodes: 256, Workers: 1}) })
+		if dense.Status != sparse.Status || dense.Objective != sparse.Objective ||
+			dense.Nodes != sparse.Nodes || dense.LPIters != sparse.LPIters {
+			t.Fatalf("trial %d: dense %v obj=%v nodes=%d iters=%d vs sparse %v obj=%v nodes=%d iters=%d",
+				trial, dense.Status, dense.Objective, dense.Nodes, dense.LPIters,
+				sparse.Status, sparse.Objective, sparse.Nodes, sparse.LPIters)
+		}
+		for v := range dense.X {
+			if dense.X[v] != sparse.X[v] {
+				t.Fatalf("trial %d: X[%d] = %v vs %v", trial, v, dense.X[v], sparse.X[v])
+			}
+		}
+	}
+}
+
+// TestSparseMixedModelWithContinuous covers the exact-shares shape: binaries
+// linked to continuous allocation variables.
+func TestSparseMixedModelWithContinuous(t *testing.T) {
+	var m Model
+	I := m.AddVar(Binary, 10, "I")
+	a0 := m.AddVar(Continuous, 0, "a0")
+	a1 := m.AddVar(Continuous, 0, "a1")
+	m.AddLE("demand", []int{I}, []float64{1}, 1)
+	m.AddLE("link", []int{I, a0, a1}, []float64{3, -1, -1}, 0)
+	m.AddLE("cap0", []int{a0}, []float64{1}, 2)
+	m.AddLE("cap1", []int{a1}, []float64{1}, 2)
+	var dense, sparse Solution
+	forceLP(1, func() { dense = Solve(&m, Options{Workers: 1}) })
+	forceLP(2, func() { sparse = Solve(&m, Options{Workers: 1}) })
+	if dense.Status != Optimal || sparse.Status != Optimal {
+		t.Fatalf("status dense=%v sparse=%v", dense.Status, sparse.Status)
+	}
+	if dense.Objective != sparse.Objective {
+		t.Fatalf("objective %v vs %v", dense.Objective, sparse.Objective)
+	}
+}
+
+// TestUseSparseLPHeuristic pins the auto-switch behavior: tiny models stay
+// dense, large thin models go sparse.
+func TestUseSparseLPHeuristic(t *testing.T) {
+	small := []Row{{Idx: []int{0}, Coef: []float64{1}, RHS: 1}}
+	if useSparseLP(2, small) {
+		t.Fatal("tiny model should use the dense path")
+	}
+	var rows []Row
+	n := 400
+	for r := 0; r < 120; r++ {
+		rows = append(rows, Row{Idx: []int{r, (r + 7) % n, (r + 13) % n}, Coef: []float64{1, 1, 1}, RHS: 5})
+	}
+	if !useSparseLP(n, rows) {
+		t.Fatal("large thin model should use the sparse path")
+	}
+	dense := make([]Row, 0, 120)
+	idx := make([]int, 64)
+	coef := make([]float64, 64)
+	for i := range idx {
+		idx[i], coef[i] = i, 1
+	}
+	for r := 0; r < 120; r++ {
+		dense = append(dense, Row{Idx: idx, Coef: coef, RHS: 5})
+	}
+	if useSparseLP(64, dense) {
+		t.Fatal("dense structural matrix should keep the dense path")
+	}
+}
+
+// TestSparseRowSetExactAndAt unit-tests the sparse row primitives around
+// insertion order and absent columns.
+func TestSparseRowSetExactAndAt(t *testing.T) {
+	var r spRow
+	r.setExact(5, 2.5)
+	r.setExact(1, -1)
+	r.setExact(9, 4)
+	r.setExact(5, 7) // overwrite
+	if got := r.at(5); got != 7 {
+		t.Fatalf("at(5) = %v, want 7", got)
+	}
+	if got := r.at(1); got != -1 {
+		t.Fatalf("at(1) = %v, want -1", got)
+	}
+	if got := r.at(3); got != 0 {
+		t.Fatalf("at(3) = %v, want 0 (absent)", got)
+	}
+	for i := 1; i < len(r.idx); i++ {
+		if r.idx[i-1] >= r.idx[i] {
+			t.Fatalf("indices not strictly ascending: %v", r.idx)
+		}
+	}
+}
+
+// TestSparsePropertyFeasible reruns the core feasibility property with the
+// sparse path forced, so the existing property suite covers both backends.
+func TestSparsePropertyFeasible(t *testing.T) {
+	forceLP(2, func() {
+		rng := rand.New(rand.NewSource(7104))
+		for trial := 0; trial < 30; trial++ {
+			m := randPacking(rng, 2+rng.Intn(6), 1+rng.Intn(4), 1+rng.Intn(6))
+			sol := Solve(m, Options{MaxNodes: 1 + rng.Intn(50)})
+			if sol.X == nil {
+				continue
+			}
+			if !m.Feasible(sol.X, 1e-6) {
+				t.Fatalf("trial %d: infeasible solution returned", trial)
+			}
+			if got := m.Objective(sol.X); math.Abs(got-sol.Objective) > 1e-6 {
+				t.Fatalf("trial %d: objective mismatch %v vs %v", trial, got, sol.Objective)
+			}
+		}
+	})
+}

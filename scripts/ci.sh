@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# ci.sh — the repository's verification gate: vet, build, and the full test
+# suite under the race detector. Run from anywhere; operates on the repo root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "CI OK"
