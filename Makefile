@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench bench-fig1
+.PHONY: build test race vet verify bench bench-fig1 serverd loadgen smoke
 
 build:
 	$(GO) build ./...
@@ -25,3 +25,14 @@ bench:
 # bench-fig1 reproduces the medium-scale Fig 1 end-to-end benchmark.
 bench-fig1:
 	$(GO) test -run '^$$' -bench 'BenchmarkFig1_SLOMiss' -benchtime 1x .
+
+# serverd / loadgen build the online-service binaries into ./bin.
+serverd:
+	$(GO) build -o bin/3sigma-serverd ./cmd/3sigma-serverd
+
+loadgen:
+	$(GO) build -o bin/3sigma-loadgen ./cmd/3sigma-loadgen
+
+# smoke runs the end-to-end service check (replay + warm restart).
+smoke:
+	./scripts/smoke_service.sh

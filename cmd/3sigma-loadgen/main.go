@@ -1,0 +1,333 @@
+// Command 3sigma-loadgen replays a generated workload against a running
+// 3sigma-serverd and reports submit-latency percentiles and SLO attainment.
+//
+// Usage:
+//
+//	3sigma-loadgen -addr http://localhost:8334 [-env google] [-nodes 64]
+//	               [-partitions 4] [-hours 0.125] [-load 1.0]
+//	               [-jobs-per-hour 400] [-speedup 1] [-seed 1]
+//	               [-timeout 120s] [-wait 0]
+//
+// Jobs are submitted at their workload arrival times compressed by
+// -speedup (which must match the daemon's -timescale for deadlines to be
+// meaningful). 429 responses are retried after the server's Retry-After.
+// The generator exits 0 only when every submitted job reaches a terminal
+// phase before -timeout.
+//
+// Two side modes for scripting (both print one JSON line and exit):
+//
+//	3sigma-loadgen -addr ... -predict "user,name,tasks,priority"
+//	3sigma-loadgen -addr ... -metrics
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"threesigma/internal/job"
+	"threesigma/internal/simulator"
+	"threesigma/internal/workload"
+)
+
+type jobRequest struct {
+	ID            int64   `json:"id,omitempty"`
+	Name          string  `json:"name"`
+	User          string  `json:"user"`
+	Class         string  `json:"class"`
+	Priority      int     `json:"priority"`
+	Tasks         int     `json:"tasks"`
+	Runtime       float64 `json:"runtime"`
+	DeadlineIn    float64 `json:"deadline_in,omitempty"`
+	NonPrefFactor float64 `json:"nonpref_factor,omitempty"`
+	Preferred     []int   `json:"preferred,omitempty"`
+}
+
+type jobStatus struct {
+	Phase          string  `json:"phase"`
+	SubmitTime     float64 `json:"submit_time"`
+	CompletionTime float64 `json:"completion_time"`
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "3sigma-loadgen: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8334", "serverd base URL")
+	env := flag.String("env", "google", "workload environment: google, hedgefund, mustang")
+	nodes := flag.Int("nodes", 64, "cluster size the workload targets")
+	parts := flag.Int("partitions", 4, "number of machine partitions")
+	hours := flag.Float64("hours", 0.125, "submission window in hours (virtual)")
+	load := flag.Float64("load", 1.0, "offered load")
+	jph := flag.Float64("jobs-per-hour", 400, "fixed arrival rate (0: load-driven count)")
+	speedup := flag.Float64("speedup", 1, "replay speed; must match serverd -timescale")
+	seed := flag.Int64("seed", 1, "workload seed")
+	timeout := flag.Duration("timeout", 2*time.Minute, "wall-clock limit for the whole run")
+	wait := flag.Duration("wait", 0, "wait up to this long for the daemon's /healthz before starting")
+	train := flag.Bool("train", true, "feed the workload's pre-training history to /v1/train before replaying")
+	predict := flag.String("predict", "", `probe mode: print /v1/predict for "user,name,tasks,priority" and exit`)
+	metrics := flag.Bool("metrics", false, "probe mode: print /v1/metrics and exit")
+	flag.Parse()
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	if *wait > 0 {
+		waitHealthy(client, *addr, *wait)
+	}
+	if *predict != "" {
+		runPredict(client, *addr, *predict)
+		return
+	}
+	if *metrics {
+		dumpJSON(client, *addr+"/v1/metrics")
+		return
+	}
+
+	e, err := workload.EnvByName(*env)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	w := workload.Generate(workload.Config{
+		Env:           e,
+		Cluster:       simulator.NewCluster(*nodes, *parts),
+		DurationHours: *hours,
+		Load:          *load,
+		JobsPerHour:   *jph,
+		Seed:          *seed,
+	})
+	if len(w.Jobs) == 0 {
+		fatalf("generated workload is empty")
+	}
+	if *train && len(w.Train) > 0 {
+		trainDaemon(client, *addr, w)
+	}
+	fmt.Printf("replaying %d jobs over %.1f virtual minutes at %gx against %s\n",
+		len(w.Jobs), *hours*60, *speedup, *addr)
+
+	deadline := time.Now().Add(*timeout)
+	start := time.Now()
+	var lats []time.Duration
+	submitted := make([]*job.Job, 0, len(w.Jobs))
+	rejected := 0
+	for _, j := range w.Jobs {
+		due := start.Add(time.Duration(j.Submit / *speedup * float64(time.Second)))
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+		lat, ok := submitJob(client, *addr, j, deadline)
+		if !ok {
+			rejected++
+			continue
+		}
+		lats = append(lats, lat)
+		submitted = append(submitted, j)
+	}
+	fmt.Printf("submitted %d jobs (%d dropped) in %v\n",
+		len(submitted), rejected, time.Since(start).Round(time.Millisecond))
+
+	completed, dropped, sloMet, sloTotal := pollOutcomes(client, *addr, submitted, deadline)
+
+	fmt.Printf("completed %d/%d (%d cancelled or abandoned)\n", completed, len(submitted), dropped)
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		fmt.Printf("submit latency p50 %v  p90 %v  p99 %v\n",
+			pct(lats, 0.50), pct(lats, 0.90), pct(lats, 0.99))
+	}
+	if sloTotal > 0 {
+		fmt.Printf("SLO attainment %d/%d (%.1f%%)\n", sloMet, sloTotal, 100*float64(sloMet)/float64(sloTotal))
+	}
+	if completed+dropped < len(submitted) {
+		fatalf("%d jobs still incomplete at timeout", len(submitted)-completed-dropped)
+	}
+}
+
+// trainDaemon pushes the workload's pre-training history (the paper's
+// runtime history database) into the daemon's predictor.
+func trainDaemon(client *http.Client, addr string, w *workload.Workload) {
+	type rec struct {
+		Name     string  `json:"name"`
+		User     string  `json:"user"`
+		Tasks    int     `json:"tasks"`
+		Priority int     `json:"priority"`
+		Runtime  float64 `json:"runtime"`
+	}
+	payload := struct {
+		Jobs []rec `json:"jobs"`
+	}{Jobs: make([]rec, 0, len(w.Train))}
+	for _, r := range w.Train {
+		payload.Jobs = append(payload.Jobs, rec{
+			Name: r.Name, User: r.User, Tasks: r.Tasks, Priority: r.Priority, Runtime: r.Runtime,
+		})
+	}
+	body, _ := json.Marshal(payload)
+	resp, err := client.Post(addr+"/v1/train", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fatalf("train: %v", err)
+	}
+	msg, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		fatalf("train: %d %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	fmt.Printf("pre-trained daemon with %d history records\n", len(payload.Jobs))
+}
+
+func waitHealthy(client *http.Client, addr string, wait time.Duration) {
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := client.Get(addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			fatalf("daemon at %s not healthy within %v", addr, wait)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// submitJob POSTs one job, honoring 429 Retry-After until deadline. The
+// returned latency spans the first attempt through acceptance.
+func submitJob(client *http.Client, addr string, j *job.Job, deadline time.Time) (time.Duration, bool) {
+	req := jobRequest{
+		ID:            int64(j.ID),
+		Name:          j.Name,
+		User:          j.User,
+		Class:         j.Class.String(),
+		Priority:      j.Priority,
+		Tasks:         j.Tasks,
+		Runtime:       j.Runtime,
+		NonPrefFactor: j.NonPrefFactor,
+		Preferred:     j.Preferred,
+	}
+	if j.HasDeadline() {
+		req.Class = "SLO"
+		req.DeadlineIn = j.Deadline - j.Submit
+	}
+	body, _ := json.Marshal(req)
+	t0 := time.Now()
+	for {
+		resp, err := client.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			fatalf("submit job %d: %v", j.ID, err)
+		}
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			return time.Since(t0), true
+		case http.StatusTooManyRequests:
+			retry := time.Second
+			if s := resp.Header.Get("Retry-After"); s != "" {
+				if n, err := strconv.Atoi(s); err == nil && n > 0 {
+					retry = time.Duration(n) * time.Second
+				}
+			}
+			if time.Now().Add(retry).After(deadline) {
+				return 0, false
+			}
+			time.Sleep(retry)
+		default:
+			fatalf("submit job %d: %d %s", j.ID, resp.StatusCode, strings.TrimSpace(string(msg)))
+		}
+	}
+}
+
+// pollOutcomes tracks submitted jobs until every one is terminal
+// (completed, cancelled, or abandoned) or the deadline passes.
+func pollOutcomes(client *http.Client, addr string, jobs []*job.Job, deadline time.Time) (completed, dropped, sloMet, sloTotal int) {
+	pendingDeadline := make(map[int64]float64) // id -> deadline_in (SLO only)
+	open := make(map[int64]bool, len(jobs))
+	for _, j := range jobs {
+		open[int64(j.ID)] = true
+		if j.HasDeadline() {
+			pendingDeadline[int64(j.ID)] = j.Deadline - j.Submit
+			sloTotal++
+		}
+	}
+	for len(open) > 0 && time.Now().Before(deadline) {
+		for id := range open {
+			resp, err := client.Get(fmt.Sprintf("%s/v1/jobs/%d", addr, id))
+			if err != nil {
+				fatalf("status job %d: %v", id, err)
+			}
+			var st jobStatus
+			json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			switch st.Phase {
+			case "completed":
+				completed++
+				if din, ok := pendingDeadline[id]; ok && st.CompletionTime <= st.SubmitTime+din {
+					sloMet++
+				}
+				delete(open, id)
+			case "cancelled", "abandoned":
+				dropped++
+				delete(open, id)
+			}
+		}
+		if len(open) > 0 {
+			time.Sleep(200 * time.Millisecond)
+		}
+	}
+	return
+}
+
+func pct(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i].Round(time.Microsecond)
+}
+
+func runPredict(client *http.Client, addr, spec string) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 4 {
+		fatalf(`-predict wants "user,name,tasks,priority", got %q`, spec)
+	}
+	tasks, err1 := strconv.Atoi(strings.TrimSpace(parts[2]))
+	prio, err2 := strconv.Atoi(strings.TrimSpace(parts[3]))
+	if err1 != nil || err2 != nil {
+		fatalf("bad tasks/priority in %q", spec)
+	}
+	body, _ := json.Marshal(map[string]any{
+		"user": strings.TrimSpace(parts[0]), "name": strings.TrimSpace(parts[1]),
+		"tasks": tasks, "priority": prio,
+	})
+	resp, err := client.Post(addr+"/v1/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 {
+		fatalf("predict: %d %s", resp.StatusCode, strings.TrimSpace(string(out)))
+	}
+	os.Stdout.Write(out)
+}
+
+func dumpJSON(client *http.Client, url string) {
+	resp, err := client.Get(url)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 {
+		fatalf("%s: %d %s", url, resp.StatusCode, strings.TrimSpace(string(out)))
+	}
+	os.Stdout.Write(out)
+}

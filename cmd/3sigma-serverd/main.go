@@ -1,0 +1,121 @@
+// Command 3sigma-serverd is the online 3σSched daemon: it serves the
+// internal/service JSON API over HTTP, runs scheduling cycles on the wall
+// clock, and checkpoints 3σPredict's history for warm restarts.
+//
+// Usage:
+//
+//	3sigma-serverd [-addr :8334] [-nodes 64] [-partitions 4]
+//	               [-cycle 10] [-timescale 1] [-queue-cap 256]
+//	               [-checkpoint path] [-checkpoint-every 30s]
+//
+// SIGTERM or SIGINT drains the daemon: in-flight HTTP requests and the
+// current scheduling cycle finish, a final predictor checkpoint is flushed,
+// and the process exits 0. Restarting with the same -checkpoint path
+// restores the predictor exactly as it was killed.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"threesigma/internal/baselines"
+	"threesigma/internal/core"
+	"threesigma/internal/predictor"
+	"threesigma/internal/service"
+	"threesigma/internal/simulator"
+)
+
+func main() {
+	addr := flag.String("addr", ":8334", "HTTP listen address")
+	nodes := flag.Int("nodes", 64, "cluster size in nodes")
+	parts := flag.Int("partitions", 4, "number of machine partitions")
+	cycle := flag.Float64("cycle", 10, "scheduling cycle interval, virtual seconds")
+	timescale := flag.Float64("timescale", 1, "virtual seconds per wall second (replay speed)")
+	queueCap := flag.Int("queue-cap", 256, "admission queue bound (429 beyond it)")
+	ckpt := flag.String("checkpoint", "", "predictor checkpoint path (empty: no persistence)")
+	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "checkpoint period (wall clock)")
+	budget := flag.Duration("solver-budget", 150*time.Millisecond, "MILP solver budget per cycle")
+	verbose := flag.Bool("verbose", false, "log every scheduling decision (starts, deferrals, preemptions, abandonments)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "3sigma-serverd: ", log.LstdFlags)
+
+	p := predictor.New(predictor.Config{})
+	// The scheduler's abandonment decisions (zero attainable utility,
+	// §4.2) are surfaced as a terminal job phase; svc is assigned below,
+	// before the first cycle can fire.
+	var svc *service.Service
+	var err error
+	sched := baselines.ThreeSigma(p, core.Config{
+		CycleInterval: *cycle,
+		SolverBudget:  *budget,
+		OnDecision: func(e core.DecisionEvent) {
+			if *verbose {
+				logger.Print(e)
+			}
+			if e.Kind == core.DecisionAbandon && svc != nil {
+				if !*verbose {
+					logger.Printf("abandoning job %d (zero attainable utility)", e.Job)
+				}
+				svc.Abandon(e.Job)
+			}
+		},
+	})
+	svc, err = service.New(service.Config{
+		Cluster:         simulator.NewCluster(*nodes, *parts),
+		Scheduler:       sched,
+		Predictor:       p,
+		CycleInterval:   *cycle,
+		TimeScale:       *timescale,
+		QueueCap:        *queueCap,
+		CheckpointPath:  *ckpt,
+		CheckpointEvery: *ckptEvery,
+		Logf:            logger.Printf,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s (%d nodes / %d partitions, cycle %gs, timescale %gx)",
+			*addr, *nodes, *parts, *cycle, *timescale)
+		errCh <- srv.ListenAndServe()
+	}()
+	svc.Start()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigCh:
+		logger.Printf("received %v, draining", sig)
+	case err := <-errCh:
+		logger.Printf("http server: %v", err)
+		svc.Stop(30 * time.Second)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if err := svc.Stop(30 * time.Second); err != nil {
+		logger.Fatal(err)
+	}
+	m := svc.Metrics()
+	fmt.Fprintf(os.Stderr, "3sigma-serverd: done: %d accepted, %d completed, %d cancelled, %d cycles, %d checkpoints\n",
+		m.Counters.Accepted, m.Counters.Completed, m.Counters.Cancelled, m.Cycles, m.Checkpoints)
+	if errors.Is(<-errCh, http.ErrServerClosed) {
+		os.Exit(0)
+	}
+}

@@ -33,6 +33,7 @@ func main() {
 	cycle := flag.Float64("cycle", 10, "scheduling cycle interval, seconds")
 	traceFile := flag.String("trace", "", "replay a trace CSV (from 3sigma-tracegen) instead of generating a workload")
 	verbose := flag.Bool("verbose", false, "print every scheduling decision (starts, deferrals, preemptions, abandonments)")
+	virtual := flag.Bool("virtualtime", false, "run the scheduler on virtual time (deterministic solver budgets; latency stats read zero)")
 	segStart := flag.Float64("segment-start", 0, "trace replay: segment start time, seconds")
 	flag.Parse()
 
@@ -83,7 +84,7 @@ func main() {
 	var rows []threesigma.Report
 	for _, sys := range systems {
 		t0 := time.Now()
-		simCfg := threesigma.SimConfig{Seed: *seed, RealCluster: *rc, CycleInterval: *cycle}
+		simCfg := threesigma.SimConfig{Seed: *seed, RealCluster: *rc, CycleInterval: *cycle, VirtualTime: *virtual}
 		if *verbose {
 			simCfg.Scheduler.OnDecision = func(e threesigma.DecisionEvent) { fmt.Println(e) }
 		}

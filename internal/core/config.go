@@ -26,6 +26,7 @@ import (
 	"threesigma/internal/dist"
 	"threesigma/internal/job"
 	"threesigma/internal/predictor"
+	"threesigma/internal/simulator"
 )
 
 // OEMode selects the over-estimate handling policy (§4.2.2–4.2.3).
@@ -128,6 +129,14 @@ type Config struct {
 	// trail. The callback runs inline in the scheduling cycle; keep it fast.
 	OnDecision func(DecisionEvent)
 
+	// Clock is the scheduler's time source for solver deadlines and for the
+	// cycle/predict latency measurements in Stats. Defaults to the wall
+	// clock. The simulator injects its virtual clock here (via SetClock)
+	// when running with Options.VirtualTime, which pins every measured
+	// latency to zero and makes budgeted solves immune to host load; the
+	// online daemon keeps the wall default.
+	Clock simulator.Clock
+
 	// UtilityFn, when non-nil, overrides the built-in utility curves for
 	// individual jobs — the paper assumes "a cluster administrator or an
 	// expert user will be able to define the utility function on a
@@ -178,6 +187,9 @@ func (c *Config) fill() {
 	}
 	if c.PreemptBase <= 0 {
 		c.PreemptBase = 2.5
+	}
+	if c.Clock == nil {
+		c.Clock = simulator.WallClock{}
 	}
 }
 

@@ -108,19 +108,28 @@ func New(est Estimator, cfg Config) *Scheduler {
 // Stats returns a copy of the accumulated measurements.
 func (s *Scheduler) Stats() Stats { return s.stats }
 
+// SetClock re-bases the scheduler's timing (solver deadlines, latency
+// stats) onto the given clock. It implements simulator.ClockAware so the
+// simulator can inject its virtual clock; call it before the first cycle.
+func (s *Scheduler) SetClock(c simulator.Clock) {
+	if c != nil {
+		s.cfg.Clock = c
+	}
+}
+
 // Config returns the effective configuration (defaults filled).
 func (s *Scheduler) Config() Config { return s.cfg }
 
 // JobSubmitted estimates the job's runtime distribution (step 2 of Fig. 4)
 // and caches it for the job's lifetime.
 func (s *Scheduler) JobSubmitted(j *job.Job, now float64) {
-	t0 := time.Now()
+	t0 := s.cfg.Clock.Now()
 	d := s.est.EstimateDist(j)
 	if !s.cfg.Policy.UseDistribution {
 		// Point-estimate mode: collapse the distribution to its mean.
 		d = dist.NewPoint(d.Mean())
 	}
-	lat := time.Since(t0)
+	lat := s.cfg.Clock.Since(t0)
 	s.stats.PredictTime += lat
 	if lat > s.stats.MaxPredictTime {
 		s.stats.MaxPredictTime = lat
@@ -146,6 +155,19 @@ func (s *Scheduler) JobCompleted(j *job.Job, baseRuntime, now float64) {
 	delete(s.planned, j.ID)
 	delete(s.abandoned, j.ID)
 	s.memo.drop(j.ID)
+}
+
+// JobRemoved clears per-job state for a job that left the system without
+// completing (cancelled via the online service's API). Unlike JobCompleted
+// it feeds nothing back to the estimator: a cancelled job's elapsed time is
+// not a runtime observation.
+func (s *Scheduler) JobRemoved(id job.ID) {
+	delete(s.dists, id)
+	delete(s.distVer, id)
+	delete(s.ue, id)
+	delete(s.planned, id)
+	delete(s.abandoned, id)
+	s.memo.drop(id)
 }
 
 // distFor returns the cached submission-time distribution, estimating
@@ -271,6 +293,7 @@ func (s *Scheduler) selectPending(pending []*job.Job, now float64) []*job.Job {
 				s.abandoned[j.ID] = true
 				delete(s.planned, j.ID)
 				s.memo.drop(j.ID)
+				s.logDecision(DecisionEvent{Time: now, Kind: DecisionAbandon, Job: j.ID})
 				continue
 			}
 			slo = append(slo, j)
@@ -305,7 +328,7 @@ func (s *Scheduler) selectPending(pending []*job.Job, now float64) []*job.Job {
 
 // Cycle implements one §4.3.1 scheduling round.
 func (s *Scheduler) Cycle(st *simulator.State) simulator.Decision {
-	t0 := time.Now()
+	t0 := s.cfg.Clock.Now()
 	dec := simulator.Decision{}
 	b := s.buildModel(st)
 	var seed []float64
@@ -313,11 +336,12 @@ func (s *Scheduler) Cycle(st *simulator.State) simulator.Decision {
 		seed = b.seed()
 	}
 	sol := milp.Solve(&b.model, milp.Options{
-		Deadline: time.Now().Add(s.cfg.SolverBudget),
+		Deadline: s.cfg.Clock.Now().Add(s.cfg.SolverBudget),
 		MaxNodes: s.cfg.SolverMaxNodes,
 		Gap:      1e-4,
 		Seed:     seed,
 		Workers:  s.cfg.SolverWorkers,
+		Now:      s.cfg.Clock.Now,
 	})
 	solveTime := sol.Elapsed
 	s.stats.SolverNodes += sol.Nodes
@@ -327,7 +351,7 @@ func (s *Scheduler) Cycle(st *simulator.State) simulator.Decision {
 	s.stats.SpecUsed += sol.SpecUsed
 	s.extract(b, &sol, st, &dec)
 
-	cycleTime := time.Since(t0)
+	cycleTime := s.cfg.Clock.Since(t0)
 	dec.CycleLatency = cycleTime
 	dec.SolverLatency = solveTime
 	s.stats.Cycles++

@@ -55,6 +55,12 @@ type Options struct {
 	Seed []float64
 	// IntTol is the integrality tolerance (default 1e-6).
 	IntTol float64
+	// Now, when non-nil, replaces time.Now as the solver's time source for
+	// deadline checks and Elapsed measurement. Callers running on virtual
+	// time (internal/simulator's VirtualClock) inject a clock that stands
+	// still during the solve, so the Deadline can never expire mid-search
+	// and budgeted solves become deterministic regardless of host load.
+	Now func() time.Time
 	// Workers sets the LP worker-pool size (default GOMAXPROCS). Workers
 	// beyond the first speculatively solve the LP relaxations of open
 	// nodes; the exploration itself — node order, pruning, incumbent
@@ -162,14 +168,17 @@ type bbState struct {
 // Solve optimizes the model. It never panics on well-formed input; numeric
 // trouble degrades to the best incumbent with Status Feasible/NoSolution.
 func Solve(m *Model, opts Options) Solution {
-	start := time.Now()
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	start := opts.Now()
 	sol := Solution{Status: NoSolution, Bound: math.Inf(1)}
 	n := m.NumVars()
 	if n == 0 {
 		sol.Status = Optimal
 		sol.Objective = m.objConst
 		sol.X = nil
-		sol.Elapsed = time.Since(start)
+		sol.Elapsed = opts.Now().Sub(start)
 		return sol
 	}
 	if opts.MaxNodes <= 0 {
@@ -213,7 +222,7 @@ func Solve(m *Model, opts Options) Solution {
 	}
 
 	deadline := func() bool {
-		return !opts.Deadline.IsZero() && time.Now().After(opts.Deadline)
+		return !opts.Deadline.IsZero() && opts.Now().After(opts.Deadline)
 	}
 
 	st := &bbState{m: m, incObj: incObj}
@@ -336,7 +345,7 @@ func Solve(m *Model, opts Options) Solution {
 	stopWorkers()
 	sol.SpecLPs = int(atomic.LoadInt64(&st.specLPs))
 
-	sol.Elapsed = time.Since(start)
+	sol.Elapsed = opts.Now().Sub(start)
 	if incumbent == nil {
 		if provedOpt {
 			sol.Status = Infeasible

@@ -2,9 +2,14 @@ package predictor
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"math"
+	"math/rand"
 	"strings"
 	"testing"
+
+	"threesigma/internal/job"
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
@@ -56,6 +61,111 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	q.Observe(mk("alice", "etl", 4), 125)
 	if e := q.Estimate(mk("alice", "etl", 4)); e.Samples != 31 {
 		t.Errorf("samples after continued training = %d, want 31", e.Samples)
+	}
+}
+
+// TestRoundTripEstimatePerFeatureGroup trains on a workload diverse enough
+// to populate every DefaultFeatures group with distinct histories, then
+// checks that Save→Load reproduces the full Estimate — winning expert,
+// point, sample count, and distribution quantiles — for probe jobs whose
+// only usable history lives in each individual feature group.
+func TestRoundTripEstimatePerFeatureGroup(t *testing.T) {
+	p := New(Config{})
+	rng := rand.New(rand.NewSource(11))
+	users := []string{"alice", "bob", "carol"}
+	names := []string{"etl", "train", "report"}
+	for i := 0; i < 400; i++ {
+		j := &job.Job{
+			User:     users[rng.Intn(len(users))],
+			Name:     names[rng.Intn(len(names))],
+			Tasks:    1 << rng.Intn(6),
+			Priority: rng.Intn(3),
+		}
+		// Runtime depends on every attribute so each feature group's
+		// sketch is distinct.
+		rt := 60 + 40*float64(len(j.User)) + 25*float64(len(j.Name)) +
+			3*float64(j.Tasks) + 200*float64(j.Priority) + rng.Float64()*30
+		p.Observe(j, rt)
+	}
+
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q := New(Config{})
+	if err := q.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if q.GroupCount() != p.GroupCount() {
+		t.Fatalf("group count %d != %d", q.GroupCount(), p.GroupCount())
+	}
+
+	// Each probe matches exactly one trained feature value (plus the
+	// catch-all): unknown attributes elsewhere force expert selection into
+	// that group, exercising its restored sketch in isolation.
+	probes := map[string]*job.Job{
+		"user":           {User: "alice", Name: "zzz-new", Tasks: 999, Priority: 9},
+		"name":           {User: "zzz-new", Name: "train", Tasks: 999, Priority: 9},
+		"user+name":      {User: "bob", Name: "report", Tasks: 999, Priority: 9},
+		"resources":      {User: "zzz-new", Name: "zzz-new", Tasks: 16, Priority: 9},
+		"user+resources": {User: "carol", Name: "zzz-new", Tasks: 8, Priority: 9},
+		"priority":       {User: "zzz-new", Name: "zzz-new", Tasks: 999, Priority: 2},
+		"all":            {User: "zzz-new", Name: "zzz-new", Tasks: 999, Priority: 9},
+	}
+	for feat, j := range probes {
+		ep, eq := p.Estimate(j), q.Estimate(j)
+		if eq.Novel != ep.Novel {
+			t.Errorf("%s: novel %v != %v", feat, eq.Novel, ep.Novel)
+		}
+		if eq.Expert != ep.Expert {
+			t.Errorf("%s: expert %q != %q", feat, eq.Expert, ep.Expert)
+		}
+		if eq.Samples != ep.Samples {
+			t.Errorf("%s: samples %d != %d", feat, eq.Samples, ep.Samples)
+		}
+		if math.Abs(eq.Point-ep.Point) > 1e-12 {
+			t.Errorf("%s: point %v != %v", feat, eq.Point, ep.Point)
+		}
+		for _, quant := range []float64{0.05, 0.25, 0.5, 0.75, 0.95} {
+			a, b := ep.Dist.Quantile(quant), eq.Dist.Quantile(quant)
+			if math.Abs(a-b) > 1e-12 {
+				t.Errorf("%s: q%.2f %v != %v", feat, quant, a, b)
+			}
+		}
+	}
+}
+
+// TestLoadRejectsVersionMismatchOnRealPayload mutates the version field of
+// an otherwise-valid save and checks both the rejection and that the target
+// predictor's existing state survives the failed load untouched.
+func TestLoadRejectsVersionMismatchOnRealPayload(t *testing.T) {
+	p := New(Config{})
+	for i := 0; i < 30; i++ {
+		p.Observe(mk("alice", "etl", 4), 100+float64(i))
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	raw["version"] = json.RawMessage(fmt.Sprint(persistVersion + 1))
+	mutated, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q := New(Config{})
+	q.Observe(mk("bob", "train", 16), 500)
+	before := q.Estimate(mk("bob", "train", 16))
+	if err := q.Load(bytes.NewReader(mutated)); err == nil {
+		t.Fatal("future persistVersion should be rejected")
+	}
+	after := q.Estimate(mk("bob", "train", 16))
+	if after.Novel || after.Point != before.Point || after.Samples != before.Samples {
+		t.Errorf("failed load mutated predictor: %+v -> %+v", before, after)
 	}
 }
 

@@ -1,0 +1,53 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"threesigma/internal/predictor"
+)
+
+// saveCheckpoint persists the predictor's history atomically: the state is
+// written to a temp file in the destination directory, fsynced, and renamed
+// over the target, so a crash mid-write never leaves a torn checkpoint and
+// readers only ever observe complete snapshots.
+func saveCheckpoint(p *predictor.Predictor, path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := p.Save(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("write checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// loadCheckpoint restores a checkpoint into the predictor. A missing file
+// is a cold start, not an error (found=false).
+func loadCheckpoint(p *predictor.Predictor, path string) (found bool, err error) {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	if err := p.Load(f); err != nil {
+		return false, fmt.Errorf("load checkpoint %s: %w", path, err)
+	}
+	return true, nil
+}

@@ -1,0 +1,619 @@
+// Package service is the online face of 3σSched: a wall-clock daemon that
+// wraps a scheduler and 3σPredict behind a JSON HTTP API (see cmd/3sigma-serverd).
+// It drives the same cluster Engine as the discrete-event simulator, but on
+// real time: scheduling cycles fire on a wall-clock ticker, submissions
+// arrive through a bounded admission queue with backpressure, and job
+// execution is emulated by completing each started job once virtual time
+// passes its runtime (the daemon stands in for a cluster manager the way
+// the simulator stands in for the paper's YARN testbed).
+//
+// Time runs at Config.TimeScale virtual seconds per wall second, so a
+// multi-hour workload can be replayed against a live daemon in minutes
+// (cmd/3sigma-loadgen's -speedup must match). The predictor's history is
+// checkpointed periodically and on shutdown, and restored on startup, so a
+// restarted daemon predicts exactly as the one that was killed
+// (warm restart).
+package service
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"threesigma/internal/core"
+	"threesigma/internal/job"
+	"threesigma/internal/predictor"
+	"threesigma/internal/simulator"
+)
+
+// Config assembles a Service. Scheduler and Cluster are required.
+type Config struct {
+	Cluster   simulator.Cluster
+	Scheduler simulator.Scheduler
+	// Predictor, when non-nil, enables the /v1/predict endpoint and
+	// checkpointing. It must be the same instance the Scheduler estimates
+	// from for warm restarts to be meaningful.
+	Predictor *predictor.Predictor
+
+	// CycleInterval is the scheduling period in virtual seconds
+	// (default 10); cycles fire every CycleInterval/TimeScale wall
+	// seconds.
+	CycleInterval float64
+	// TimeScale is the virtual-seconds-per-wall-second replay speed
+	// (default 1: real time).
+	TimeScale float64
+
+	// QueueCap bounds the admission queue; submissions beyond it are
+	// rejected with 429 + Retry-After (default 256).
+	QueueCap int
+
+	// CheckpointPath, when set with a Predictor, persists the predictor's
+	// history there every CheckpointEvery (default 30s) and on Stop,
+	// via an atomic temp-file rename. On startup an existing checkpoint
+	// is loaded before the first cycle.
+	CheckpointPath  string
+	CheckpointEvery time.Duration
+
+	// Logf receives operational log lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() error {
+	if c.Scheduler == nil {
+		return fmt.Errorf("service: Config.Scheduler is required")
+	}
+	if c.Cluster.TotalNodes() <= 0 {
+		return fmt.Errorf("service: Config.Cluster has no nodes")
+	}
+	if c.CycleInterval <= 0 {
+		c.CycleInterval = 10
+	}
+	if c.TimeScale <= 0 {
+		c.TimeScale = 1
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 256
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 30 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// statser is implemented by core.Scheduler; greedy baselines are exempt.
+type statser interface{ Stats() core.Stats }
+
+// remover is implemented by schedulers that keep per-job state which must
+// be dropped when a job is cancelled (core.Scheduler.JobRemoved).
+type remover interface{ JobRemoved(id job.ID) }
+
+// completion is one emulated job finish, due when virtual time reaches at.
+type completion struct {
+	at    float64
+	id    job.ID
+	runID int64
+}
+
+type compHeap []completion
+
+func (h compHeap) Len() int { return len(h) }
+func (h compHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].id < h[j].id
+}
+func (h compHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *compHeap) Push(x interface{}) { *h = append(*h, x.(completion)) }
+func (h *compHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Counters are the service's cumulative admission and lifecycle counts.
+type Counters struct {
+	Accepted  int64 `json:"accepted"`
+	Rejected  int64 `json:"rejected"` // 429s (queue full)
+	Invalid   int64 `json:"invalid"`  // 400s
+	Completed int64 `json:"completed"`
+	Cancelled int64 `json:"cancelled"`
+	Abandoned int64 `json:"abandoned"` // dropped by the scheduler (zero attainable utility)
+	Trained   int64 `json:"trained"`   // history records fed via /v1/train
+}
+
+// Service is one running daemon instance. Create with New, start with
+// Start, stop with Stop; the HTTP handler is Handler.
+type Service struct {
+	cfg   Config
+	epoch time.Time // wall time of Start
+
+	mu        sync.Mutex
+	eng       *simulator.Engine
+	queue     []*job.Job          // admission queue, drained each cycle
+	queued    map[job.ID]*job.Job // members of queue, by ID
+	gone      map[job.ID]bool     // cancelled before admission (no Outcome)
+	abandoned map[job.ID]bool     // dropped by the scheduler (zero utility)
+	removed   []job.ID            // cancelled after admission; sched.JobRemoved pending
+	comps     compHeap
+	draining  bool
+	counters  Counters
+	stats     core.Stats // last cycle's copy (zero for greedy schedulers)
+	cycles    int64
+	ckpts     int64
+
+	started  bool
+	stop     chan struct{}
+	loopDone chan struct{}
+}
+
+// New builds a Service. If a checkpoint exists at Config.CheckpointPath it
+// is restored into the predictor before the service accepts any work.
+func New(cfg Config) (*Service, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	s := &Service{
+		cfg:       cfg,
+		eng:       simulator.NewEngine(cfg.Cluster),
+		queued:    make(map[job.ID]*job.Job),
+		gone:      make(map[job.ID]bool),
+		abandoned: make(map[job.ID]bool),
+		stop:      make(chan struct{}),
+		loopDone:  make(chan struct{}),
+	}
+	if cfg.Predictor != nil && cfg.CheckpointPath != "" {
+		found, err := loadCheckpoint(cfg.Predictor, cfg.CheckpointPath)
+		if err != nil {
+			return nil, fmt.Errorf("service: restore checkpoint: %w", err)
+		}
+		if found {
+			cfg.Logf("restored predictor checkpoint from %s (%d history groups)",
+				cfg.CheckpointPath, cfg.Predictor.GroupCount())
+		}
+	}
+	return s, nil
+}
+
+// Start launches the scheduling loop. It may be called once.
+func (s *Service) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return
+	}
+	s.started = true
+	s.epoch = time.Now()
+	go s.loop()
+}
+
+// Stop drains the service: new submissions are refused, the in-flight
+// cycle finishes, and a final checkpoint is flushed. It blocks until the
+// loop has exited (or timeout elapses; 0 means wait forever).
+func (s *Service) Stop(timeout time.Duration) error {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return nil
+	}
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if !already {
+		close(s.stop)
+	}
+	if timeout <= 0 {
+		<-s.loopDone
+		return nil
+	}
+	select {
+	case <-s.loopDone:
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("service: loop did not drain within %v", timeout)
+	}
+}
+
+// vnow returns the current virtual time in seconds. Callers hold s.mu or
+// tolerate small skew (the wall clock is monotonic).
+func (s *Service) vnow() float64 {
+	return time.Since(s.epoch).Seconds() * s.cfg.TimeScale
+}
+
+// cycleWall is the wall-clock scheduling period.
+func (s *Service) cycleWall() time.Duration {
+	return time.Duration(s.cfg.CycleInterval / s.cfg.TimeScale * float64(time.Second))
+}
+
+func (s *Service) loop() {
+	defer close(s.loopDone)
+	ticker := time.NewTicker(s.cycleWall())
+	defer ticker.Stop()
+	lastCkpt := time.Now()
+	for {
+		select {
+		case <-s.stop:
+			// One final cycle applies whatever is already admitted, then
+			// the predictor state is flushed so a restart resumes warm.
+			s.runCycle()
+			s.checkpoint()
+			s.cfg.Logf("drained: %d completed, %d cancelled, %d cycles",
+				s.counters.Completed, s.counters.Cancelled, s.cycles)
+			return
+		case <-ticker.C:
+			s.runCycle()
+			if s.cfg.Predictor != nil && s.cfg.CheckpointPath != "" &&
+				time.Since(lastCkpt) >= s.cfg.CheckpointEvery {
+				s.checkpoint()
+				lastCkpt = time.Now()
+			}
+		}
+	}
+}
+
+// runCycle is one scheduling round: admit queued jobs, emulate due
+// completions, clear cancelled jobs' scheduler state, run the scheduler on
+// a snapshot (lock released during the solve), and apply its decision.
+// All scheduler methods are invoked from this goroutine only.
+func (s *Service) runCycle() {
+	s.mu.Lock()
+	now := s.vnow()
+
+	// Admit the queue in arrival order.
+	admit := s.queue
+	s.queue = nil
+	for _, j := range admit {
+		delete(s.queued, j.ID)
+		if err := s.eng.Submit(j); err != nil {
+			// Validated at enqueue; only a duplicate raced in could fail.
+			s.cfg.Logf("admit job %d: %v", j.ID, err)
+			s.gone[j.ID] = true
+			continue
+		}
+		s.cfg.Scheduler.JobSubmitted(j, now)
+	}
+
+	// Emulated execution: complete every run whose virtual finish time has
+	// passed. Stale entries (preempted or cancelled runs) pop and drop.
+	for len(s.comps) > 0 && s.comps[0].at <= now {
+		c := heap.Pop(&s.comps).(completion)
+		j, base, ok := s.eng.Complete(c.id, c.runID, c.at)
+		if !ok {
+			continue
+		}
+		s.counters.Completed++
+		s.cfg.Scheduler.JobCompleted(j, base, c.at)
+	}
+
+	// Scheduler-side cleanup for jobs cancelled since the last cycle.
+	if rm, ok := s.cfg.Scheduler.(remover); ok {
+		for _, id := range s.removed {
+			rm.JobRemoved(id)
+		}
+	}
+	s.removed = s.removed[:0]
+
+	st := s.eng.Snapshot(now)
+	s.mu.Unlock()
+
+	// The solve runs unlocked: handlers may cancel or resize concurrently,
+	// and Engine.Start revalidates every decision against current state
+	// (stale ones are counted as skipped, as in the simulator).
+	dec := s.cfg.Scheduler.Cycle(st)
+
+	s.mu.Lock()
+	for _, id := range dec.Preempt {
+		s.eng.Preempt(id, now)
+	}
+	for _, a := range dec.Start {
+		run, ok := s.eng.Start(a, now)
+		if !ok {
+			continue
+		}
+		rt := run.EffectiveRuntime(run.Job.Runtime)
+		rt = math.Max(rt, 0.001)
+		heap.Push(&s.comps, completion{at: now + rt, id: run.Job.ID, runID: run.RunID})
+	}
+	s.cycles++
+	if ss, ok := s.cfg.Scheduler.(statser); ok {
+		s.stats = ss.Stats()
+	}
+	s.mu.Unlock()
+}
+
+func (s *Service) checkpoint() {
+	if s.cfg.Predictor == nil || s.cfg.CheckpointPath == "" {
+		return
+	}
+	if err := saveCheckpoint(s.cfg.Predictor, s.cfg.CheckpointPath); err != nil {
+		s.cfg.Logf("checkpoint: %v", err)
+		return
+	}
+	s.mu.Lock()
+	s.ckpts++
+	s.mu.Unlock()
+}
+
+// SubmitError is a rejection with an HTTP-ready status code.
+type SubmitError struct {
+	Code       int // 400, 409, 429, 503
+	RetryAfter time.Duration
+	Msg        string
+}
+
+func (e *SubmitError) Error() string { return e.Msg }
+
+// Submit validates and enqueues a job for admission at the next cycle.
+func (s *Service) Submit(j *job.Job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return &SubmitError{Code: 503, Msg: "service is draining"}
+	}
+	if total := s.eng.Cluster().TotalNodes(); j.Tasks <= 0 || j.Tasks > total {
+		s.counters.Invalid++
+		return &SubmitError{Code: 400,
+			Msg: fmt.Sprintf("job requests %d nodes on a %d-node cluster", j.Tasks, total)}
+	}
+	if j.Runtime <= 0 {
+		s.counters.Invalid++
+		return &SubmitError{Code: 400, Msg: "job runtime must be positive"}
+	}
+	if _, dup := s.queued[j.ID]; dup || s.gone[j.ID] || s.eng.Outcome(j.ID) != nil {
+		s.counters.Invalid++
+		return &SubmitError{Code: 409, Msg: fmt.Sprintf("job id %d already submitted", j.ID)}
+	}
+	if len(s.queue) >= s.cfg.QueueCap {
+		s.counters.Rejected++
+		return &SubmitError{Code: 429, RetryAfter: s.cycleWall(),
+			Msg: fmt.Sprintf("admission queue full (%d)", s.cfg.QueueCap)}
+	}
+	s.queue = append(s.queue, j)
+	s.queued[j.ID] = j
+	s.counters.Accepted++
+	return nil
+}
+
+// JobPhase is a job's lifecycle position as reported by the status API.
+type JobPhase string
+
+// Job phases.
+const (
+	PhaseQueued    JobPhase = "queued"  // accepted, awaiting admission cycle
+	PhasePending   JobPhase = "pending" // admitted, awaiting placement
+	PhaseRunning   JobPhase = "running"
+	PhaseCompleted JobPhase = "completed"
+	PhaseCancelled JobPhase = "cancelled"
+	// PhaseAbandoned marks an SLO job the scheduler dropped because no
+	// attainable start could earn utility any more (§4.2's zero-utility
+	// abandonment, surfaced to the submitter as a terminal state).
+	PhaseAbandoned JobPhase = "abandoned"
+)
+
+// JobStatus is the status API's view of one job.
+type JobStatus struct {
+	ID             job.ID   `json:"id"`
+	Phase          JobPhase `json:"phase"`
+	Tasks          int      `json:"tasks"`
+	Class          string   `json:"class"`
+	SubmitTime     float64  `json:"submit_time"` // virtual seconds
+	FirstStart     float64  `json:"first_start,omitempty"`
+	CompletionTime float64  `json:"completion_time,omitempty"`
+	Preemptions    int      `json:"preemptions,omitempty"`
+	OnPreferred    bool     `json:"on_preferred,omitempty"`
+}
+
+// Status returns a job's current phase, or ok=false for unknown IDs.
+func (s *Service) Status(id job.ID) (JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.queued[id]; ok {
+		return JobStatus{ID: id, Phase: PhaseQueued, Tasks: j.Tasks,
+			Class: j.Class.String(), SubmitTime: j.Submit}, true
+	}
+	if s.gone[id] {
+		return JobStatus{ID: id, Phase: PhaseCancelled}, true
+	}
+	o := s.eng.Outcome(id)
+	if o == nil {
+		return JobStatus{}, false
+	}
+	st := JobStatus{
+		ID: id, Tasks: o.Job.Tasks, Class: o.Job.Class.String(),
+		SubmitTime: o.Job.Submit, Preemptions: o.Preemptions,
+	}
+	switch {
+	case s.abandoned[id]:
+		st.Phase = PhaseAbandoned
+	case o.Cancelled:
+		st.Phase = PhaseCancelled
+	case o.Completed:
+		st.Phase = PhaseCompleted
+		st.CompletionTime = o.CompletionTime
+		st.OnPreferred = o.OnPreferred
+	case s.eng.IsRunning(id):
+		st.Phase = PhaseRunning
+	default:
+		st.Phase = PhasePending
+	}
+	if o.Started {
+		st.FirstStart = o.FirstStart
+	}
+	return st, true
+}
+
+// Cancel removes a job: queued jobs are dropped before admission, pending
+// jobs leave the queue, running jobs are killed and their nodes freed. The
+// scheduler's per-job state is cleared on the next cycle. Completed or
+// unknown jobs return a SubmitError (409 / 404).
+func (s *Service) Cancel(id job.ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.queued[id]; ok {
+		delete(s.queued, id)
+		for i, j := range s.queue {
+			if j.ID == id {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		s.gone[id] = true
+		s.counters.Cancelled++
+		return nil
+	}
+	if o := s.eng.Outcome(id); o != nil {
+		if o.Completed {
+			return &SubmitError{Code: 409, Msg: fmt.Sprintf("job %d already completed", id)}
+		}
+		if o.Cancelled {
+			return &SubmitError{Code: 409, Msg: fmt.Sprintf("job %d already cancelled", id)}
+		}
+		if _, ok := s.eng.Cancel(id, s.vnow()); ok {
+			s.removed = append(s.removed, id)
+			s.counters.Cancelled++
+			return nil
+		}
+	}
+	if s.gone[id] {
+		return &SubmitError{Code: 409, Msg: fmt.Sprintf("job %d already cancelled", id)}
+	}
+	return &SubmitError{Code: 404, Msg: fmt.Sprintf("unknown job %d", id)}
+}
+
+// Abandon marks a job as dropped by the scheduler: it leaves the pending
+// queue and its phase becomes "abandoned" (terminal). Wire the scheduler's
+// DecisionAbandon audit events here (cmd/3sigma-serverd does) so
+// zero-utility SLO jobs don't linger as pending forever. Unknown,
+// running, or already-terminal jobs are ignored.
+func (s *Service) Abandon(id job.ID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o := s.eng.Outcome(id)
+	if o == nil || o.Completed || o.Cancelled || s.abandoned[id] || !s.eng.IsPending(id) {
+		return
+	}
+	if _, ok := s.eng.Cancel(id, s.vnow()); ok {
+		s.abandoned[id] = true
+		s.counters.Abandoned++
+		// No s.removed entry: the scheduler dropped its own state when it
+		// abandoned the job.
+	}
+}
+
+// Train feeds one completed historical job into the predictor (the paper's
+// pre-training step, exposed so a fresh daemon can be warmed from a trace).
+// It reports false when no predictor is configured.
+func (s *Service) Train(j *job.Job, runtime float64) bool {
+	if s.cfg.Predictor == nil || runtime <= 0 {
+		return false
+	}
+	s.cfg.Predictor.Observe(j, runtime)
+	s.mu.Lock()
+	s.counters.Trained++
+	s.mu.Unlock()
+	return true
+}
+
+// Resize grows or drains a cluster partition (operator API). Draining only
+// takes free nodes, mirroring the simulator's drain semantics.
+func (s *Service) Resize(partition, delta int) (simulator.Cluster, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.eng.Resize(partition, delta); err != nil {
+		return simulator.Cluster{}, &SubmitError{Code: 400, Msg: err.Error()}
+	}
+	return s.eng.Cluster(), nil
+}
+
+// Predict runs 3σPredict on a hypothetical job (nil when no predictor is
+// configured). It does not mutate history.
+func (s *Service) Predict(j *job.Job) *predictor.Estimate {
+	if s.cfg.Predictor == nil {
+		return nil
+	}
+	est := s.cfg.Predictor.Estimate(j)
+	return &est
+}
+
+// Metrics is the observability snapshot served at /v1/metrics.
+type Metrics struct {
+	UptimeSeconds   float64  `json:"uptime_seconds"`
+	VirtualNow      float64  `json:"virtual_now"`
+	TimeScale       float64  `json:"time_scale"`
+	Cycles          int64    `json:"cycles"`
+	Counters        Counters `json:"jobs"`
+	QueueLen        int      `json:"queue_len"`
+	QueueCap        int      `json:"queue_cap"`
+	Pending         int      `json:"pending"`
+	Running         int      `json:"running"`
+	SkippedStarts   int      `json:"skipped_starts"`
+	Partitions      []int    `json:"partitions"`
+	FreeNodes       []int    `json:"free_nodes"`
+	Checkpoints     int64    `json:"checkpoints"`
+	PredictorGroups int      `json:"predictor_groups,omitempty"`
+
+	// Scheduler-side counters (zero for greedy baselines).
+	SchedCycles   int           `json:"sched_cycles"`
+	SolverNodes   int           `json:"solver_nodes"`
+	SolverLPIters int           `json:"solver_lp_iters"`
+	Starts        int           `json:"starts"`
+	Preemptions   int           `json:"preemptions"`
+	MaxVars       int           `json:"max_vars"`
+	MaxRows       int           `json:"max_rows"`
+	MeanCycleMS   float64       `json:"mean_cycle_ms"`
+	MaxSolve      time.Duration `json:"-"`
+}
+
+// Metrics returns the current observability snapshot.
+func (s *Service) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := Metrics{
+		UptimeSeconds: time.Since(s.epoch).Seconds(),
+		VirtualNow:    s.vnow(),
+		TimeScale:     s.cfg.TimeScale,
+		Cycles:        s.cycles,
+		Counters:      s.counters,
+		QueueLen:      len(s.queue),
+		QueueCap:      s.cfg.QueueCap,
+		Pending:       s.eng.PendingCount(),
+		Running:       s.eng.RunningCount(),
+		SkippedStarts: s.eng.SkippedStarts(),
+		Partitions:    append([]int(nil), s.eng.Cluster().Partitions...),
+		FreeNodes:     s.eng.FreeNodes(),
+		Checkpoints:   s.ckpts,
+		SchedCycles:   s.stats.Cycles,
+		SolverNodes:   s.stats.SolverNodes,
+		SolverLPIters: s.stats.SolverLPIters,
+		Starts:        s.stats.Starts,
+		Preemptions:   s.stats.Preemptions,
+		MaxVars:       s.stats.MaxVars,
+		MaxRows:       s.stats.MaxRows,
+		MaxSolve:      s.stats.MaxSolveTime,
+	}
+	if s.stats.Cycles > 0 {
+		m.MeanCycleMS = float64(s.stats.CycleTime.Milliseconds()) / float64(s.stats.Cycles)
+	}
+	if s.cfg.Predictor != nil {
+		m.PredictorGroups = s.cfg.Predictor.GroupCount()
+	}
+	return m
+}
+
+// VirtualNow exposes the service's virtual clock (for clients mapping
+// deadlines into service time).
+func (s *Service) VirtualNow() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.started {
+		return 0
+	}
+	return s.vnow()
+}

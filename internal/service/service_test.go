@@ -1,0 +1,399 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"threesigma/internal/baselines"
+	"threesigma/internal/core"
+	"threesigma/internal/job"
+	"threesigma/internal/predictor"
+	"threesigma/internal/simulator"
+)
+
+// fifoSched is a minimal scheduler for service tests: first-fit FIFO
+// placement, no preemption.
+type fifoSched struct{}
+
+func (fifoSched) JobSubmitted(*job.Job, float64)          {}
+func (fifoSched) JobCompleted(*job.Job, float64, float64) {}
+func (fifoSched) Cycle(st *simulator.State) simulator.Decision {
+	var d simulator.Decision
+	free := st.Free.Clone()
+	for _, j := range st.Pending {
+		alloc := make(simulator.Alloc, len(free))
+		need := j.Tasks
+		for p := range free {
+			n := free[p]
+			if n > need {
+				n = need
+			}
+			alloc[p] += n
+			need -= n
+			if need == 0 {
+				break
+			}
+		}
+		if need > 0 {
+			continue
+		}
+		for p, n := range alloc {
+			free[p] -= n
+		}
+		d.Start = append(d.Start, simulator.StartAction{Job: j.ID, Alloc: alloc})
+	}
+	return d
+}
+
+// fastConfig runs cycles every ~10ms of wall time (1 virtual second each).
+func fastConfig(sched simulator.Scheduler) Config {
+	return Config{
+		Cluster:       simulator.NewCluster(16, 2),
+		Scheduler:     sched,
+		CycleInterval: 1,
+		TimeScale:     100,
+		QueueCap:      64,
+	}
+}
+
+func mustService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func postJSON(t *testing.T, ts *httptest.Server, path string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, _ := json.Marshal(body)
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	out.ReadFrom(resp.Body)
+	return resp, out.Bytes()
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, v any) int {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		json.NewDecoder(resp.Body).Decode(v)
+	}
+	return resp.StatusCode
+}
+
+func waitPhase(t *testing.T, ts *httptest.Server, id int, want JobPhase) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		var st JobStatus
+		code := getJSON(t, ts, fmt.Sprintf("/v1/jobs/%d", id), &st)
+		if code == 200 && st.Phase == want {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %d never reached phase %q", id, want)
+	return JobStatus{}
+}
+
+func TestServiceEndToEnd(t *testing.T) {
+	svc := mustService(t, fastConfig(fifoSched{}))
+	svc.Start()
+	defer svc.Stop(5 * time.Second)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	if code := getJSON(t, ts, "/healthz", nil); code != 200 {
+		t.Fatalf("healthz = %d", code)
+	}
+	for i := 1; i <= 5; i++ {
+		resp, body := postJSON(t, ts, "/v1/jobs", jobRequest{
+			ID: int64(i), Name: "train", User: "alice", Tasks: 4, Runtime: 2,
+		})
+		if resp.StatusCode != 202 {
+			t.Fatalf("submit %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+	for i := 1; i <= 5; i++ {
+		st := waitPhase(t, ts, i, PhaseCompleted)
+		if st.CompletionTime <= st.FirstStart {
+			t.Fatalf("job %d: completion %v <= start %v", i, st.CompletionTime, st.FirstStart)
+		}
+	}
+	var m Metrics
+	getJSON(t, ts, "/v1/metrics", &m)
+	if m.Counters.Accepted != 5 || m.Counters.Completed != 5 {
+		t.Fatalf("counters = %+v", m.Counters)
+	}
+	if m.Cycles == 0 || m.Running != 0 || m.Pending != 0 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestBackpressure429(t *testing.T) {
+	cfg := fastConfig(fifoSched{})
+	cfg.QueueCap = 2
+	svc := mustService(t, cfg)
+	// Not started: the queue never drains, so the cap is deterministic.
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	for i := 1; i <= 2; i++ {
+		resp, _ := postJSON(t, ts, "/v1/jobs", jobRequest{ID: int64(i), Tasks: 1, Runtime: 1})
+		if resp.StatusCode != 202 {
+			t.Fatalf("submit %d = %d", i, resp.StatusCode)
+		}
+	}
+	resp, _ := postJSON(t, ts, "/v1/jobs", jobRequest{ID: 3, Tasks: 1, Runtime: 1})
+	if resp.StatusCode != 429 {
+		t.Fatalf("over-cap submit = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 must carry Retry-After")
+	}
+	var m Metrics
+	getJSON(t, ts, "/v1/metrics", &m)
+	if m.Counters.Rejected != 1 || m.QueueLen != 2 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	svc := mustService(t, fastConfig(fifoSched{}))
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		req  jobRequest
+		want int
+	}{
+		{jobRequest{ID: 1, Tasks: 0, Runtime: 1}, 400},               // no tasks
+		{jobRequest{ID: 1, Tasks: 17, Runtime: 1}, 400},              // over cluster
+		{jobRequest{ID: 1, Tasks: 2, Runtime: 0}, 400},               // no runtime
+		{jobRequest{ID: 1, Tasks: 2, Runtime: 1, Class: "x"}, 400},   // bad class
+		{jobRequest{ID: 1, Tasks: 2, Runtime: 1, Class: "SLO"}, 400}, // SLO without deadline
+		{jobRequest{ID: 1, Tasks: 2, Runtime: 1, NonPrefFactor: 0.5}, 400},
+		{jobRequest{ID: -1, Tasks: 2, Runtime: 1}, 400},
+		{jobRequest{ID: 1, Tasks: 2, Runtime: 1}, 202},
+		{jobRequest{ID: 1, Tasks: 2, Runtime: 1}, 409}, // duplicate
+	}
+	for i, c := range cases {
+		resp, body := postJSON(t, ts, "/v1/jobs", c.req)
+		if resp.StatusCode != c.want {
+			t.Fatalf("case %d: %d (want %d) %s", i, resp.StatusCode, c.want, body)
+		}
+	}
+	// Malformed JSON.
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad JSON = %d", resp.StatusCode)
+	}
+}
+
+func TestCancelLifecycle(t *testing.T) {
+	svc := mustService(t, fastConfig(fifoSched{}))
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	// Cancel while queued (service not started, job cannot be admitted).
+	postJSON(t, ts, "/v1/jobs", jobRequest{ID: 1, Tasks: 2, Runtime: 50})
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/1", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("cancel queued = %d", resp.StatusCode)
+	}
+	var st JobStatus
+	if code := getJSON(t, ts, "/v1/jobs/1", &st); code != 200 || st.Phase != PhaseCancelled {
+		t.Fatalf("status after cancel: %d %+v", code, st)
+	}
+	// Resubmitting a cancelled ID conflicts.
+	if r, _ := postJSON(t, ts, "/v1/jobs", jobRequest{ID: 1, Tasks: 2, Runtime: 1}); r.StatusCode != 409 {
+		t.Fatalf("resubmit cancelled = %d", r.StatusCode)
+	}
+	// Unknown job.
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/99", nil)
+	resp, _ = http.DefaultClient.Do(req)
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("cancel unknown = %d", resp.StatusCode)
+	}
+
+	// Cancel while running.
+	svc.Start()
+	defer svc.Stop(5 * time.Second)
+	postJSON(t, ts, "/v1/jobs", jobRequest{ID: 2, Tasks: 2, Runtime: 1000})
+	waitPhase(t, ts, 2, PhaseRunning)
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/2", nil)
+	resp, _ = http.DefaultClient.Do(req)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("cancel running = %d", resp.StatusCode)
+	}
+	waitPhase(t, ts, 2, PhaseCancelled)
+	var m Metrics
+	getJSON(t, ts, "/v1/metrics", &m)
+	if m.Running != 0 || m.Counters.Cancelled != 2 {
+		t.Fatalf("metrics after cancel = %+v", m)
+	}
+	// The freed nodes are usable again.
+	postJSON(t, ts, "/v1/jobs", jobRequest{ID: 3, Tasks: 16, Runtime: 1})
+	waitPhase(t, ts, 3, PhaseCompleted)
+}
+
+func TestClusterResize(t *testing.T) {
+	svc := mustService(t, fastConfig(fifoSched{}))
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts, "/v1/cluster/nodes", resizeRequest{Partition: 0, Delta: 4})
+	if resp.StatusCode != 200 {
+		t.Fatalf("grow = %d %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Partitions []int `json:"partitions"`
+		Total      int   `json:"total_nodes"`
+	}
+	json.Unmarshal(body, &out)
+	if out.Total != 20 || out.Partitions[0] != 12 {
+		t.Fatalf("after grow: %+v", out)
+	}
+	if r, _ := postJSON(t, ts, "/v1/cluster/nodes", resizeRequest{Partition: 0, Delta: -13}); r.StatusCode != 400 {
+		t.Fatalf("over-drain = %d", r.StatusCode)
+	}
+	if r, _ := postJSON(t, ts, "/v1/cluster/nodes", resizeRequest{Partition: 9, Delta: 1}); r.StatusCode != 400 {
+		t.Fatalf("bad partition = %d", r.StatusCode)
+	}
+}
+
+func TestDrainingRefusesSubmissions(t *testing.T) {
+	svc := mustService(t, fastConfig(fifoSched{}))
+	svc.Start()
+	if err := svc.Stop(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	resp, _ := postJSON(t, ts, "/v1/jobs", jobRequest{ID: 1, Tasks: 1, Runtime: 1})
+	if resp.StatusCode != 503 {
+		t.Fatalf("submit while draining = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestWarmRestartRestoresPredictorState is the acceptance check for the
+// checkpoint lifecycle: a daemon that completed jobs is stopped (flushing
+// its checkpoint), a second daemon starts from the same path, and its
+// predictor must produce identical estimates to the one that was killed.
+func TestWarmRestartRestoresPredictorState(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "predictor.ckpt")
+	probe := &job.Job{Name: "train", User: "alice", Tasks: 4}
+
+	p1 := predictor.New(predictor.Config{})
+	cfg := fastConfig(baselines.ThreeSigma(p1, core.Config{CycleInterval: 1}))
+	cfg.Predictor = p1
+	cfg.CheckpointPath = ckpt
+	svc1 := mustService(t, cfg)
+	svc1.Start()
+	ts := httptest.NewServer(svc1.Handler())
+	for i := 1; i <= 4; i++ {
+		resp, body := postJSON(t, ts, "/v1/jobs", jobRequest{
+			ID: int64(i), Name: "train", User: "alice", Tasks: 4, Runtime: float64(2 + i),
+		})
+		if resp.StatusCode != 202 {
+			t.Fatalf("submit %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+	for i := 1; i <= 4; i++ {
+		waitPhase(t, ts, i, PhaseCompleted)
+	}
+	ts.Close()
+	if err := svc1.Stop(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	pre := p1.Estimate(probe)
+	if pre.Novel || pre.Samples == 0 {
+		t.Fatalf("predictor learned nothing: %+v", pre)
+	}
+
+	// "Restart": a brand-new predictor restored from the checkpoint.
+	p2 := predictor.New(predictor.Config{})
+	cfg2 := fastConfig(baselines.ThreeSigma(p2, core.Config{CycleInterval: 1}))
+	cfg2.Predictor = p2
+	cfg2.CheckpointPath = ckpt
+	svc2 := mustService(t, cfg2)
+	post := p2.Estimate(probe)
+	if post.Point != pre.Point || post.Expert != pre.Expert || post.Samples != pre.Samples {
+		t.Fatalf("post-restart estimate %+v != pre-kill %+v", post, pre)
+	}
+	if got, want := p2.GroupCount(), p1.GroupCount(); got != want {
+		t.Fatalf("restored %d groups, want %d", got, want)
+	}
+	// And the distributions agree pointwise.
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		if a, b := pre.Dist.Quantile(q), post.Dist.Quantile(q); math.Abs(a-b) > 1e-12 {
+			t.Fatalf("quantile %.1f: %v != %v", q, a, b)
+		}
+	}
+	// The restored daemon serves /v1/predict identically.
+	ts2 := httptest.NewServer(svc2.Handler())
+	defer ts2.Close()
+	resp, body := postJSON(t, ts2, "/v1/predict", predictRequest{Name: "train", User: "alice", Tasks: 4})
+	if resp.StatusCode != 200 {
+		t.Fatalf("predict = %d %s", resp.StatusCode, body)
+	}
+	var pr predictResponse
+	json.Unmarshal(body, &pr)
+	if pr.Point != pre.Point || pr.Expert != pre.Expert {
+		t.Fatalf("served prediction %+v != pre-kill %+v", pr, pre)
+	}
+}
+
+func TestCheckpointAtomicOverwrite(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "p.ckpt")
+	p := predictor.New(predictor.Config{})
+	p.Observe(&job.Job{Name: "a", User: "u", Tasks: 2}, 10)
+	if err := saveCheckpoint(p, ckpt); err != nil {
+		t.Fatal(err)
+	}
+	p.Observe(&job.Job{Name: "a", User: "u", Tasks: 2}, 20)
+	if err := saveCheckpoint(p, ckpt); err != nil {
+		t.Fatal(err)
+	}
+	p2 := predictor.New(predictor.Config{})
+	found, err := loadCheckpoint(p2, ckpt)
+	if err != nil || !found {
+		t.Fatalf("load: found=%v err=%v", found, err)
+	}
+	if p2.GroupCount() != p.GroupCount() {
+		t.Fatalf("groups = %d, want %d", p2.GroupCount(), p.GroupCount())
+	}
+	// Missing file is a cold start.
+	found, err = loadCheckpoint(p2, filepath.Join(t.TempDir(), "nope"))
+	if err != nil || found {
+		t.Fatalf("missing checkpoint: found=%v err=%v", found, err)
+	}
+}

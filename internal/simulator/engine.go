@@ -1,0 +1,301 @@
+package simulator
+
+import (
+	"fmt"
+	"sort"
+
+	"threesigma/internal/job"
+)
+
+func sortRunning(rs []*RunningJob) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Job.ID < rs[j].Job.ID })
+}
+
+func sortOutcomes(os []*Outcome) {
+	sort.Slice(os, func(i, j int) bool { return os[i].Job.ID < os[j].Job.ID })
+}
+
+// Engine is the cluster-state substrate shared by the discrete-event
+// simulator (Sim) and the online scheduling daemon (internal/service): it
+// owns free-node accounting, the pending queue, running allocations, and
+// per-job outcome records, and enforces the same validation rules for both.
+// Callers advance time however they like — Sim through its virtual event
+// heap, the daemon on the wall clock — and hand the Engine absolute times;
+// the Engine itself is clockless.
+//
+// The Engine is not safe for concurrent use; callers serialize access.
+type Engine struct {
+	cluster Cluster
+	free    Alloc
+	pending []*job.Job
+	running map[job.ID]*runEntry
+	runSeq  int64
+	out     map[job.ID]*Outcome
+	skipped int
+}
+
+type runEntry struct {
+	rj    *RunningJob
+	runID int64
+}
+
+// StartedRun describes a successfully launched attempt. RunID is the
+// attempt generation: completions carry it back so a completion raced by a
+// preemption (and restart) of the same job is recognized as stale.
+type StartedRun struct {
+	Job         *job.Job
+	RunID       int64
+	OnPreferred bool
+}
+
+// EffectiveRuntime returns the attempt's execution time for a given base
+// runtime, applying the non-preferred slowdown when the attempt runs off
+// the job's preferred partitions.
+func (r *StartedRun) EffectiveRuntime(base float64) float64 {
+	if !r.OnPreferred && r.Job.NonPrefFactor > 1 {
+		return base * r.Job.NonPrefFactor
+	}
+	return base
+}
+
+// NewEngine returns an empty engine over the cluster (all nodes free).
+func NewEngine(c Cluster) *Engine {
+	e := &Engine{
+		cluster: c,
+		running: make(map[job.ID]*runEntry),
+		out:     make(map[job.ID]*Outcome),
+	}
+	e.free = make(Alloc, len(c.Partitions))
+	copy(e.free, c.Partitions)
+	return e
+}
+
+// Cluster returns the current cluster shape.
+func (e *Engine) Cluster() Cluster { return e.cluster }
+
+// FreeNodes returns a copy of the per-partition free-node counts.
+func (e *Engine) FreeNodes() Alloc { return e.free.Clone() }
+
+// PendingCount returns the number of jobs waiting for placement.
+func (e *Engine) PendingCount() int { return len(e.pending) }
+
+// RunningCount returns the number of executing jobs.
+func (e *Engine) RunningCount() int { return len(e.running) }
+
+// Idle reports whether no job is pending or running.
+func (e *Engine) Idle() bool { return len(e.pending) == 0 && len(e.running) == 0 }
+
+// IsRunning reports whether the job is currently executing.
+func (e *Engine) IsRunning(id job.ID) bool {
+	_, ok := e.running[id]
+	return ok
+}
+
+// IsPending reports whether the job is waiting for placement.
+func (e *Engine) IsPending(id job.ID) bool {
+	for _, j := range e.pending {
+		if j.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// SkippedStarts returns how many start actions failed validation.
+func (e *Engine) SkippedStarts() int { return e.skipped }
+
+// Submit admits a job into the pending queue. It rejects gangs that can
+// never fit the cluster and duplicate job IDs.
+func (e *Engine) Submit(j *job.Job) error {
+	total := e.cluster.TotalNodes()
+	if j.Tasks <= 0 || j.Tasks > total {
+		return fmt.Errorf("simulator: job %d requests %d nodes on a %d-node cluster", j.ID, j.Tasks, total)
+	}
+	if _, ok := e.out[j.ID]; ok {
+		return fmt.Errorf("simulator: duplicate job id %d", j.ID)
+	}
+	e.out[j.ID] = &Outcome{Job: j}
+	e.pending = append(e.pending, j)
+	return nil
+}
+
+// Snapshot builds the cluster state handed to a scheduler's Cycle: cloned
+// free counts, a copy of the pending queue, and the running set in
+// deterministic job-ID order.
+func (e *Engine) Snapshot(now float64) *State {
+	st := &State{
+		Now:     now,
+		Free:    e.free.Clone(),
+		Cluster: e.cluster,
+		Pending: append([]*job.Job(nil), e.pending...),
+	}
+	st.Running = make([]*RunningJob, 0, len(e.running))
+	for _, ri := range e.running {
+		st.Running = append(st.Running, ri.rj)
+	}
+	// Deterministic order for reproducibility.
+	sortRunning(st.Running)
+	return st
+}
+
+// Start launches a pending job at startTime on the action's allocation.
+// Invalid actions (unknown or already-running job, wrong allocation width
+// or total, over free capacity) are counted as skipped and return false.
+func (e *Engine) Start(a StartAction, startTime float64) (*StartedRun, bool) {
+	idx := -1
+	for i, j := range e.pending {
+		if j.ID == a.Job {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		e.skipped++
+		return nil, false
+	}
+	j := e.pending[idx]
+	if len(a.Alloc) != len(e.free) || a.Alloc.Total() != j.Tasks {
+		e.skipped++
+		return nil, false
+	}
+	for p, n := range a.Alloc {
+		if n < 0 || n > e.free[p] {
+			e.skipped++
+			return nil, false
+		}
+	}
+	e.pending = append(e.pending[:idx], e.pending[idx+1:]...)
+	onPref := true
+	for p, n := range a.Alloc {
+		if n > 0 && !j.PrefersPartition(p) {
+			onPref = false
+			break
+		}
+	}
+	for p, n := range a.Alloc {
+		e.free[p] -= n
+	}
+	e.runSeq++
+	ri := &runEntry{
+		rj:    &RunningJob{Job: j, Start: startTime, Alloc: a.Alloc.Clone(), OnPreferred: onPref},
+		runID: e.runSeq,
+	}
+	e.running[j.ID] = ri
+	o := e.out[j.ID]
+	if !o.Started {
+		o.Started = true
+		o.FirstStart = startTime
+	}
+	return &StartedRun{Job: j, RunID: ri.runID, OnPreferred: onPref}, true
+}
+
+// Preempt evicts a running job, losing its work: nodes are freed, wasted
+// machine-seconds are charged, and the job rejoins the pending queue for a
+// restart. Preempting a job that is not running is a no-op.
+func (e *Engine) Preempt(id job.ID, now float64) bool {
+	ri, ok := e.running[id]
+	if !ok {
+		return false
+	}
+	delete(e.running, id)
+	for p, n := range ri.rj.Alloc {
+		e.free[p] += n
+	}
+	o := e.out[id]
+	o.Preemptions++
+	o.WastedWork += (now - ri.rj.Start) * float64(ri.rj.Job.Tasks)
+	e.pending = append(e.pending, ri.rj.Job)
+	return true
+}
+
+// Complete finishes the attempt identified by (id, runID) at now, freeing
+// its nodes and recording the outcome. It returns the job and its
+// base-equivalent runtime (actual runtime normalized by the non-preferred
+// slowdown) for the predictor feedback loop. Stale completions — the
+// attempt was preempted and the job possibly restarted since — return
+// ok=false and change nothing.
+func (e *Engine) Complete(id job.ID, runID int64, now float64) (j *job.Job, base float64, ok bool) {
+	ri, found := e.running[id]
+	if !found || ri.runID != runID {
+		return nil, 0, false
+	}
+	delete(e.running, id)
+	for p, n := range ri.rj.Alloc {
+		e.free[p] += n
+	}
+	o := e.out[id]
+	o.Completed = true
+	o.CompletionTime = now
+	o.OnPreferred = ri.rj.OnPreferred
+	o.ActualRuntime = now - ri.rj.Start
+	base = o.ActualRuntime
+	if !ri.rj.OnPreferred && ri.rj.Job.NonPrefFactor > 1 {
+		base /= ri.rj.Job.NonPrefFactor
+	}
+	return ri.rj.Job, base, true
+}
+
+// Cancel removes a job from the system without completing it: a pending
+// job leaves the queue, a running job is killed and its nodes freed (no
+// requeue, no predictor observation). It reports whether the job was
+// pending or running; ok=false when the job is in neither set.
+func (e *Engine) Cancel(id job.ID, now float64) (wasRunning bool, ok bool) {
+	if ri, found := e.running[id]; found {
+		delete(e.running, id)
+		for p, n := range ri.rj.Alloc {
+			e.free[p] += n
+		}
+		o := e.out[id]
+		o.WastedWork += (now - ri.rj.Start) * float64(ri.rj.Job.Tasks)
+		o.Cancelled = true
+		return true, true
+	}
+	for i, j := range e.pending {
+		if j.ID == id {
+			e.pending = append(e.pending[:i], e.pending[i+1:]...)
+			e.out[id].Cancelled = true
+			return false, true
+		}
+	}
+	return false, false
+}
+
+// Resize grows (delta > 0) or drains (delta < 0) partition part. Draining
+// only takes free nodes: it fails when the partition does not have |delta|
+// nodes free, leaving the caller to retry after completions. The cluster's
+// partition slice is copied on write so states snapshotted earlier keep
+// their original shape.
+func (e *Engine) Resize(part, delta int) error {
+	if part < 0 || part >= len(e.cluster.Partitions) {
+		return fmt.Errorf("simulator: partition %d out of range [0,%d)", part, len(e.cluster.Partitions))
+	}
+	if delta == 0 {
+		return nil
+	}
+	if delta < 0 {
+		if e.free[part]+delta < 0 {
+			return fmt.Errorf("simulator: drain %d from partition %d: only %d free", -delta, part, e.free[part])
+		}
+		if e.cluster.Partitions[part]+delta < 0 {
+			return fmt.Errorf("simulator: drain %d from partition %d: only %d provisioned", -delta, part, e.cluster.Partitions[part])
+		}
+	}
+	parts := append([]int(nil), e.cluster.Partitions...)
+	parts[part] += delta
+	e.cluster = Cluster{Partitions: parts}
+	e.free[part] += delta
+	return nil
+}
+
+// Outcome returns the outcome record for one job (nil when unknown).
+func (e *Engine) Outcome(id job.ID) *Outcome { return e.out[id] }
+
+// Outcomes returns all outcome records sorted by job ID.
+func (e *Engine) Outcomes() []*Outcome {
+	outs := make([]*Outcome, 0, len(e.out))
+	for _, o := range e.out {
+		outs = append(outs, o)
+	}
+	sortOutcomes(outs)
+	return outs
+}

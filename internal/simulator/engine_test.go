@@ -1,0 +1,237 @@
+package simulator
+
+import (
+	"math"
+	"testing"
+)
+
+func engAllocated(e *Engine) int {
+	return e.Cluster().TotalNodes() - e.FreeNodes().Total()
+}
+
+func TestEngineSubmitValidation(t *testing.T) {
+	e := NewEngine(NewCluster(8, 2))
+	if err := e.Submit(mkJob(1, 0, 10, 9)); err == nil {
+		t.Fatal("oversized gang accepted")
+	}
+	if err := e.Submit(mkJob(1, 0, 10, 9000)); err == nil {
+		t.Fatal("absurd gang accepted")
+	}
+	if err := e.Submit(mkJob(2, 0, 10, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Submit(mkJob(2, 5, 10, 2)); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	if e.PendingCount() != 1 {
+		t.Fatalf("pending = %d, want 1", e.PendingCount())
+	}
+}
+
+func TestEngineStartValidationCountsSkips(t *testing.T) {
+	e := NewEngine(NewCluster(8, 2))
+	j := mkJob(1, 0, 10, 4)
+	if err := e.Submit(j); err != nil {
+		t.Fatal(err)
+	}
+	cases := []StartAction{
+		{Job: 99, Alloc: Alloc{2, 2}}, // unknown job
+		{Job: 1, Alloc: Alloc{4}},     // wrong width
+		{Job: 1, Alloc: Alloc{1, 2}},  // wrong total
+		{Job: 1, Alloc: Alloc{5, -1}}, // negative entry
+		{Job: 1, Alloc: Alloc{5, 0}},  // over partition capacity (4 free)
+	}
+	for i, a := range cases {
+		if _, ok := e.Start(a, 0); ok {
+			t.Fatalf("case %d: invalid start accepted", i)
+		}
+	}
+	if e.SkippedStarts() != len(cases) {
+		t.Fatalf("skipped = %d, want %d", e.SkippedStarts(), len(cases))
+	}
+	run, ok := e.Start(StartAction{Job: 1, Alloc: Alloc{2, 2}}, 3)
+	if !ok || run.Job.ID != 1 {
+		t.Fatal("valid start rejected")
+	}
+	// Starting the same (now running) job again is invalid.
+	if _, ok := e.Start(StartAction{Job: 1, Alloc: Alloc{2, 2}}, 3); ok {
+		t.Fatal("double start accepted")
+	}
+	if o := e.Outcome(1); !o.Started || o.FirstStart != 3 {
+		t.Fatalf("outcome = %+v", o)
+	}
+}
+
+func TestEngineConservationAcrossLifecycle(t *testing.T) {
+	e := NewEngine(NewCluster(8, 2))
+	check := func(stage string, wantAlloc int) {
+		t.Helper()
+		if got := engAllocated(e); got != wantAlloc {
+			t.Fatalf("%s: allocated = %d, want %d", stage, got, wantAlloc)
+		}
+	}
+	j := mkJob(1, 0, 100, 6)
+	if err := e.Submit(j); err != nil {
+		t.Fatal(err)
+	}
+	check("after submit", 0)
+	run, ok := e.Start(StartAction{Job: 1, Alloc: Alloc{4, 2}}, 0)
+	if !ok {
+		t.Fatal("start failed")
+	}
+	check("running", 6)
+	if !e.Preempt(1, 20) {
+		t.Fatal("preempt failed")
+	}
+	check("preempted", 0)
+	if e.PendingCount() != 1 {
+		t.Fatal("preempted job must requeue")
+	}
+	// The old attempt's completion is now stale.
+	if _, _, ok := e.Complete(1, run.RunID, 100); ok {
+		t.Fatal("stale completion accepted")
+	}
+	run2, ok := e.Start(StartAction{Job: 1, Alloc: Alloc{2, 4}}, 30)
+	if !ok {
+		t.Fatal("restart failed")
+	}
+	if run2.RunID == run.RunID {
+		t.Fatal("restart must get a fresh run generation")
+	}
+	check("restarted", 6)
+	if _, _, ok := e.Complete(1, run2.RunID, 130); !ok {
+		t.Fatal("completion rejected")
+	}
+	check("completed", 0)
+	o := e.Outcome(1)
+	if !o.Completed || o.Preemptions != 1 || o.WastedWork != 120 {
+		t.Fatalf("outcome = %+v", o)
+	}
+	if !e.Idle() {
+		t.Fatal("engine should be idle")
+	}
+}
+
+func TestEngineBaseRuntimeNormalization(t *testing.T) {
+	e := NewEngine(NewCluster(8, 2))
+	j := mkJob(1, 0, 100, 8)
+	j.Preferred = []int{0}
+	if err := e.Submit(j); err != nil {
+		t.Fatal(err)
+	}
+	run, ok := e.Start(StartAction{Job: 1, Alloc: Alloc{4, 4}}, 0)
+	if !ok {
+		t.Fatal("start failed")
+	}
+	if run.OnPreferred {
+		t.Fatal("spilled allocation marked preferred")
+	}
+	if got := run.EffectiveRuntime(100); math.Abs(got-150) > 1e-9 {
+		t.Fatalf("effective runtime = %v, want 150", got)
+	}
+	_, base, ok := e.Complete(1, run.RunID, 150)
+	if !ok {
+		t.Fatal("completion rejected")
+	}
+	if math.Abs(base-100) > 1e-9 {
+		t.Fatalf("base = %v, want 100 (normalized by NonPrefFactor)", base)
+	}
+}
+
+func TestEngineCancelPendingAndRunning(t *testing.T) {
+	e := NewEngine(NewCluster(8, 2))
+	for id := int64(1); id <= 3; id++ {
+		if err := e.Submit(mkJob(id, 0, 100, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := e.Start(StartAction{Job: 1, Alloc: Alloc{2, 0}}, 0); !ok {
+		t.Fatal("start failed")
+	}
+	// Cancel a pending job: leaves the queue, nodes untouched.
+	wasRunning, ok := e.Cancel(2, 10)
+	if !ok || wasRunning {
+		t.Fatalf("cancel pending: running=%v ok=%v", wasRunning, ok)
+	}
+	if e.PendingCount() != 1 {
+		t.Fatalf("pending = %d, want 1", e.PendingCount())
+	}
+	// Cancel the running job: nodes come back, work is wasted, no requeue.
+	wasRunning, ok = e.Cancel(1, 10)
+	if !ok || !wasRunning {
+		t.Fatalf("cancel running: running=%v ok=%v", wasRunning, ok)
+	}
+	if engAllocated(e) != 0 {
+		t.Fatal("cancelled job's nodes not freed")
+	}
+	if e.PendingCount() != 1 || e.RunningCount() != 0 {
+		t.Fatal("cancelled running job must not requeue")
+	}
+	o := e.Outcome(1)
+	if !o.Cancelled || o.Completed || o.WastedWork != 20 {
+		t.Fatalf("outcome = %+v", o)
+	}
+	if !e.Outcome(2).Cancelled {
+		t.Fatal("pending cancel must mark the outcome")
+	}
+	// Unknown / already-cancelled jobs.
+	if _, ok := e.Cancel(2, 11); ok {
+		t.Fatal("double cancel accepted")
+	}
+	if _, ok := e.Cancel(99, 11); ok {
+		t.Fatal("unknown cancel accepted")
+	}
+}
+
+func TestEngineResize(t *testing.T) {
+	e := NewEngine(NewCluster(8, 2))
+	if err := e.Submit(mkJob(1, 0, 100, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.Start(StartAction{Job: 1, Alloc: Alloc{4, 0}}, 0); !ok {
+		t.Fatal("start failed")
+	}
+	st := e.Snapshot(0)
+	// Grow partition 1.
+	if err := e.Resize(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if e.Cluster().TotalNodes() != 12 || e.FreeNodes()[1] != 8 {
+		t.Fatalf("after grow: cluster=%v free=%v", e.Cluster(), e.FreeNodes())
+	}
+	// Draining busy partition 0 must fail (0 free there).
+	if err := e.Resize(0, -1); err == nil {
+		t.Fatal("drained allocated nodes")
+	}
+	if err := e.Resize(1, -8); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Resize(1, -1); err == nil {
+		t.Fatal("drained below zero")
+	}
+	if err := e.Resize(5, 1); err == nil {
+		t.Fatal("resized out-of-range partition")
+	}
+	// Copy-on-write: the earlier snapshot keeps the original shape.
+	if st.Cluster.TotalNodes() != 8 {
+		t.Fatalf("snapshot cluster mutated: %v", st.Cluster)
+	}
+}
+
+func TestEngineSnapshotIsIsolated(t *testing.T) {
+	e := NewEngine(NewCluster(8, 2))
+	for id := int64(1); id <= 2; id++ {
+		if err := e.Submit(mkJob(id, 0, 100, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Snapshot(5)
+	st.Free[0] = -99
+	st.Pending = st.Pending[:0]
+	if e.FreeNodes()[0] != 4 || e.PendingCount() != 2 {
+		t.Fatal("snapshot mutation leaked into engine")
+	}
+	if st.Now != 5 {
+		t.Fatalf("snapshot now = %v", st.Now)
+	}
+}

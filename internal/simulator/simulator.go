@@ -15,7 +15,6 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
-	"sort"
 	"time"
 
 	"threesigma/internal/job"
@@ -132,6 +131,9 @@ type Outcome struct {
 	ActualRuntime  float64 // last (successful) attempt's runtime
 	Preemptions    int
 	WastedWork     float64 // machine-seconds lost to preemptions
+	// Cancelled marks a job removed through the online service's cancel
+	// API (never set by the batch simulator).
+	Cancelled bool
 }
 
 // MissedDeadline reports whether an SLO job failed its deadline (incomplete
@@ -166,7 +168,14 @@ type Options struct {
 	// PlacementDelay delays every start by this many seconds (RC256
 	// container-launch overhead emulation).
 	PlacementDelay float64
-	Seed           int64
+	// VirtualTime re-bases a clock-aware scheduler (one implementing
+	// ClockAware, i.e. core.Scheduler) onto the simulation's virtual
+	// clock: solver deadlines then never expire mid-solve and measured
+	// latencies are exactly zero, so same-seed runs are deterministic
+	// regardless of host load. Off by default, preserving wall-clock
+	// latency measurement (Fig. 12).
+	VirtualTime bool
+	Seed        int64
 }
 
 type eventKind uint8
@@ -204,30 +213,24 @@ func (h *eventHeap) Pop() interface{} {
 	return it
 }
 
-type runInfo struct {
-	rj    *RunningJob
-	runID int64
-}
-
-// Sim is one simulation instance.
+// Sim is one simulation instance: the virtual-time cycle driver over the
+// shared cluster Engine (the daemon in internal/service is the wall-clock
+// driver over the same Engine).
 type Sim struct {
-	opts    Options
-	sched   Scheduler
-	events  eventHeap
-	seq     int64
-	now     float64
-	free    Alloc
-	pending []*job.Job
-	running map[job.ID]*runInfo
-	runSeq  int64
-	out     map[job.ID]*Outcome
-	rng     stats.Rand
-	result  Result
+	opts   Options
+	sched  Scheduler
+	eng    *Engine
+	events eventHeap
+	seq    int64
+	now    float64
+	clock  *VirtualClock
+	rng    stats.Rand
+	result Result
 }
 
 // New creates a simulation of the given jobs under the scheduler. Jobs must
-// fit the cluster (Tasks <= total nodes); oversized jobs are rejected with
-// an error.
+// fit the cluster (Tasks <= total nodes) and carry unique IDs; offending
+// jobs are rejected with an error.
 func New(sched Scheduler, jobs []*job.Job, opts Options) (*Sim, error) {
 	if opts.CycleInterval <= 0 {
 		opts.CycleInterval = 10
@@ -240,23 +243,23 @@ func New(sched Scheduler, jobs []*job.Job, opts Options) (*Sim, error) {
 	}
 	total := opts.Cluster.TotalNodes()
 	s := &Sim{
-		opts:    opts,
-		sched:   sched,
-		running: make(map[job.ID]*runInfo),
-		out:     make(map[job.ID]*Outcome),
-		rng:     stats.NewRand(opts.Seed + 777),
-	}
-	s.free = make(Alloc, len(opts.Cluster.Partitions))
-	for i, n := range opts.Cluster.Partitions {
-		s.free[i] = n
+		opts:  opts,
+		sched: sched,
+		eng:   NewEngine(opts.Cluster),
+		clock: NewVirtualClock(),
+		rng:   stats.NewRand(opts.Seed + 777),
 	}
 	lastArrival := 0.0
+	seen := make(map[job.ID]bool, len(jobs))
 	for _, j := range jobs {
 		if j.Tasks <= 0 || j.Tasks > total {
 			return nil, fmt.Errorf("simulator: job %d requests %d nodes on a %d-node cluster", j.ID, j.Tasks, total)
 		}
+		if seen[j.ID] {
+			return nil, fmt.Errorf("simulator: duplicate job id %d", j.ID)
+		}
+		seen[j.ID] = true
 		s.push(event{time: j.Submit, kind: evArrival, j: j})
-		s.out[j.ID] = &Outcome{Job: j}
 		if j.Submit > lastArrival {
 			lastArrival = j.Submit
 		}
@@ -266,6 +269,11 @@ func New(sched Scheduler, jobs []*job.Job, opts Options) (*Sim, error) {
 		s.push(event{time: t, kind: evCycle})
 	}
 	s.result.EndTime = horizon
+	if opts.VirtualTime {
+		if ca, ok := sched.(ClockAware); ok {
+			ca.SetClock(s.clock)
+		}
+	}
 	return s, nil
 }
 
@@ -280,149 +288,57 @@ func (s *Sim) Run() *Result {
 	for s.events.Len() > 0 {
 		e := heap.Pop(&s.events).(event)
 		s.now = e.time
+		s.clock.Set(s.now)
 		switch e.kind {
 		case evArrival:
-			s.pending = append(s.pending, e.j)
-			s.sched.JobSubmitted(e.j, s.now)
+			// All jobs were validated in New; Submit cannot fail here.
+			if err := s.eng.Submit(e.j); err == nil {
+				s.sched.JobSubmitted(e.j, s.now)
+			}
 		case evCompletion:
-			s.complete(e)
+			if j, base, ok := s.eng.Complete(e.j.ID, e.run, s.now); ok {
+				s.sched.JobCompleted(j, base, s.now)
+			}
 		case evCycle:
 			s.cycle()
 		}
 	}
 	// Anything still pending/running at the horizon stays incomplete.
-	outs := make([]*Outcome, 0, len(s.out))
-	for _, o := range s.out {
-		outs = append(outs, o)
-	}
-	// Deterministic order by job ID for reproducible reports.
-	sort.Slice(outs, func(i, j int) bool { return outs[i].Job.ID < outs[j].Job.ID })
-	s.result.Outcomes = outs
+	s.result.Outcomes = s.eng.Outcomes()
+	s.result.SkippedStarts = s.eng.SkippedStarts()
 	return &s.result
 }
 
-func (s *Sim) complete(e event) {
-	ri, ok := s.running[e.j.ID]
-	if !ok || ri.runID != e.run {
-		return // stale completion from a preempted attempt
-	}
-	delete(s.running, e.j.ID)
-	for p, n := range ri.rj.Alloc {
-		s.free[p] += n
-	}
-	o := s.out[e.j.ID]
-	o.Completed = true
-	o.CompletionTime = s.now
-	o.OnPreferred = ri.rj.OnPreferred
-	o.ActualRuntime = s.now - ri.rj.Start
-	base := o.ActualRuntime
-	if !ri.rj.OnPreferred && e.j.NonPrefFactor > 1 {
-		base /= e.j.NonPrefFactor
-	}
-	s.sched.JobCompleted(e.j, base, s.now)
-}
-
 func (s *Sim) cycle() {
-	if len(s.pending) == 0 && len(s.running) == 0 {
+	if s.eng.Idle() {
 		s.result.Cycles++
 		return
 	}
-	st := &State{
-		Now:     s.now,
-		Free:    s.free.Clone(),
-		Cluster: s.opts.Cluster,
-		Pending: append([]*job.Job(nil), s.pending...),
-	}
-	st.Running = make([]*RunningJob, 0, len(s.running))
-	for _, ri := range s.running {
-		st.Running = append(st.Running, ri.rj)
-	}
-	// Deterministic order for reproducibility.
-	sort.Slice(st.Running, func(i, j int) bool { return st.Running[i].Job.ID < st.Running[j].Job.ID })
+	st := s.eng.Snapshot(s.now)
 	dec := s.sched.Cycle(st)
 	s.result.Cycles++
 	s.result.CycleLatencies = append(s.result.CycleLatencies, dec.CycleLatency)
 	s.result.SolverLatency = append(s.result.SolverLatency, dec.SolverLatency)
 	for _, id := range dec.Preempt {
-		s.preempt(id)
+		s.eng.Preempt(id, s.now)
 	}
 	for _, a := range dec.Start {
 		s.start(a)
 	}
 }
 
-func (s *Sim) preempt(id job.ID) {
-	ri, ok := s.running[id]
+func (s *Sim) start(a StartAction) {
+	startTime := s.now + s.opts.PlacementDelay
+	run, ok := s.eng.Start(a, startTime)
 	if !ok {
 		return
 	}
-	delete(s.running, id)
-	for p, n := range ri.rj.Alloc {
-		s.free[p] += n
-	}
-	o := s.out[id]
-	o.Preemptions++
-	o.WastedWork += (s.now - ri.rj.Start) * float64(ri.rj.Job.Tasks)
-	// Work is lost; the job returns to the pending queue for a restart.
-	s.pending = append(s.pending, ri.rj.Job)
-}
-
-func (s *Sim) start(a StartAction) {
-	// Locate the pending job.
-	idx := -1
-	for i, j := range s.pending {
-		if j.ID == a.Job {
-			idx = i
-			break
-		}
-	}
-	if idx < 0 {
-		s.result.SkippedStarts++
-		return
-	}
-	j := s.pending[idx]
-	if len(a.Alloc) != len(s.free) || a.Alloc.Total() != j.Tasks {
-		s.result.SkippedStarts++
-		return
-	}
-	for p, n := range a.Alloc {
-		if n < 0 || n > s.free[p] {
-			s.result.SkippedStarts++
-			return
-		}
-	}
-	s.pending = append(s.pending[:idx], s.pending[idx+1:]...)
-	onPref := true
-	for p, n := range a.Alloc {
-		if n > 0 && !j.PrefersPartition(p) {
-			onPref = false
-			break
-		}
-	}
-	for p, n := range a.Alloc {
-		s.free[p] -= n
-	}
-	startTime := s.now + s.opts.PlacementDelay
-	runtime := j.Runtime
-	if !onPref && j.NonPrefFactor > 1 {
-		runtime *= j.NonPrefFactor
-	}
+	runtime := run.EffectiveRuntime(run.Job.Runtime)
 	if s.opts.RuntimeJitter > 0 {
 		runtime *= math.Exp(s.rng.NormFloat64() * s.opts.RuntimeJitter)
 	}
 	if runtime < 0.001 {
 		runtime = 0.001
 	}
-	s.runSeq++
-	ri := &runInfo{
-		rj:    &RunningJob{Job: j, Start: startTime, Alloc: a.Alloc.Clone(), OnPreferred: onPref},
-		runID: s.runSeq,
-	}
-	s.running[j.ID] = ri
-	o := s.out[j.ID]
-	if !o.Started {
-		o.Started = true
-		o.FirstStart = startTime
-	}
-	s.push(event{time: startTime + runtime, kind: evCompletion, j: j, run: s.runSeq})
+	s.push(event{time: startTime + runtime, kind: evCompletion, j: run.Job, run: run.RunID})
 }

@@ -1,6 +1,8 @@
 #!/usr/bin/env sh
-# ci.sh — the repository's verification gate: vet, build, and the full test
-# suite under the race detector. Run from anywhere; operates on the repo root.
+# ci.sh — the repository's verification gate: vet, build, the full test
+# suite under the race detector, and an end-to-end smoke of the online
+# service (serverd + loadgen, including a SIGTERM warm restart).
+# Run from anywhere; operates on the repo root.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -13,5 +15,8 @@ go build ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== service e2e smoke =="
+./scripts/smoke_service.sh
 
 echo "CI OK"

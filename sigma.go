@@ -194,6 +194,12 @@ type SimConfig struct {
 	// RealCluster emulates the paper's RC256 configuration by adding
 	// execution jitter and placement delay.
 	RealCluster bool
+	// VirtualTime runs the scheduler on the simulator's virtual clock:
+	// solver deadlines never expire mid-solve and measured latencies pin
+	// to zero, making budgeted solves deterministic regardless of host
+	// load. Off by default so the reported cycle/solve latencies remain
+	// wall-clock measurements (Fig. 12).
+	VirtualTime bool
 	// Scheduler overrides the system's default scheduler configuration.
 	Scheduler SchedulerConfig
 	Seed      int64
@@ -235,6 +241,7 @@ func Simulate(sys System, w *Workload, cfg SimConfig) (*SimResult, error) {
 		CycleInterval: cfg.CycleInterval,
 		DrainWindow:   cfg.DrainWindow,
 		Seed:          cfg.Seed,
+		VirtualTime:   cfg.VirtualTime,
 	}
 	if cfg.RealCluster {
 		opts.RuntimeJitter = 0.04
@@ -269,6 +276,7 @@ func SimulateScheduler(sched Scheduler, jobs []*Job, cluster Cluster, cfg SimCon
 		CycleInterval: cfg.CycleInterval,
 		DrainWindow:   cfg.DrainWindow,
 		Seed:          cfg.Seed,
+		VirtualTime:   cfg.VirtualTime,
 	}
 	if cfg.RealCluster {
 		opts.RuntimeJitter = 0.04
