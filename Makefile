@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench bench-fig1 serverd loadgen smoke
+.PHONY: build test race vet verify bench bench-fig1 serverd loadgen smoke faults
 
 build:
 	$(GO) build ./...
@@ -36,3 +36,10 @@ loadgen:
 # smoke runs the end-to-end service check (replay + warm restart).
 smoke:
 	./scripts/smoke_service.sh
+
+# faults runs a pinned-seed fault-injection scenario: node churn, job
+# crashes, and stragglers on the google workload, printing the fault panel
+# and the outcome digest (reruns must print the identical digest line).
+faults:
+	$(GO) run ./cmd/3sigma-sim -env google -nodes 48 -partitions 4 \
+		-hours 0.05 -load 1.2 -seed 5 -virtualtime -faults light -digest

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"threesigma/internal/experiments"
+	"threesigma/internal/faults"
 )
 
 func main() {
@@ -32,6 +33,7 @@ func main() {
 	ablations := flag.Bool("ablations", false, "also run the repository's design-choice ablations")
 	jsonOut := flag.Bool("json", false, "emit one JSON object per experiment instead of formatted tables")
 	fig12Hours := flag.Float64("fig12-hours", 0.2, "measurement window for the Fig 12 scalability run")
+	faultSpec := flag.String("faults", "", "run the availability scenario (SLO attainment vs node MTBF sweep) with this fault spec: preset (light, heavy) or k=v list; mtbf is overridden per sweep point")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -47,7 +49,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	if !*all && *fig == 0 && *table == 0 {
+	if !*all && *fig == 0 && *table == 0 && *faultSpec == "" {
 		fmt.Println("3sigma-bench: regenerate the paper's evaluation")
 		fmt.Println("  -fig 1    SLO miss comparison (E2E, simulated cluster)")
 		fmt.Println("  -fig 2    trace analyses (runtime CDFs, CoV spectra, estimate errors)")
@@ -60,6 +62,7 @@ func main() {
 		fmt.Println("  -fig 11   sample-size sensitivity")
 		fmt.Println("  -fig 12   scalability (12,583 nodes)")
 		fmt.Println("  -all      everything above")
+		fmt.Println("  -faults SPEC  availability scenario: SLO attainment vs node MTBF sweep")
 		fmt.Println("  -json     machine-readable output (incl. solver counters)")
 		return
 	}
@@ -151,6 +154,20 @@ func main() {
 		run("Fig 12", func() (interface{}, string, error) {
 			pts, err := experiments.Fig12(*seed, nil, *fig12Hours)
 			return pts, experiments.FormatFig12(pts), err
+		})
+	}
+	if *faultSpec != "" {
+		base, err := faults.ParseSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if base.Seed == 0 {
+			base.Seed = *seed
+		}
+		run("Availability", func() (interface{}, string, error) {
+			pts, err := experiments.Availability(sc, *seed, base, nil)
+			return pts, experiments.FormatAvailability(pts), err
 		})
 	}
 	if *ablations {

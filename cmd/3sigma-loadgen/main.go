@@ -10,14 +10,17 @@
 //
 // Jobs are submitted at their workload arrival times compressed by
 // -speedup (which must match the daemon's -timescale for deadlines to be
-// meaningful). 429 responses are retried after the server's Retry-After.
-// The generator exits 0 only when every submitted job reaches a terminal
-// phase before -timeout.
+// meaningful). 429 responses are retried around the server's Retry-After
+// hint with seeded decorrelated jitter, so a fleet of replayers with
+// distinct seeds does not hammer the daemon in lockstep. The generator
+// exits 0 only when every submitted job reaches a terminal phase before
+// -timeout.
 //
-// Two side modes for scripting (both print one JSON line and exit):
+// Three side modes for scripting (each prints one line and exits):
 //
 //	3sigma-loadgen -addr ... -predict "user,name,tasks,priority"
 //	3sigma-loadgen -addr ... -metrics
+//	3sigma-loadgen -addr ... -readyz   (prints the /readyz HTTP status code)
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
@@ -77,9 +81,14 @@ func main() {
 	train := flag.Bool("train", true, "feed the workload's pre-training history to /v1/train before replaying")
 	predict := flag.String("predict", "", `probe mode: print /v1/predict for "user,name,tasks,priority" and exit`)
 	metrics := flag.Bool("metrics", false, "probe mode: print /v1/metrics and exit")
+	readyz := flag.Bool("readyz", false, "probe mode: print the /readyz HTTP status code (000 when unreachable) and exit")
 	flag.Parse()
 
 	client := &http.Client{Timeout: 10 * time.Second}
+	if *readyz {
+		probeReady(client, *addr)
+		return
+	}
 	if *wait > 0 {
 		waitHealthy(client, *addr, *wait)
 	}
@@ -118,12 +127,13 @@ func main() {
 	var lats []time.Duration
 	submitted := make([]*job.Job, 0, len(w.Jobs))
 	rejected := 0
+	bo := newBackoff(*seed)
 	for _, j := range w.Jobs {
 		due := start.Add(time.Duration(j.Submit / *speedup * float64(time.Second)))
 		if d := time.Until(due); d > 0 {
 			time.Sleep(d)
 		}
-		lat, ok := submitJob(client, *addr, j, deadline)
+		lat, ok := submitJob(client, *addr, j, deadline, bo)
 		if !ok {
 			rejected++
 			continue
@@ -136,7 +146,7 @@ func main() {
 
 	completed, dropped, sloMet, sloTotal := pollOutcomes(client, *addr, submitted, deadline)
 
-	fmt.Printf("completed %d/%d (%d cancelled or abandoned)\n", completed, len(submitted), dropped)
+	fmt.Printf("completed %d/%d (%d cancelled, abandoned, or failed)\n", completed, len(submitted), dropped)
 	if len(lats) > 0 {
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 		fmt.Printf("submit latency p50 %v  p90 %v  p99 %v\n",
@@ -198,9 +208,55 @@ func waitHealthy(client *http.Client, addr string, wait time.Duration) {
 	}
 }
 
-// submitJob POSTs one job, honoring 429 Retry-After until deadline. The
-// returned latency spans the first attempt through acceptance.
-func submitJob(client *http.Client, addr string, j *job.Job, deadline time.Time) (time.Duration, bool) {
+// backoff draws decorrelated-jitter retry delays around the server's
+// Retry-After hint. Sleeping exactly the hinted interval resynchronizes
+// every waiting client onto the same instant — the daemon sees the whole
+// fleet return at once and 429s it again. Decorrelated jitter (each delay
+// drawn uniformly from [floor, 3×previous], clamped to a hint-derived cap)
+// spreads retries while still backing off under sustained pressure. The
+// rng is seeded from -seed so replays stay reproducible.
+type backoff struct {
+	rng  *rand.Rand
+	prev time.Duration
+}
+
+func newBackoff(seed int64) *backoff {
+	return &backoff{rng: rand.New(rand.NewSource(seed))}
+}
+
+// next returns how long to sleep before retrying, given the server's
+// Retry-After hint. reset() must be called after an accepted submit so the
+// next job's first retry starts from the hint again.
+func (b *backoff) next(hint time.Duration) time.Duration {
+	floor := hint / 2
+	if floor < 100*time.Millisecond {
+		floor = 100 * time.Millisecond
+	}
+	cap := 3 * hint
+	if cap < 2*time.Second {
+		cap = 2 * time.Second
+	}
+	if b.prev == 0 {
+		b.prev = hint
+	}
+	hi := 3 * b.prev
+	if hi > cap {
+		hi = cap
+	}
+	d := floor
+	if hi > floor {
+		d = floor + time.Duration(b.rng.Int63n(int64(hi-floor)))
+	}
+	b.prev = d
+	return d
+}
+
+func (b *backoff) reset() { b.prev = 0 }
+
+// submitJob POSTs one job, honoring 429s with jittered backoff around the
+// server's Retry-After until deadline. The returned latency spans the first
+// attempt through acceptance.
+func submitJob(client *http.Client, addr string, j *job.Job, deadline time.Time, bo *backoff) (time.Duration, bool) {
 	req := jobRequest{
 		ID:            int64(j.ID),
 		Name:          j.Name,
@@ -227,14 +283,16 @@ func submitJob(client *http.Client, addr string, j *job.Job, deadline time.Time)
 		resp.Body.Close()
 		switch resp.StatusCode {
 		case http.StatusAccepted:
+			bo.reset()
 			return time.Since(t0), true
 		case http.StatusTooManyRequests:
-			retry := time.Second
+			hint := time.Second
 			if s := resp.Header.Get("Retry-After"); s != "" {
 				if n, err := strconv.Atoi(s); err == nil && n > 0 {
-					retry = time.Duration(n) * time.Second
+					hint = time.Duration(n) * time.Second
 				}
 			}
+			retry := bo.next(hint)
 			if time.Now().Add(retry).After(deadline) {
 				return 0, false
 			}
@@ -246,7 +304,8 @@ func submitJob(client *http.Client, addr string, j *job.Job, deadline time.Time)
 }
 
 // pollOutcomes tracks submitted jobs until every one is terminal
-// (completed, cancelled, or abandoned) or the deadline passes.
+// (completed, cancelled, abandoned, or failed out of its retry budget) or
+// the deadline passes.
 func pollOutcomes(client *http.Client, addr string, jobs []*job.Job, deadline time.Time) (completed, dropped, sloMet, sloTotal int) {
 	pendingDeadline := make(map[int64]float64) // id -> deadline_in (SLO only)
 	open := make(map[int64]bool, len(jobs))
@@ -273,7 +332,7 @@ func pollOutcomes(client *http.Client, addr string, jobs []*job.Job, deadline ti
 					sloMet++
 				}
 				delete(open, id)
-			case "cancelled", "abandoned":
+			case "cancelled", "abandoned", "failed":
 				dropped++
 				delete(open, id)
 			}
@@ -317,6 +376,20 @@ func runPredict(client *http.Client, addr, spec string) {
 		fatalf("predict: %d %s", resp.StatusCode, strings.TrimSpace(string(out)))
 	}
 	os.Stdout.Write(out)
+}
+
+// probeReady prints the /readyz HTTP status code and exits 0 regardless,
+// so shell polling loops (smoke_service.sh) can compare codes without
+// needing curl in the container. Connection failures print "000".
+func probeReady(client *http.Client, addr string) {
+	resp, err := client.Get(addr + "/readyz")
+	if err != nil {
+		fmt.Println("000")
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	fmt.Println(resp.StatusCode)
 }
 
 func dumpJSON(client *http.Client, url string) {

@@ -28,6 +28,7 @@ import (
 
 	"threesigma/internal/baselines"
 	"threesigma/internal/core"
+	"threesigma/internal/faults"
 	"threesigma/internal/predictor"
 	"threesigma/internal/service"
 	"threesigma/internal/simulator"
@@ -44,6 +45,8 @@ func main() {
 	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "checkpoint period (wall clock)")
 	budget := flag.Duration("solver-budget", 150*time.Millisecond, "MILP solver budget per cycle")
 	verbose := flag.Bool("verbose", false, "log every scheduling decision (starts, deferrals, preemptions, abandonments)")
+	chaos := flag.String("chaos", "", "chaos injection spec: preset (light, heavy) or k=v list, e.g. seed=7,mtbf=1800,mttr=300,crash=0.05 (virtual-time schedule; see internal/faults)")
+	drainGrace := flag.Duration("drain-grace", time.Second, "time between withdrawing readiness (/readyz 503) and closing the listener on SIGTERM")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "3sigma-serverd: ", log.LstdFlags)
@@ -69,6 +72,14 @@ func main() {
 			}
 		},
 	})
+	var faultCfg *faults.Config
+	if *chaos != "" {
+		fc, err := faults.ParseSpec(*chaos)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		faultCfg = &fc
+	}
 	svc, err = service.New(service.Config{
 		Cluster:         simulator.NewCluster(*nodes, *parts),
 		Scheduler:       sched,
@@ -79,6 +90,7 @@ func main() {
 		CheckpointPath:  *ckpt,
 		CheckpointEvery: *ckptEvery,
 		Logf:            logger.Printf,
+		Faults:          faultCfg,
 	})
 	if err != nil {
 		logger.Fatal(err)
@@ -98,6 +110,11 @@ func main() {
 	select {
 	case sig := <-sigCh:
 		logger.Printf("received %v, draining", sig)
+		// Withdraw readiness first (/readyz flips to 503, /healthz stays
+		// 200) and give load balancers drainGrace to stop routing before
+		// the listener closes.
+		svc.BeginDrain()
+		time.Sleep(*drainGrace)
 	case err := <-errCh:
 		logger.Printf("http server: %v", err)
 		svc.Stop(30 * time.Second)

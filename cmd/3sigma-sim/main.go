@@ -35,7 +35,22 @@ func main() {
 	verbose := flag.Bool("verbose", false, "print every scheduling decision (starts, deferrals, preemptions, abandonments)")
 	virtual := flag.Bool("virtualtime", false, "run the scheduler on virtual time (deterministic solver budgets; latency stats read zero)")
 	segStart := flag.Float64("segment-start", 0, "trace replay: segment start time, seconds")
+	faultSpec := flag.String("faults", "", "fault injection spec: preset (light, heavy) or k=v list, e.g. seed=7,mtbf=1800,mttr=300,group=0.2:4,crash=0.05,straggler=0.1:2,retries=3")
+	digest := flag.Bool("digest", false, "print the run's outcome digest (hash of job fates; stable across identical runs, used by the CI determinism gate)")
 	flag.Parse()
+
+	var faultCfg *threesigma.FaultConfig
+	if *faultSpec != "" {
+		fc, err := threesigma.ParseFaultSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if fc.Seed == 0 {
+			fc.Seed = *seed
+		}
+		faultCfg = &fc
+	}
 
 	var w *threesigma.Workload
 	if *traceFile != "" {
@@ -84,7 +99,7 @@ func main() {
 	var rows []threesigma.Report
 	for _, sys := range systems {
 		t0 := time.Now()
-		simCfg := threesigma.SimConfig{Seed: *seed, RealCluster: *rc, CycleInterval: *cycle, VirtualTime: *virtual}
+		simCfg := threesigma.SimConfig{Seed: *seed, RealCluster: *rc, CycleInterval: *cycle, VirtualTime: *virtual, Faults: faultCfg}
 		if *verbose {
 			simCfg.Scheduler.OnDecision = func(e threesigma.DecisionEvent) { fmt.Println(e) }
 		}
@@ -94,6 +109,12 @@ func main() {
 			os.Exit(1)
 		}
 		rows = append(rows, res.Report)
+		if faultCfg != nil {
+			fmt.Println(res.Report.FaultPanel())
+		}
+		if *digest {
+			fmt.Printf("outcome digest: %s %s\n", sys, res.Digest)
+		}
 		if res.Stats.Cycles > 0 {
 			fmt.Printf("%-14s %4d cycles, mean cycle %v, max solve %v, model <=%d vars / %d rows (%s)\n",
 				sys, res.Stats.Cycles,

@@ -83,6 +83,10 @@ func (s *Scheduler) buildModel(st *simulator.State) *builder {
 
 	// Expected available capacity per (partition, slot): cluster capacity
 	// minus the running jobs' expected residual consumption (§3.2).
+	// st.Cluster is the engine's *effective* (down-adjusted) shape, so under
+	// fault injection the Eq. 3 capacity rows and the preferred-partition
+	// feasibility check below track the live node count, not the
+	// provisioned ideal.
 	capacity := make([][]float64, nParts)
 	for p := range capacity {
 		capacity[p] = make([]float64, slots)

@@ -13,6 +13,7 @@ import (
 
 	"threesigma/internal/baselines"
 	"threesigma/internal/core"
+	"threesigma/internal/faults"
 	"threesigma/internal/job"
 	"threesigma/internal/metrics"
 	"threesigma/internal/predictor"
@@ -132,6 +133,10 @@ type RunOptions struct {
 	// Fig. 9 synthetic-distribution study).
 	Estimator core.Estimator
 	Seed      int64
+	// Faults enables deterministic failure injection for availability
+	// experiments (nil leaves the run fault-free and bit-identical to
+	// builds without the fault subsystem).
+	Faults *faults.Config
 }
 
 // RunResult bundles the metric report with scheduler-side stats.
@@ -186,6 +191,7 @@ func Run(sys System, w *workload.Workload, sc Scale, opts RunOptions) (RunResult
 		CycleInterval: sc.CycleInterval,
 		DrainWindow:   sc.DrainWindow,
 		Seed:          opts.Seed,
+		Faults:        opts.Faults,
 	}
 	if opts.RC {
 		simOpts.RuntimeJitter = 0.04

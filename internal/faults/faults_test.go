@@ -1,0 +1,199 @@
+package faults
+
+import (
+	"testing"
+
+	"threesigma/internal/job"
+)
+
+// TestScheduleDeterministic: identical (config, partitions, horizon) must
+// yield bitwise-identical schedules — the core contract everything else
+// (digest gates, replayable chaos) rests on.
+func TestScheduleDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, NodeMTBF: 1800, NodeMTTR: 300, GroupProb: 0.3, GroupSize: 4}
+	parts := []int{16, 16, 8, 8}
+	a := New(cfg, parts, 7200)
+	b := New(cfg, parts, 7200)
+	if len(a.Events()) == 0 {
+		t.Fatal("no events generated for a 2h horizon at 1800s MTBF")
+	}
+	if len(a.Events()) != len(b.Events()) {
+		t.Fatalf("event counts differ: %d vs %d", len(a.Events()), len(b.Events()))
+	}
+	for i := range a.Events() {
+		if a.Events()[i] != b.Events()[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a.Events()[i], b.Events()[i])
+		}
+	}
+	if c := New(Config{Seed: 8, NodeMTBF: 1800, NodeMTTR: 300}, parts, 7200); len(c.Events()) == len(a.Events()) {
+		same := true
+		for i := range c.Events() {
+			if c.Events()[i] != a.Events()[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced the identical schedule")
+		}
+	}
+}
+
+// TestSchedulePerPartitionStreams: appending a partition must not perturb
+// the existing partitions' schedules.
+func TestSchedulePerPartitionStreams(t *testing.T) {
+	cfg := Config{Seed: 3, NodeMTBF: 900, NodeMTTR: 120}
+	small := New(cfg, []int{12, 12}, 3600)
+	big := New(cfg, []int{12, 12, 12}, 3600)
+	filter := func(in *Injector, maxPart int) []Event {
+		var out []Event
+		for _, ev := range in.Events() {
+			if ev.Partition <= maxPart {
+				out = append(out, ev)
+			}
+		}
+		return out
+	}
+	a, b := filter(small, 1), filter(big, 1)
+	if len(a) != len(b) {
+		t.Fatalf("partition 0-1 schedules differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d perturbed by extra partition: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestScheduleShape(t *testing.T) {
+	cfg := Config{Seed: 5, NodeMTBF: 600, NodeMTTR: 60, GroupProb: 0.5, GroupSize: 3}
+	in := New(cfg, []int{8}, 3600)
+	evs := in.Events()
+	fails, recovers := 0, 0
+	for i, ev := range evs {
+		if i > 0 && evs[i-1].Time > ev.Time {
+			t.Fatalf("events out of order at %d: %v after %v", i, ev.Time, evs[i-1].Time)
+		}
+		if ev.Time < 0 || ev.Nodes < 1 {
+			t.Fatalf("malformed event %+v", ev)
+		}
+		if ev.Nodes != 1 && ev.Nodes != 3 {
+			t.Fatalf("event takes %d nodes, want 1 or GroupSize=3", ev.Nodes)
+		}
+		switch ev.Kind {
+		case NodeFail:
+			fails++
+			if ev.Time >= 3600 {
+				t.Fatalf("failure past horizon: %+v", ev)
+			}
+		case NodeRecover:
+			recovers++
+		}
+	}
+	if fails == 0 || fails != recovers {
+		t.Fatalf("fails=%d recovers=%d, want equal and nonzero", fails, recovers)
+	}
+}
+
+// TestCrashPointHashing: crash decisions are pure functions of (id, attempt)
+// and land near the configured probability.
+func TestCrashPointHashing(t *testing.T) {
+	in := New(Config{Seed: 11, CrashProb: 0.2}, nil, 0)
+	crashes := 0
+	for id := job.ID(1); id <= 2000; id++ {
+		f1, c1 := in.CrashPoint(id, 0)
+		f2, c2 := in.CrashPoint(id, 0)
+		if c1 != c2 || f1 != f2 {
+			t.Fatalf("CrashPoint(%d,0) not stable", id)
+		}
+		if c1 {
+			crashes++
+			if f1 < 0.1 || f1 > 0.9 {
+				t.Fatalf("crash fraction %v outside [0.1,0.9]", f1)
+			}
+		}
+	}
+	if crashes < 300 || crashes > 500 {
+		t.Errorf("crash rate %d/2000, want ~400 at p=0.2", crashes)
+	}
+	// Attempts are independent: a crashing attempt 0 must not force attempt 1.
+	allSame := true
+	for id := job.ID(1); id <= 100; id++ {
+		_, c0 := in.CrashPoint(id, 0)
+		_, c1 := in.CrashPoint(id, 1)
+		if c0 != c1 {
+			allSame = false
+			break
+		}
+	}
+	if allSame {
+		t.Error("attempt index does not influence crash decisions")
+	}
+	if _, c := New(Config{Seed: 11}, nil, 0).CrashPoint(1, 0); c {
+		t.Error("disabled crash class produced a crash")
+	}
+}
+
+// TestSlowdownPerJob: straggler status sticks to the job across attempts
+// and respects the configured probability and factor.
+func TestSlowdownPerJob(t *testing.T) {
+	in := New(Config{Seed: 13, StragglerProb: 0.25, StragglerFactor: 3}, nil, 0)
+	slow := 0
+	for id := job.ID(1); id <= 2000; id++ {
+		s := in.Slowdown(id)
+		switch s {
+		case 1:
+		case 3:
+			slow++
+		default:
+			t.Fatalf("Slowdown(%d) = %v, want 1 or 3", id, s)
+		}
+		if in.Slowdown(id) != s {
+			t.Fatalf("Slowdown(%d) not stable", id)
+		}
+	}
+	if slow < 400 || slow > 600 {
+		t.Errorf("straggler rate %d/2000, want ~500 at p=0.25", slow)
+	}
+}
+
+func TestMaxRetries(t *testing.T) {
+	cases := []struct {
+		in   int
+		want int
+	}{{0, 3}, {5, 5}, {-1, 0}}
+	for _, c := range cases {
+		got := New(Config{MaxRetries: c.in}, nil, 0).MaxRetries()
+		if got != c.want {
+			t.Errorf("MaxRetries(cfg=%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	if cfg, err := ParseSpec(""); err != nil || cfg.Enabled() {
+		t.Fatalf("empty spec: cfg=%+v err=%v", cfg, err)
+	}
+	light, err := ParseSpec("light")
+	if err != nil || light.NodeMTBF != 7200 || light.CrashProb != 0.02 {
+		t.Fatalf("light preset: cfg=%+v err=%v", light, err)
+	}
+	heavy, err := ParseSpec("heavy")
+	if err != nil || heavy.NodeMTBF != 1800 || heavy.GroupSize != 8 {
+		t.Fatalf("heavy preset: cfg=%+v err=%v", heavy, err)
+	}
+	cfg, err := ParseSpec("seed=7, mtbf=1800, mttr=120, group=0.2:6, crash=0.05, straggler=0.1:2.5, retries=4, horizon=3600")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{Seed: 7, NodeMTBF: 1800, NodeMTTR: 120, GroupProb: 0.2, GroupSize: 6,
+		CrashProb: 0.05, StragglerProb: 0.1, StragglerFactor: 2.5, MaxRetries: 4, Horizon: 3600}
+	if cfg != want {
+		t.Fatalf("parsed %+v, want %+v", cfg, want)
+	}
+	for _, bad := range []string{"mtbf", "bogus=1", "mtbf=abc", "group=0.2:x", "retries=1.5"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}

@@ -5,9 +5,12 @@
 package metrics
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -55,6 +58,15 @@ type Report struct {
 	// Solver aggregates the MILP solver's work counters over the run
 	// (zero for schedulers without a MILP, e.g. Prio).
 	Solver SolverStats
+
+	// Fault panel (all zero without fault injection): failure-induced
+	// evictions are counted separately from scheduler preemptions, and
+	// FailureLostHours separately from WastedHours, so availability
+	// experiments can split goodput vs. work lost to the environment.
+	Evictions        int     // node-loss evictions + job crashes
+	RetriesExhausted int     // jobs that failed out after their retry budget
+	NodeDownSeconds  float64 // cumulative node-seconds of down capacity
+	FailureLostHours float64 // machine-hours destroyed by failures
 }
 
 // SolverStats carries the MILP solver's cumulative work counters: how much
@@ -113,11 +125,17 @@ func FromResult(system string, res *simulator.Result, cluster simulator.Cluster)
 		}
 		r.Preemptions += o.Preemptions
 		r.WastedHours += o.WastedWork / 3600
+		r.Evictions += o.Evictions
+		if o.Failed {
+			r.RetriesExhausted++
+		}
+		r.FailureLostHours += o.LostToFailures / 3600
 		if o.Completed {
 			allocated += float64(o.Job.Tasks) * o.ActualRuntime
 		}
-		allocated += o.WastedWork
+		allocated += o.WastedWork + o.LostToFailures
 	}
+	r.NodeDownSeconds = res.NodeDownSeconds
 	r.TotalGoodput = r.SLOGoodput + r.BEGoodput
 	if r.SLOJobs > 0 {
 		r.SLOMissRate = 100 * float64(r.SLOMisses) / float64(r.SLOJobs)
@@ -193,6 +211,10 @@ func Average(rs []Report) Report {
 			avg.MaxSolveTime = r.MaxSolveTime
 		}
 		avg.SkippedStarts += r.SkippedStarts
+		avg.Evictions += r.Evictions
+		avg.RetriesExhausted += r.RetriesExhausted
+		avg.NodeDownSeconds += r.NodeDownSeconds / n
+		avg.FailureLostHours += r.FailureLostHours / n
 		avg.Solver.Nodes += r.Solver.Nodes
 		avg.Solver.LPIters += r.Solver.LPIters
 		avg.Solver.SpecLPs += r.Solver.SpecLPs
@@ -210,6 +232,8 @@ func Average(rs []Report) Report {
 	avg.CompletedBE = int(math.Round(float64(avg.CompletedBE) / n))
 	avg.Preemptions = int(math.Round(float64(avg.Preemptions) / n))
 	avg.SkippedStarts = int(math.Round(float64(avg.SkippedStarts) / n))
+	avg.Evictions = int(math.Round(float64(avg.Evictions) / n))
+	avg.RetriesExhausted = int(math.Round(float64(avg.RetriesExhausted) / n))
 	avg.Solver.Nodes = int(math.Round(float64(avg.Solver.Nodes) / n))
 	avg.Solver.LPIters = int(math.Round(float64(avg.Solver.LPIters) / n))
 	avg.Solver.SpecLPs = int(math.Round(float64(avg.Solver.SpecLPs) / n))
@@ -217,6 +241,40 @@ func Average(rs []Report) Report {
 	avg.Solver.CacheHits = int(math.Round(float64(avg.Solver.CacheHits) / n))
 	avg.Solver.CacheMisses = int(math.Round(float64(avg.Solver.CacheMisses) / n))
 	return avg
+}
+
+// FaultPanel renders the availability metrics as one line: failure-induced
+// evictions, retry-budget fail-outs, down capacity, and goodput vs. work
+// lost to the environment.
+func (r Report) FaultPanel() string {
+	return fmt.Sprintf("%-14s evictions=%d retries-exhausted=%d node-down=%.0f node-hr lost=%.1f M-hr goodput=%.1f M-hr",
+		r.System, r.Evictions, r.RetriesExhausted, r.NodeDownSeconds/3600, r.FailureLostHours, r.TotalGoodput)
+}
+
+// OutcomeDigest hashes a run's observable outcome — every job's fate plus
+// end-of-run fault accounting — into a hex string. Two runs with identical
+// scheduling behavior produce identical digests regardless of wall-clock
+// noise (latencies are deliberately excluded), which is what the CI
+// determinism gate compares across invocations.
+func OutcomeDigest(res *simulator.Result) string {
+	h := sha256.New()
+	f := func(x float64) string { return strconv.FormatFloat(x, 'x', -1, 64) }
+	b := func(v bool) string {
+		if v {
+			return "1"
+		}
+		return "0"
+	}
+	for _, o := range res.Outcomes {
+		fmt.Fprintf(h, "%d|%s%s%s%s|%s|%s|%s|%s|%d|%s|%d|%s\n",
+			o.Job.ID, b(o.Started), b(o.Completed), b(o.Cancelled), b(o.Failed),
+			f(o.FirstStart), f(o.CompletionTime), f(o.ActualRuntime),
+			b(o.OnPreferred), o.Preemptions, f(o.WastedWork),
+			o.Evictions, f(o.LostToFailures))
+	}
+	fmt.Fprintf(h, "end=%s cycles=%d skipped=%d down=%s\n",
+		f(res.EndTime), res.Cycles, res.SkippedStarts, f(res.NodeDownSeconds))
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Table renders reports with a header, one row per system (the shape of the

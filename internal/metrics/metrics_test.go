@@ -126,3 +126,76 @@ func TestAverage(t *testing.T) {
 		t.Error("empty average should be zero")
 	}
 }
+
+func TestFailureAccounting(t *testing.T) {
+	ok := mkOutcome(1, job.BestEffort, 2, 0, 100, 300, 0, true)
+	ok.Evictions = 1
+	ok.LostToFailures = 3600 // 1 machine-hour destroyed before the retry won
+	dead := mkOutcome(2, job.BestEffort, 2, 0, 100, 0, 0, false)
+	dead.Evictions = 4
+	dead.Failed = true
+	res := &simulator.Result{
+		EndTime:         3600,
+		Outcomes:        []*simulator.Outcome{ok, dead},
+		NodeDownSeconds: 7200,
+	}
+	r := FromResult("x", res, simulator.NewCluster(4, 1))
+	if r.Evictions != 5 || r.RetriesExhausted != 1 {
+		t.Errorf("evictions=%d retries-exhausted=%d, want 5 and 1", r.Evictions, r.RetriesExhausted)
+	}
+	if math.Abs(r.FailureLostHours-1) > 1e-9 || r.NodeDownSeconds != 7200 {
+		t.Errorf("lost=%v down=%v", r.FailureLostHours, r.NodeDownSeconds)
+	}
+	panel := r.FaultPanel()
+	for _, want := range []string{"evictions=5", "retries-exhausted=1", "node-down=2"} {
+		if !strings.Contains(panel, want) {
+			t.Errorf("fault panel missing %q: %s", want, panel)
+		}
+	}
+	avg := Average([]Report{r, {System: "x"}})
+	if avg.Evictions != 3 || avg.NodeDownSeconds != 3600 {
+		t.Errorf("fault averaging wrong: %+v", avg)
+	}
+}
+
+// TestOutcomeDigest: the digest is stable across identical results,
+// sensitive to every outcome field it covers, and deliberately blind to
+// wall-clock latency noise.
+func TestOutcomeDigest(t *testing.T) {
+	build := func() *simulator.Result {
+		o := mkOutcome(1, job.SLO, 2, 0, 900, 900, 1000, true)
+		o.Evictions = 1
+		o.LostToFailures = 55.5
+		return &simulator.Result{
+			EndTime:         3600,
+			Cycles:          10,
+			Outcomes:        []*simulator.Outcome{o},
+			NodeDownSeconds: 120,
+		}
+	}
+	base := OutcomeDigest(build())
+	if base != OutcomeDigest(build()) {
+		t.Fatal("digest differs across identical results")
+	}
+	perturb := map[string]func(*simulator.Result){
+		"completion": func(r *simulator.Result) { r.Outcomes[0].CompletionTime += 1e-9 },
+		"evictions":  func(r *simulator.Result) { r.Outcomes[0].Evictions++ },
+		"lost":       func(r *simulator.Result) { r.Outcomes[0].LostToFailures = 55.6 },
+		"failed":     func(r *simulator.Result) { r.Outcomes[0].Failed = true },
+		"down":       func(r *simulator.Result) { r.NodeDownSeconds = 121 },
+		"cycles":     func(r *simulator.Result) { r.Cycles++ },
+	}
+	for name, mutate := range perturb {
+		r := build()
+		mutate(r)
+		if OutcomeDigest(r) == base {
+			t.Errorf("digest blind to %s change", name)
+		}
+	}
+	noisy := build()
+	noisy.CycleLatencies = []time.Duration{time.Second}
+	noisy.SolverLatency = []time.Duration{time.Second}
+	if OutcomeDigest(noisy) != base {
+		t.Error("digest must exclude wall-clock latencies")
+	}
+}

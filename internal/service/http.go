@@ -70,10 +70,14 @@ func writeErr(w http.ResponseWriter, err error) {
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("POST /v1/cluster/nodes", s.handleResize)
+	mux.HandleFunc("POST /v1/nodes/fail", s.handleNodeOp(s.FailNodes))
+	mux.HandleFunc("POST /v1/nodes/recover", s.handleNodeOp(s.RecoverNodes))
+	mux.HandleFunc("POST /v1/nodes/drain", s.handleNodeOp(s.DrainNodes))
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	mux.HandleFunc("POST /v1/train", s.handleTrain)
@@ -82,6 +86,41 @@ func (s *Service) Handler() http.Handler {
 
 func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "virtual_now": s.VirtualNow()})
+}
+
+// handleReady is the readiness probe: 200 while accepting work, 503 once a
+// drain begins (SIGTERM) or before Start. Liveness (/healthz) stays 200
+// through a drain, so load balancers stop routing without the process being
+// declared dead mid-drain.
+func (s *Service) handleReady(w http.ResponseWriter, r *http.Request) {
+	if !s.Ready() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true, "virtual_now": s.VirtualNow()})
+}
+
+// nodeOpRequest is the body of the POST /v1/nodes/{fail,recover,drain}
+// operator endpoints.
+type nodeOpRequest struct {
+	Partition int `json:"partition"`
+	Nodes     int `json:"nodes"`
+}
+
+func (s *Service) handleNodeOp(op func(partition, n int) (NodeOpResult, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req nodeOpRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, &SubmitError{Code: 400, Msg: "bad JSON: " + err.Error()})
+			return
+		}
+		res, err := op(req.Partition, req.Nodes)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	}
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"threesigma/internal/core"
+	"threesigma/internal/faults"
 	"threesigma/internal/job"
 	"threesigma/internal/predictor"
 	"threesigma/internal/simulator"
@@ -58,6 +59,13 @@ type Config struct {
 
 	// Logf receives operational log lines (default: discard).
 	Logf func(format string, args ...any)
+
+	// Faults, when non-nil, runs a chaos injector inside the scheduling
+	// loop: a deterministic node crash/recover schedule (over virtual time,
+	// Faults.Horizon seconds long) plus per-attempt job crashes and
+	// straggler slowdowns. Operators can also fail/recover/drain nodes
+	// directly via the /v1/nodes endpoints regardless of this setting.
+	Faults *faults.Config
 }
 
 func (c *Config) fill() error {
@@ -92,11 +100,13 @@ type statser interface{ Stats() core.Stats }
 // be dropped when a job is cancelled (core.Scheduler.JobRemoved).
 type remover interface{ JobRemoved(id job.ID) }
 
-// completion is one emulated job finish, due when virtual time reaches at.
+// completion is one emulated run event, due when virtual time reaches at:
+// either a job finish or (crash=true) a fault-injected mid-run crash.
 type completion struct {
 	at    float64
 	id    job.ID
 	runID int64
+	crash bool
 }
 
 type compHeap []completion
@@ -127,6 +137,8 @@ type Counters struct {
 	Cancelled int64 `json:"cancelled"`
 	Abandoned int64 `json:"abandoned"` // dropped by the scheduler (zero attainable utility)
 	Trained   int64 `json:"trained"`   // history records fed via /v1/train
+	Evicted   int64 `json:"evicted"`   // failure-induced evictions (node loss + crashes)
+	FailedOut int64 `json:"failed"`    // jobs terminated after exhausting the retry budget
 }
 
 // Service is one running daemon instance. Create with New, start with
@@ -149,7 +161,13 @@ type Service struct {
 	cycles    int64
 	ckpts     int64
 
+	// Chaos injector state (nil / unused without Config.Faults).
+	inj      *faults.Injector
+	faultIdx int            // next unapplied schedule event
+	attempts map[job.ID]int // starts per job, for per-attempt crash draws
+
 	started  bool
+	stopped  bool // stop channel closed (Stop called)
 	stop     chan struct{}
 	loopDone chan struct{}
 }
@@ -168,6 +186,13 @@ func New(cfg Config) (*Service, error) {
 		abandoned: make(map[job.ID]bool),
 		stop:      make(chan struct{}),
 		loopDone:  make(chan struct{}),
+	}
+	if cfg.Faults != nil {
+		s.inj = faults.New(*cfg.Faults, cfg.Cluster.Partitions, 0)
+		s.eng.SetRetryBudget(s.inj.MaxRetries())
+		s.attempts = make(map[job.ID]int)
+		cfg.Logf("chaos injector armed: %d node-lifecycle events over %.0fs virtual",
+			len(s.inj.Events()), s.inj.Config().Horizon)
 	}
 	if cfg.Predictor != nil && cfg.CheckpointPath != "" {
 		found, err := loadCheckpoint(cfg.Predictor, cfg.CheckpointPath)
@@ -194,6 +219,29 @@ func (s *Service) Start() {
 	go s.loop()
 }
 
+// BeginDrain flips the service into draining mode without stopping the
+// scheduling loop: new submissions are refused with 503 and Ready reports
+// false (so /readyz tells load balancers to stop routing here), while
+// admitted work keeps cycling until Stop. Idempotent.
+func (s *Service) BeginDrain() {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if !already {
+		s.cfg.Logf("draining: submissions refused, readiness withdrawn")
+	}
+}
+
+// Ready reports whether the service accepts new work: started and not
+// draining. This is the /readyz signal; liveness (/healthz) stays true
+// through a drain.
+func (s *Service) Ready() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.started && !s.draining
+}
+
 // Stop drains the service: new submissions are refused, the in-flight
 // cycle finishes, and a final checkpoint is flushed. It blocks until the
 // loop has exited (or timeout elapses; 0 means wait forever).
@@ -203,7 +251,8 @@ func (s *Service) Stop(timeout time.Duration) error {
 		s.mu.Unlock()
 		return nil
 	}
-	already := s.draining
+	already := s.stopped
+	s.stopped = true
 	s.draining = true
 	s.mu.Unlock()
 	if !already {
@@ -281,15 +330,54 @@ func (s *Service) runCycle() {
 	}
 
 	// Emulated execution: complete every run whose virtual finish time has
-	// passed. Stale entries (preempted or cancelled runs) pop and drop.
+	// passed. Stale entries (preempted or cancelled runs) pop and drop;
+	// crash entries kill the attempt through the engine's failure path.
 	for len(s.comps) > 0 && s.comps[0].at <= now {
 		c := heap.Pop(&s.comps).(completion)
+		if c.crash {
+			requeued, ok := s.eng.CrashRun(c.id, c.runID, c.at)
+			if !ok {
+				continue
+			}
+			s.counters.Evicted++
+			if !requeued {
+				s.counters.FailedOut++
+				s.removed = append(s.removed, c.id)
+			}
+			continue
+		}
 		j, base, ok := s.eng.Complete(c.id, c.runID, c.at)
 		if !ok {
 			continue
 		}
 		s.counters.Completed++
 		s.cfg.Scheduler.JobCompleted(j, base, c.at)
+	}
+
+	// Replay the chaos schedule up to virtual now: node failures evict
+	// running jobs (retry-budget exhaustion is terminal) and recoveries
+	// return capacity before the snapshot below is taken.
+	if s.inj != nil {
+		evs := s.inj.Events()
+		for s.faultIdx < len(evs) && evs[s.faultIdx].Time <= now {
+			ev := evs[s.faultIdx]
+			s.faultIdx++
+			switch ev.Kind {
+			case faults.NodeFail:
+				n, evicted, exhausted, _ := s.eng.FailNodes(ev.Partition, ev.Nodes, now)
+				s.counters.Evicted += int64(len(evicted) + len(exhausted))
+				s.counters.FailedOut += int64(len(exhausted))
+				s.removed = append(s.removed, exhausted...)
+				if n > 0 {
+					s.cfg.Logf("chaos: partition %d lost %d nodes (%d jobs requeued, %d failed out)",
+						ev.Partition, n, len(evicted), len(exhausted))
+				}
+			case faults.NodeRecover:
+				if n, _ := s.eng.RecoverNodes(ev.Partition, ev.Nodes, now); n > 0 {
+					s.cfg.Logf("chaos: partition %d recovered %d nodes", ev.Partition, n)
+				}
+			}
+		}
 	}
 
 	// Scheduler-side cleanup for jobs cancelled since the last cycle.
@@ -318,7 +406,18 @@ func (s *Service) runCycle() {
 			continue
 		}
 		rt := run.EffectiveRuntime(run.Job.Runtime)
+		if s.inj != nil {
+			rt *= s.inj.Slowdown(run.Job.ID)
+		}
 		rt = math.Max(rt, 0.001)
+		if s.inj != nil {
+			att := s.attempts[run.Job.ID]
+			s.attempts[run.Job.ID] = att + 1
+			if frac, crashes := s.inj.CrashPoint(run.Job.ID, att); crashes {
+				heap.Push(&s.comps, completion{at: now + frac*rt, id: run.Job.ID, runID: run.RunID, crash: true})
+				continue
+			}
+		}
 		heap.Push(&s.comps, completion{at: now + rt, id: run.Job.ID, runID: run.RunID})
 	}
 	s.cycles++
@@ -395,6 +494,9 @@ const (
 	// attainable start could earn utility any more (§4.2's zero-utility
 	// abandonment, surfaced to the submitter as a terminal state).
 	PhaseAbandoned JobPhase = "abandoned"
+	// PhaseFailed marks a job terminated by the fault subsystem after
+	// exhausting its retry budget (terminal).
+	PhaseFailed JobPhase = "failed"
 )
 
 // JobStatus is the status API's view of one job.
@@ -407,6 +509,7 @@ type JobStatus struct {
 	FirstStart     float64  `json:"first_start,omitempty"`
 	CompletionTime float64  `json:"completion_time,omitempty"`
 	Preemptions    int      `json:"preemptions,omitempty"`
+	Evictions      int      `json:"evictions,omitempty"` // failure-induced
 	OnPreferred    bool     `json:"on_preferred,omitempty"`
 }
 
@@ -428,10 +531,13 @@ func (s *Service) Status(id job.ID) (JobStatus, bool) {
 	st := JobStatus{
 		ID: id, Tasks: o.Job.Tasks, Class: o.Job.Class.String(),
 		SubmitTime: o.Job.Submit, Preemptions: o.Preemptions,
+		Evictions: o.Evictions,
 	}
 	switch {
 	case s.abandoned[id]:
 		st.Phase = PhaseAbandoned
+	case o.Failed:
+		st.Phase = PhaseFailed
 	case o.Cancelled:
 		st.Phase = PhaseCancelled
 	case o.Completed:
@@ -532,6 +638,77 @@ func (s *Service) Resize(partition, delta int) (simulator.Cluster, error) {
 	return s.eng.Cluster(), nil
 }
 
+// NodeOpResult reports the effect of a node-lifecycle operator action.
+type NodeOpResult struct {
+	Partition int      `json:"partition"`
+	Nodes     int      `json:"nodes"` // nodes actually transitioned
+	DownNodes []int    `json:"down_nodes"`
+	FreeNodes []int    `json:"free_nodes"`
+	Evicted   []job.ID `json:"evicted,omitempty"`    // requeued for retry
+	FailedOut []job.ID `json:"failed_out,omitempty"` // retry budget exhausted
+}
+
+// FailNodes is the operator API behind POST /v1/nodes/fail: n nodes of the
+// partition crash now, evicting their jobs (youngest first) into the retry
+// path. Scheduler state for failed-out jobs is cleared on the next cycle.
+func (s *Service) FailNodes(partition, n int) (NodeOpResult, error) {
+	if n <= 0 {
+		return NodeOpResult{}, &SubmitError{Code: 400, Msg: "nodes must be positive"}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	failed, evicted, exhausted, err := s.eng.FailNodes(partition, n, s.vnow())
+	if err != nil {
+		return NodeOpResult{}, &SubmitError{Code: 400, Msg: err.Error()}
+	}
+	s.counters.Evicted += int64(len(evicted) + len(exhausted))
+	s.counters.FailedOut += int64(len(exhausted))
+	s.removed = append(s.removed, exhausted...)
+	s.cfg.Logf("operator: partition %d lost %d nodes (%d jobs requeued, %d failed out)",
+		partition, failed, len(evicted), len(exhausted))
+	return NodeOpResult{Partition: partition, Nodes: failed,
+		DownNodes: s.eng.DownNodes(), FreeNodes: s.eng.FreeNodes(),
+		Evicted: evicted, FailedOut: exhausted}, nil
+}
+
+// RecoverNodes is the operator API behind POST /v1/nodes/recover: up to n
+// down (failed or drained) nodes of the partition return to service.
+func (s *Service) RecoverNodes(partition, n int) (NodeOpResult, error) {
+	if n <= 0 {
+		return NodeOpResult{}, &SubmitError{Code: 400, Msg: "nodes must be positive"}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, err := s.eng.RecoverNodes(partition, n, s.vnow())
+	if err != nil {
+		return NodeOpResult{}, &SubmitError{Code: 400, Msg: err.Error()}
+	}
+	s.cfg.Logf("operator: partition %d recovered %d nodes", partition, rec)
+	return NodeOpResult{Partition: partition, Nodes: rec,
+		DownNodes: s.eng.DownNodes(), FreeNodes: s.eng.FreeNodes()}, nil
+}
+
+// DrainNodes is the operator API behind POST /v1/nodes/drain: n free nodes
+// of the partition leave service gracefully (no evictions; 409 when the
+// partition lacks that many free nodes — retry after completions).
+func (s *Service) DrainNodes(partition, n int) (NodeOpResult, error) {
+	if n <= 0 {
+		return NodeOpResult{}, &SubmitError{Code: 400, Msg: "nodes must be positive"}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.eng.DrainNodes(partition, n, s.vnow()); err != nil {
+		code := 400
+		if partition >= 0 && partition < len(s.eng.Cluster().Partitions) {
+			code = 409 // valid partition, not enough free nodes right now
+		}
+		return NodeOpResult{}, &SubmitError{Code: code, Msg: err.Error()}
+	}
+	s.cfg.Logf("operator: partition %d drained %d nodes", partition, n)
+	return NodeOpResult{Partition: partition, Nodes: n,
+		DownNodes: s.eng.DownNodes(), FreeNodes: s.eng.FreeNodes()}, nil
+}
+
 // Predict runs 3σPredict on a hypothetical job (nil when no predictor is
 // configured). It does not mutate history.
 func (s *Service) Predict(j *job.Job) *predictor.Estimate {
@@ -556,6 +733,9 @@ type Metrics struct {
 	SkippedStarts   int      `json:"skipped_starts"`
 	Partitions      []int    `json:"partitions"`
 	FreeNodes       []int    `json:"free_nodes"`
+	DownNodes       []int    `json:"down_nodes"`
+	NodeDownSeconds float64  `json:"node_down_seconds"`
+	Ready           bool     `json:"ready"` // started and not draining
 	Checkpoints     int64    `json:"checkpoints"`
 	PredictorGroups int      `json:"predictor_groups,omitempty"`
 
@@ -576,27 +756,30 @@ func (s *Service) Metrics() Metrics {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m := Metrics{
-		UptimeSeconds: time.Since(s.epoch).Seconds(),
-		VirtualNow:    s.vnow(),
-		TimeScale:     s.cfg.TimeScale,
-		Cycles:        s.cycles,
-		Counters:      s.counters,
-		QueueLen:      len(s.queue),
-		QueueCap:      s.cfg.QueueCap,
-		Pending:       s.eng.PendingCount(),
-		Running:       s.eng.RunningCount(),
-		SkippedStarts: s.eng.SkippedStarts(),
-		Partitions:    append([]int(nil), s.eng.Cluster().Partitions...),
-		FreeNodes:     s.eng.FreeNodes(),
-		Checkpoints:   s.ckpts,
-		SchedCycles:   s.stats.Cycles,
-		SolverNodes:   s.stats.SolverNodes,
-		SolverLPIters: s.stats.SolverLPIters,
-		Starts:        s.stats.Starts,
-		Preemptions:   s.stats.Preemptions,
-		MaxVars:       s.stats.MaxVars,
-		MaxRows:       s.stats.MaxRows,
-		MaxSolve:      s.stats.MaxSolveTime,
+		UptimeSeconds:   time.Since(s.epoch).Seconds(),
+		VirtualNow:      s.vnow(),
+		TimeScale:       s.cfg.TimeScale,
+		Cycles:          s.cycles,
+		Counters:        s.counters,
+		QueueLen:        len(s.queue),
+		QueueCap:        s.cfg.QueueCap,
+		Pending:         s.eng.PendingCount(),
+		Running:         s.eng.RunningCount(),
+		SkippedStarts:   s.eng.SkippedStarts(),
+		Partitions:      append([]int(nil), s.eng.Cluster().Partitions...),
+		FreeNodes:       s.eng.FreeNodes(),
+		DownNodes:       s.eng.DownNodes(),
+		Ready:           s.started && !s.draining,
+		Checkpoints:     s.ckpts,
+		NodeDownSeconds: s.eng.NodeDownSeconds(s.vnow()),
+		SchedCycles:     s.stats.Cycles,
+		SolverNodes:     s.stats.SolverNodes,
+		SolverLPIters:   s.stats.SolverLPIters,
+		Starts:          s.stats.Starts,
+		Preemptions:     s.stats.Preemptions,
+		MaxVars:         s.stats.MaxVars,
+		MaxRows:         s.stats.MaxRows,
+		MaxSolve:        s.stats.MaxSolveTime,
 	}
 	if s.stats.Cycles > 0 {
 		m.MeanCycleMS = float64(s.stats.CycleTime.Milliseconds()) / float64(s.stats.Cycles)

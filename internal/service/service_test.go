@@ -13,6 +13,7 @@ import (
 
 	"threesigma/internal/baselines"
 	"threesigma/internal/core"
+	"threesigma/internal/faults"
 	"threesigma/internal/job"
 	"threesigma/internal/predictor"
 	"threesigma/internal/simulator"
@@ -395,5 +396,129 @@ func TestCheckpointAtomicOverwrite(t *testing.T) {
 	found, err = loadCheckpoint(p2, filepath.Join(t.TempDir(), "nope"))
 	if err != nil || found {
 		t.Fatalf("missing checkpoint: found=%v err=%v", found, err)
+	}
+}
+
+func TestReadyzFlipsOnDrain(t *testing.T) {
+	svc := mustService(t, fastConfig(fifoSched{}))
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	// Alive but not ready before Start.
+	if code := getJSON(t, ts, "/readyz", nil); code != 503 {
+		t.Fatalf("readyz before Start = %d, want 503", code)
+	}
+	svc.Start()
+	defer svc.Stop(5 * time.Second)
+	if code := getJSON(t, ts, "/readyz", nil); code != 200 {
+		t.Fatalf("readyz after Start = %d, want 200", code)
+	}
+	svc.BeginDrain()
+	svc.BeginDrain() // idempotent
+	if code := getJSON(t, ts, "/readyz", nil); code != 503 {
+		t.Fatalf("readyz during drain = %d, want 503", code)
+	}
+	// Liveness is unaffected: the process must not look dead mid-drain.
+	if code := getJSON(t, ts, "/healthz", nil); code != 200 {
+		t.Fatalf("healthz during drain = %d, want 200", code)
+	}
+	var m Metrics
+	getJSON(t, ts, "/v1/metrics", &m)
+	if m.Ready {
+		t.Fatal("metrics still report ready during drain")
+	}
+}
+
+func TestNodeOpEndpoints(t *testing.T) {
+	svc := mustService(t, fastConfig(fifoSched{})) // 16 nodes / 2 partitions
+	svc.Start()
+	defer svc.Stop(5 * time.Second)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	// One job holding the whole cluster so failures must evict it.
+	resp, body := postJSON(t, ts, "/v1/jobs", jobRequest{ID: 1, Tasks: 16, Runtime: 1000})
+	if resp.StatusCode != 202 {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	waitPhase(t, ts, 1, PhaseRunning)
+
+	var op NodeOpResult
+	resp, body = postJSON(t, ts, "/v1/nodes/fail", nodeOpRequest{Partition: 0, Nodes: 4})
+	if resp.StatusCode != 200 {
+		t.Fatalf("fail: %d %s", resp.StatusCode, body)
+	}
+	json.Unmarshal(body, &op)
+	if op.Nodes != 4 || op.DownNodes[0] != 4 {
+		t.Fatalf("fail result = %+v", op)
+	}
+	if len(op.Evicted) != 1 || op.Evicted[0] != 1 {
+		t.Fatalf("evicted = %v, want job 1 requeued", op.Evicted)
+	}
+	// The cluster is now 12 effective nodes: a 16-task gang cannot restart.
+	st := waitPhase(t, ts, 1, PhasePending)
+	if st.Evictions != 1 {
+		t.Fatalf("status evictions = %d, want 1", st.Evictions)
+	}
+
+	resp, body = postJSON(t, ts, "/v1/nodes/recover", nodeOpRequest{Partition: 0, Nodes: 4})
+	if resp.StatusCode != 200 {
+		t.Fatalf("recover: %d %s", resp.StatusCode, body)
+	}
+	json.Unmarshal(body, &op)
+	if op.Nodes != 4 || op.DownNodes[0] != 0 {
+		t.Fatalf("recover result = %+v", op)
+	}
+	waitPhase(t, ts, 1, PhaseRunning)
+
+	// Drain never evicts: with every node allocated it must 409.
+	resp, body = postJSON(t, ts, "/v1/nodes/drain", nodeOpRequest{Partition: 0, Nodes: 1})
+	if resp.StatusCode != 409 {
+		t.Fatalf("drain on full partition: %d %s, want 409", resp.StatusCode, body)
+	}
+	for _, bad := range []nodeOpRequest{{Partition: 0, Nodes: 0}, {Partition: 9, Nodes: 1}} {
+		for _, path := range []string{"/v1/nodes/fail", "/v1/nodes/recover", "/v1/nodes/drain"} {
+			if resp, _ := postJSON(t, ts, path, bad); resp.StatusCode != 400 {
+				t.Fatalf("%s %+v = %d, want 400", path, bad, resp.StatusCode)
+			}
+		}
+	}
+
+	var m Metrics
+	getJSON(t, ts, "/v1/metrics", &m)
+	if m.NodeDownSeconds <= 0 {
+		t.Fatalf("metrics NodeDownSeconds = %v, want > 0 after a down episode", m.NodeDownSeconds)
+	}
+	if m.Counters.Evicted != 1 {
+		t.Fatalf("counters = %+v, want 1 evicted", m.Counters)
+	}
+}
+
+func TestChaosCrashFailsJobOut(t *testing.T) {
+	cfg := fastConfig(fifoSched{})
+	// Every attempt crashes; one retry allowed, so attempt 2's crash is
+	// terminal. The hash-based injector makes this exact regardless of
+	// timing.
+	cfg.Faults = &faults.Config{Seed: 1, CrashProb: 1, MaxRetries: 1}
+	svc := mustService(t, cfg)
+	svc.Start()
+	defer svc.Stop(5 * time.Second)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts, "/v1/jobs", jobRequest{ID: 1, Tasks: 2, Runtime: 2})
+	if resp.StatusCode != 202 {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	st := waitPhase(t, ts, 1, PhaseFailed)
+	if st.Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2 (budget 1 + terminal crash)", st.Evictions)
+	}
+	var m Metrics
+	getJSON(t, ts, "/v1/metrics", &m)
+	if m.Counters.Evicted != 2 || m.Counters.FailedOut != 1 {
+		t.Fatalf("counters = %+v, want evicted=2 failed=1", m.Counters)
+	}
+	if m.Running != 0 || m.Pending != 0 {
+		t.Fatalf("failed-out job still in system: %+v", m)
 	}
 }

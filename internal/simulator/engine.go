@@ -32,6 +32,14 @@ type Engine struct {
 	runSeq  int64
 	out     map[job.ID]*Outcome
 	skipped int
+
+	// Node-lifecycle layer: down[p] nodes of partition p are failed or
+	// drained and excluded from scheduling until recovered. Invariant per
+	// partition: free + allocated + down == provisioned.
+	down        Alloc
+	retryBudget int     // failure evictions allowed per job; 0 = unlimited
+	downSec     float64 // accumulated node-seconds of down capacity
+	downMark    float64 // time of the last down-count change
 }
 
 type runEntry struct {
@@ -67,11 +75,33 @@ func NewEngine(c Cluster) *Engine {
 	}
 	e.free = make(Alloc, len(c.Partitions))
 	copy(e.free, c.Partitions)
+	e.down = make(Alloc, len(c.Partitions))
 	return e
 }
 
-// Cluster returns the current cluster shape.
+// Cluster returns the provisioned cluster shape, ignoring down nodes.
 func (e *Engine) Cluster() Cluster { return e.cluster }
+
+// EffectiveCluster returns the live cluster shape: provisioned minus down
+// nodes. With nothing down it returns the provisioned cluster unchanged, so
+// fault-free runs see bitwise-identical state to builds without faults.
+func (e *Engine) EffectiveCluster() Cluster {
+	any := false
+	for _, d := range e.down {
+		if d > 0 {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return e.cluster
+	}
+	parts := append([]int(nil), e.cluster.Partitions...)
+	for p, d := range e.down {
+		parts[p] -= d
+	}
+	return Cluster{Partitions: parts}
+}
 
 // FreeNodes returns a copy of the per-partition free-node counts.
 func (e *Engine) FreeNodes() Alloc { return e.free.Clone() }
@@ -121,12 +151,15 @@ func (e *Engine) Submit(j *job.Job) error {
 
 // Snapshot builds the cluster state handed to a scheduler's Cycle: cloned
 // free counts, a copy of the pending queue, and the running set in
-// deterministic job-ID order.
+// deterministic job-ID order. The snapshot's Cluster is the effective
+// (down-adjusted) shape, so schedulers — including the MILP capacity rows
+// of Eq. 3 and preferred-partition feasibility checks — plan against live
+// capacity, not the provisioned ideal.
 func (e *Engine) Snapshot(now float64) *State {
 	st := &State{
 		Now:     now,
 		Free:    e.free.Clone(),
-		Cluster: e.cluster,
+		Cluster: e.EffectiveCluster(),
 		Pending: append([]*job.Job(nil), e.pending...),
 	}
 	st.Running = make([]*RunningJob, 0, len(e.running))
@@ -285,6 +318,163 @@ func (e *Engine) Resize(part, delta int) error {
 	e.cluster = Cluster{Partitions: parts}
 	e.free[part] += delta
 	return nil
+}
+
+// SetRetryBudget bounds failure-induced restarts: a job evicted more than n
+// times by node loss or crashes fails out terminally instead of requeueing.
+// n <= 0 means unlimited retries.
+func (e *Engine) SetRetryBudget(n int) {
+	if n < 0 {
+		n = 0
+	}
+	e.retryBudget = n
+}
+
+// DownNodes returns a copy of the per-partition down-node counts.
+func (e *Engine) DownNodes() Alloc { return e.down.Clone() }
+
+// noteDown accrues node-down-seconds up to now before a down-count change.
+func (e *Engine) noteDown(now float64) {
+	if now > e.downMark {
+		e.downSec += float64(e.down.Total()) * (now - e.downMark)
+	}
+	e.downMark = now
+}
+
+// NodeDownSeconds returns cumulative node-seconds of down capacity through
+// now — the denominator-side loss for availability accounting.
+func (e *Engine) NodeDownSeconds(now float64) float64 {
+	s := e.downSec
+	if now > e.downMark {
+		s += float64(e.down.Total()) * (now - e.downMark)
+	}
+	return s
+}
+
+// evictRun removes a running attempt after a failure (node loss or crash),
+// freeing its nodes and charging failure-distinct accounting (Evictions /
+// LostToFailures, separate from scheduler-initiated Preemptions). The job
+// requeues unless its retry budget is exhausted, in which case it fails out
+// terminally and requeued=false.
+func (e *Engine) evictRun(ri *runEntry, now float64) (requeued bool) {
+	id := ri.rj.Job.ID
+	delete(e.running, id)
+	for p, n := range ri.rj.Alloc {
+		e.free[p] += n
+	}
+	o := e.out[id]
+	o.Evictions++
+	o.LostToFailures += (now - ri.rj.Start) * float64(ri.rj.Job.Tasks)
+	if e.retryBudget > 0 && o.Evictions > e.retryBudget {
+		o.Failed = true
+		return false
+	}
+	e.pending = append(e.pending, ri.rj.Job)
+	return true
+}
+
+// victimIn picks the eviction victim among jobs running on partition part:
+// the youngest attempt first (largest Start, ties broken by larger job ID),
+// minimizing the work destroyed per freed node. Returns nil when no running
+// job holds nodes there.
+func (e *Engine) victimIn(part int) *runEntry {
+	var best *runEntry
+	for _, ri := range e.running {
+		if ri.rj.Alloc[part] <= 0 {
+			continue
+		}
+		if best == nil || ri.rj.Start > best.rj.Start ||
+			(ri.rj.Start == best.rj.Start && ri.rj.Job.ID > best.rj.Job.ID) {
+			best = ri
+		}
+	}
+	return best
+}
+
+// FailNodes marks n nodes of partition part as down at now, evicting
+// running jobs (youngest first) until enough nodes are free to take down.
+// n is capped at the partition's up-node count. It returns how many nodes
+// actually failed plus the evicted-and-requeued and failed-out job IDs.
+func (e *Engine) FailNodes(part, n int, now float64) (failed int, evicted, exhausted []job.ID, err error) {
+	if part < 0 || part >= len(e.cluster.Partitions) {
+		return 0, nil, nil, fmt.Errorf("simulator: partition %d out of range [0,%d)", part, len(e.cluster.Partitions))
+	}
+	if up := e.cluster.Partitions[part] - e.down[part]; n > up {
+		n = up
+	}
+	if n <= 0 {
+		return 0, nil, nil, nil
+	}
+	for e.free[part] < n {
+		ri := e.victimIn(part)
+		if ri == nil {
+			// Unreachable while free+allocated+down == provisioned holds, but
+			// degrade to failing only the free nodes rather than corrupting
+			// the accounting.
+			n = e.free[part]
+			break
+		}
+		id := ri.rj.Job.ID
+		if e.evictRun(ri, now) {
+			evicted = append(evicted, id)
+		} else {
+			exhausted = append(exhausted, id)
+		}
+	}
+	e.noteDown(now)
+	e.free[part] -= n
+	e.down[part] += n
+	return n, evicted, exhausted, nil
+}
+
+// RecoverNodes returns up to n down nodes of partition part to service at
+// now, reporting how many actually recovered.
+func (e *Engine) RecoverNodes(part, n int, now float64) (int, error) {
+	if part < 0 || part >= len(e.cluster.Partitions) {
+		return 0, fmt.Errorf("simulator: partition %d out of range [0,%d)", part, len(e.cluster.Partitions))
+	}
+	if n > e.down[part] {
+		n = e.down[part]
+	}
+	if n <= 0 {
+		return 0, nil
+	}
+	e.noteDown(now)
+	e.down[part] -= n
+	e.free[part] += n
+	return n, nil
+}
+
+// DrainNodes takes n free nodes of partition part out of service at now
+// without evicting anything — the graceful-maintenance counterpart of
+// FailNodes. It fails when the partition lacks n free nodes, leaving the
+// caller to retry after completions; recovery is via RecoverNodes.
+func (e *Engine) DrainNodes(part, n int, now float64) error {
+	if part < 0 || part >= len(e.cluster.Partitions) {
+		return fmt.Errorf("simulator: partition %d out of range [0,%d)", part, len(e.cluster.Partitions))
+	}
+	if n <= 0 {
+		return fmt.Errorf("simulator: drain of %d nodes is not positive", n)
+	}
+	if e.free[part] < n {
+		return fmt.Errorf("simulator: drain %d from partition %d: only %d free", n, part, e.free[part])
+	}
+	e.noteDown(now)
+	e.free[part] -= n
+	e.down[part] += n
+	return nil
+}
+
+// CrashRun kills the attempt identified by (id, runID) at now — the
+// job-level failure path, subject to the same retry budget as node-loss
+// evictions. Stale runIDs (the attempt was preempted or already finished)
+// return ok=false and change nothing.
+func (e *Engine) CrashRun(id job.ID, runID int64, now float64) (requeued, ok bool) {
+	ri, found := e.running[id]
+	if !found || ri.runID != runID {
+		return false, false
+	}
+	return e.evictRun(ri, now), true
 }
 
 // Outcome returns the outcome record for one job (nil when unknown).

@@ -218,6 +218,160 @@ func TestEngineResize(t *testing.T) {
 	}
 }
 
+// checkNodeConservation asserts the lifecycle invariant: per partition,
+// free + allocated + down == provisioned.
+func checkNodeConservation(t *testing.T, e *Engine, stage string) {
+	t.Helper()
+	free, down := e.FreeNodes(), e.DownNodes()
+	for p, cap := range e.Cluster().Partitions {
+		if free[p] < 0 || down[p] < 0 {
+			t.Fatalf("%s: negative counts in partition %d: free=%d down=%d", stage, p, free[p], down[p])
+		}
+		if cap-free[p]-down[p] < 0 {
+			t.Fatalf("%s: partition %d over-committed: free=%d down=%d cap=%d", stage, p, free[p], down[p], cap)
+		}
+	}
+	eff := e.EffectiveCluster()
+	for p := range eff.Partitions {
+		if eff.Partitions[p] != e.Cluster().Partitions[p]-down[p] {
+			t.Fatalf("%s: effective[%d]=%d, want provisioned-down=%d",
+				stage, p, eff.Partitions[p], e.Cluster().Partitions[p]-down[p])
+		}
+	}
+}
+
+func TestEngineFailEvictsAndRecovers(t *testing.T) {
+	e := NewEngine(NewCluster(8, 2)) // 4 nodes per partition
+	e.SetRetryBudget(3)
+	// Two jobs on partition 0: job 1 started first (older attempt).
+	for id := int64(1); id <= 2; id++ {
+		if err := e.Submit(mkJob(id, 0, 100, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := e.Start(StartAction{Job: 1, Alloc: Alloc{2, 0}}, 0); !ok {
+		t.Fatal("start 1 failed")
+	}
+	if _, ok := e.Start(StartAction{Job: 2, Alloc: Alloc{2, 0}}, 5); !ok {
+		t.Fatal("start 2 failed")
+	}
+	checkNodeConservation(t, e, "running")
+	// Failing 2 nodes: 0 free, so the youngest attempt (job 2) is evicted.
+	failed, evicted, exhausted, err := e.FailNodes(0, 2, 10)
+	if err != nil || failed != 2 {
+		t.Fatalf("FailNodes: failed=%d err=%v", failed, err)
+	}
+	if len(evicted) != 1 || evicted[0] != 2 || len(exhausted) != 0 {
+		t.Fatalf("evicted=%v exhausted=%v, want youngest job 2 requeued", evicted, exhausted)
+	}
+	if !e.IsPending(2) || !e.IsRunning(1) {
+		t.Fatal("job 2 must requeue, job 1 must keep running")
+	}
+	checkNodeConservation(t, e, "after fail")
+	o := e.Outcome(2)
+	if o.Evictions != 1 || o.LostToFailures != 10 || o.Failed {
+		t.Fatalf("outcome 2 = %+v, want 1 eviction, 5s*2tasks lost", o)
+	}
+	if o.Preemptions != 0 || o.WastedWork != 0 {
+		t.Fatalf("failure charged to preemption accounting: %+v", o)
+	}
+	if e.EffectiveCluster().Partitions[0] != 2 {
+		t.Fatalf("effective capacity = %v, want partition 0 shrunk to 2", e.EffectiveCluster())
+	}
+	// Down-time accrues at 2 node-seconds per second.
+	if got := e.NodeDownSeconds(20); got != 20 {
+		t.Fatalf("NodeDownSeconds(20) = %v, want 20", got)
+	}
+	n, err := e.RecoverNodes(0, 5, 30) // capped at the 2 down nodes
+	if err != nil || n != 2 {
+		t.Fatalf("RecoverNodes: n=%d err=%v", n, err)
+	}
+	checkNodeConservation(t, e, "after recover")
+	if got := e.NodeDownSeconds(100); got != 40 {
+		t.Fatalf("NodeDownSeconds(100) = %v, want 40 (accrual stops at recovery)", got)
+	}
+	if e.EffectiveCluster().TotalNodes() != 8 {
+		t.Fatal("recovery must restore full effective capacity")
+	}
+}
+
+func TestEngineRetryBudgetFailsOut(t *testing.T) {
+	e := NewEngine(NewCluster(4, 1))
+	e.SetRetryBudget(2)
+	if err := e.Submit(mkJob(1, 0, 100, 4)); err != nil {
+		t.Fatal(err)
+	}
+	for attempt := 0; ; attempt++ {
+		run, ok := e.Start(StartAction{Job: 1, Alloc: Alloc{4}}, float64(attempt*10))
+		if !ok {
+			t.Fatalf("attempt %d: start failed", attempt)
+		}
+		requeued, ok := e.CrashRun(1, run.RunID, float64(attempt*10+5))
+		if !ok {
+			t.Fatalf("attempt %d: crash rejected", attempt)
+		}
+		// Stale runID after the eviction must be a no-op.
+		if _, ok := e.CrashRun(1, run.RunID, float64(attempt*10+6)); ok {
+			t.Fatal("stale crash accepted")
+		}
+		if !requeued {
+			break
+		}
+		if attempt > 10 {
+			t.Fatal("retry budget never exhausted")
+		}
+	}
+	o := e.Outcome(1)
+	if !o.Failed || o.Completed || o.Evictions != 3 {
+		t.Fatalf("outcome = %+v, want failed-out after budget+1=3 evictions", o)
+	}
+	if e.IsPending(1) || e.IsRunning(1) {
+		t.Fatal("failed-out job must leave the system")
+	}
+	if e.FreeNodes().Total() != 4 {
+		t.Fatal("failed-out job's nodes not freed")
+	}
+}
+
+func TestEngineDrainNodes(t *testing.T) {
+	e := NewEngine(NewCluster(8, 2))
+	if err := e.Submit(mkJob(1, 0, 100, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.Start(StartAction{Job: 1, Alloc: Alloc{3, 0}}, 0); !ok {
+		t.Fatal("start failed")
+	}
+	// Drain must never evict: partition 0 has 1 free, draining 2 fails.
+	if err := e.DrainNodes(0, 2, 10); err == nil {
+		t.Fatal("drain exceeded free capacity")
+	}
+	if err := e.DrainNodes(0, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if e.IsRunning(1) != true || e.Outcome(1).Evictions != 0 {
+		t.Fatal("drain evicted a running job")
+	}
+	checkNodeConservation(t, e, "after drain")
+	if err := e.DrainNodes(0, 0, 10); err == nil {
+		t.Fatal("non-positive drain accepted")
+	}
+	if err := e.DrainNodes(9, 1, 10); err == nil {
+		t.Fatal("out-of-range partition accepted")
+	}
+	if n, err := e.RecoverNodes(0, 1, 20); err != nil || n != 1 {
+		t.Fatalf("recover after drain: n=%d err=%v", n, err)
+	}
+}
+
+func TestEngineEffectiveClusterNoFaultIdentity(t *testing.T) {
+	e := NewEngine(NewCluster(8, 2))
+	// With nothing down the effective cluster is the provisioned one —
+	// byte-identical behavior for fault-free runs.
+	if &e.EffectiveCluster().Partitions[0] != &e.Cluster().Partitions[0] {
+		t.Fatal("EffectiveCluster must alias the provisioned cluster when nothing is down")
+	}
+}
+
 func TestEngineSnapshotIsIsolated(t *testing.T) {
 	e := NewEngine(NewCluster(8, 2))
 	for id := int64(1); id <= 2; id++ {

@@ -3,6 +3,7 @@ package simulator
 import (
 	"testing"
 
+	"threesigma/internal/faults"
 	"threesigma/internal/job"
 	"threesigma/internal/stats"
 )
@@ -84,6 +85,106 @@ func TestConservationUnderChurn(t *testing.T) {
 	}
 	if completed < 140 {
 		t.Errorf("completed %d/150; churn should not strand jobs", completed)
+	}
+}
+
+// TestConservationUnderNodeChurn drives the same churny workload through
+// the invariant checker with fault injection on: node crash/recover cycles,
+// job crashes, and stragglers. The checker's conservation law now runs
+// against the effective (down-adjusted) cluster, so it doubles as a check
+// that the fault lifecycle never leaks or double-frees nodes; the outcome
+// scan asserts no job is stranded (every job ends terminal).
+func TestConservationUnderNodeChurn(t *testing.T) {
+	rng := stats.NewRand(77)
+	g := newGreedyFIFO()
+	var jobs []*job.Job
+	for i := 0; i < 150; i++ {
+		jobs = append(jobs, mkJob(int64(i+1), float64(rng.Intn(600)), 10+float64(rng.Intn(200)), 1+rng.Intn(6)))
+	}
+	sim, err := New(&invariantChecker{inner: g, t: t}, jobs, Options{
+		Cluster:       NewCluster(16, 4),
+		CycleInterval: 10,
+		DrainWindow:   8000,
+		Seed:          77,
+		Faults: &faults.Config{
+			Seed:     77,
+			NodeMTBF: 2000, NodeMTTR: 120, GroupProb: 0.2, GroupSize: 3,
+			CrashProb: 0.05, StragglerProb: 0.1, StragglerFactor: 2,
+			MaxRetries: 3,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run()
+	completed, failed, evictions := 0, 0, 0
+	for _, o := range res.Outcomes {
+		switch {
+		case o.Completed:
+			completed++
+		case o.Failed:
+			failed++
+		default:
+			t.Errorf("job %d stranded: %+v", o.Job.ID, o)
+		}
+		evictions += o.Evictions
+		if o.LostToFailures < 0 {
+			t.Errorf("job %d: negative LostToFailures %v", o.Job.ID, o.LostToFailures)
+		}
+	}
+	if completed+failed != 150 {
+		t.Errorf("completed %d + failed %d != 150", completed, failed)
+	}
+	if completed < 130 {
+		t.Errorf("completed %d/150; churn at 2000s MTBF should not sink most jobs", completed)
+	}
+	if evictions == 0 {
+		t.Error("fault injection produced zero evictions; schedule not exercised")
+	}
+	if res.NodeDownSeconds <= 0 {
+		t.Errorf("NodeDownSeconds = %v, want > 0 under node churn", res.NodeDownSeconds)
+	}
+}
+
+// TestFaultOutcomesDeterministic: two fault-injected runs with the same
+// seed produce identical outcomes including all failure accounting — the
+// digest gate in ci.sh rests on this.
+func TestFaultOutcomesDeterministic(t *testing.T) {
+	build := func() *Result {
+		g := newGreedyFIFO()
+		var jobs []*job.Job
+		for i := 0; i < 80; i++ {
+			jobs = append(jobs, mkJob(int64(i+1), float64((i/4)*20), 40, 1+i%4))
+		}
+		sim, err := New(g, jobs, Options{
+			Cluster:       NewCluster(12, 3),
+			CycleInterval: 10,
+			DrainWindow:   6000,
+			Seed:          9,
+			Faults: &faults.Config{
+				Seed:     9,
+				NodeMTBF: 1500, NodeMTTR: 90,
+				CrashProb: 0.08, StragglerProb: 0.1,
+				MaxRetries: 2,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim.Run()
+	}
+	a, b := build(), build()
+	if a.NodeDownSeconds != b.NodeDownSeconds {
+		t.Fatalf("NodeDownSeconds differ: %v vs %v", a.NodeDownSeconds, b.NodeDownSeconds)
+	}
+	for i := range a.Outcomes {
+		oa, ob := a.Outcomes[i], b.Outcomes[i]
+		if oa.Job.ID != ob.Job.ID || oa.FirstStart != ob.FirstStart ||
+			oa.CompletionTime != ob.CompletionTime || oa.Completed != ob.Completed ||
+			oa.Failed != ob.Failed || oa.Evictions != ob.Evictions ||
+			oa.LostToFailures != ob.LostToFailures || oa.ActualRuntime != ob.ActualRuntime {
+			t.Fatalf("nondeterministic fault outcome %d: %+v vs %+v", i, oa, ob)
+		}
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"math"
 	"time"
 
+	"threesigma/internal/faults"
 	"threesigma/internal/job"
 	"threesigma/internal/stats"
 )
@@ -134,6 +135,14 @@ type Outcome struct {
 	// Cancelled marks a job removed through the online service's cancel
 	// API (never set by the batch simulator).
 	Cancelled bool
+
+	// Failure accounting, kept separate from scheduler-initiated
+	// preemptions: Evictions counts node-loss evictions and crashes,
+	// LostToFailures their wasted machine-seconds, and Failed marks a job
+	// that exhausted its retry budget and terminated without completing.
+	Evictions      int
+	LostToFailures float64
+	Failed         bool
 }
 
 // MissedDeadline reports whether an SLO job failed its deadline (incomplete
@@ -153,6 +162,9 @@ type Result struct {
 	CycleLatencies []time.Duration // per cycle, scheduler-reported
 	SolverLatency  []time.Duration
 	SkippedStarts  int // scheduler start actions that no longer fit
+	// NodeDownSeconds is cumulative node-seconds of failed/drained capacity
+	// over the run (0 without fault injection).
+	NodeDownSeconds float64
 }
 
 // Options configures a simulation run.
@@ -176,6 +188,11 @@ type Options struct {
 	// latency measurement (Fig. 12).
 	VirtualTime bool
 	Seed        int64
+	// Faults, when non-nil, enables deterministic fault injection: node
+	// crash/recover schedules, job crash-with-retry, and straggler
+	// slowdowns (see internal/faults). Nil changes nothing — not even RNG
+	// draw order — so fault-free runs stay bit-identical to older builds.
+	Faults *faults.Config
 }
 
 type eventKind uint8
@@ -184,6 +201,9 @@ const (
 	evArrival eventKind = iota
 	evCompletion
 	evCycle
+	evNodeFail
+	evNodeRecover
+	evCrash
 )
 
 type event struct {
@@ -191,7 +211,10 @@ type event struct {
 	seq  int64
 	kind eventKind
 	j    *job.Job
-	run  int64 // run generation for completions
+	run  int64 // run generation for completions and crashes
+	// Node-lifecycle payload for evNodeFail / evNodeRecover.
+	part  int
+	nodes int
 }
 
 type eventHeap []event
@@ -226,6 +249,10 @@ type Sim struct {
 	clock  *VirtualClock
 	rng    stats.Rand
 	result Result
+
+	// Fault-injection state (nil / unused without Options.Faults).
+	inj      *faults.Injector
+	attempts map[job.ID]int // starts per job, for per-attempt crash draws
 }
 
 // New creates a simulation of the given jobs under the scheduler. Jobs must
@@ -269,6 +296,18 @@ func New(sched Scheduler, jobs []*job.Job, opts Options) (*Sim, error) {
 		s.push(event{time: t, kind: evCycle})
 	}
 	s.result.EndTime = horizon
+	if opts.Faults != nil {
+		s.inj = faults.New(*opts.Faults, opts.Cluster.Partitions, horizon)
+		s.eng.SetRetryBudget(s.inj.MaxRetries())
+		s.attempts = make(map[job.ID]int, len(jobs))
+		for _, ev := range s.inj.Events() {
+			kind := evNodeFail
+			if ev.Kind == faults.NodeRecover {
+				kind = evNodeRecover
+			}
+			s.push(event{time: ev.Time, kind: kind, part: ev.Partition, nodes: ev.Nodes})
+		}
+	}
 	if opts.VirtualTime {
 		if ca, ok := sched.(ClockAware); ok {
 			ca.SetClock(s.clock)
@@ -301,12 +340,46 @@ func (s *Sim) Run() *Result {
 			}
 		case evCycle:
 			s.cycle()
+		case evNodeFail:
+			_, _, exhausted, _ := s.eng.FailNodes(e.part, e.nodes, s.now)
+			s.notifyRemoved(exhausted)
+		case evNodeRecover:
+			s.eng.RecoverNodes(e.part, e.nodes, s.now)
+		case evCrash:
+			if requeued, ok := s.eng.CrashRun(e.j.ID, e.run, s.now); ok && !requeued {
+				s.notifyRemoved([]job.ID{e.j.ID})
+			}
 		}
 	}
 	// Anything still pending/running at the horizon stays incomplete.
 	s.result.Outcomes = s.eng.Outcomes()
 	s.result.SkippedStarts = s.eng.SkippedStarts()
+	if s.inj != nil {
+		end := s.result.EndTime
+		if s.now > end {
+			end = s.now
+		}
+		s.result.NodeDownSeconds = s.eng.NodeDownSeconds(end)
+	}
 	return &s.result
+}
+
+// jobRemover is the optional scheduler hook for jobs that leave the system
+// without completing (here: retry budget exhausted). core.Scheduler
+// implements it to drop cached distributions and planned slots.
+type jobRemover interface {
+	JobRemoved(id job.ID)
+}
+
+func (s *Sim) notifyRemoved(ids []job.ID) {
+	if len(ids) == 0 {
+		return
+	}
+	if rm, ok := s.sched.(jobRemover); ok {
+		for _, id := range ids {
+			rm.JobRemoved(id)
+		}
+	}
 }
 
 func (s *Sim) cycle() {
@@ -334,11 +407,24 @@ func (s *Sim) start(a StartAction) {
 		return
 	}
 	runtime := run.EffectiveRuntime(run.Job.Runtime)
+	if s.inj != nil {
+		runtime *= s.inj.Slowdown(run.Job.ID)
+	}
 	if s.opts.RuntimeJitter > 0 {
 		runtime *= math.Exp(s.rng.NormFloat64() * s.opts.RuntimeJitter)
 	}
 	if runtime < 0.001 {
 		runtime = 0.001
+	}
+	if s.inj != nil {
+		att := s.attempts[run.Job.ID]
+		s.attempts[run.Job.ID] = att + 1
+		if frac, crashes := s.inj.CrashPoint(run.Job.ID, att); crashes {
+			// The attempt dies partway through and never completes; the
+			// engine decides at crash time whether the job retries.
+			s.push(event{time: startTime + frac*runtime, kind: evCrash, j: run.Job, run: run.RunID})
+			return
+		}
 	}
 	s.push(event{time: startTime + runtime, kind: evCompletion, j: run.Job, run: run.RunID})
 }

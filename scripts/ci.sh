@@ -1,7 +1,9 @@
 #!/usr/bin/env sh
 # ci.sh — the repository's verification gate: vet, build, the full test
-# suite under the race detector, and an end-to-end smoke of the online
-# service (serverd + loadgen, including a SIGTERM warm restart).
+# suite under the race detector, a fault-injection determinism gate (two
+# identical seeded chaos runs must produce bit-identical outcome digests),
+# and an end-to-end smoke of the online service (serverd + loadgen,
+# including a SIGTERM warm restart and a /readyz drain check).
 # Run from anywhere; operates on the repo root.
 set -eu
 
@@ -15,6 +17,26 @@ go build ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== fault determinism gate =="
+# Same seed, same fault schedule => bit-identical outcomes, byte-for-byte.
+# -virtualtime pins the solver budgets so wall-clock noise cannot leak into
+# scheduling decisions.
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+go build -o "$WORK/3sigma-sim" ./cmd/3sigma-sim
+SIM_ARGS="-env google -nodes 48 -partitions 4 -hours 0.05 -load 1.2 -seed 5 \
+    -virtualtime -faults light -digest"
+"$WORK/3sigma-sim" $SIM_ARGS | grep '^outcome digest:' >"$WORK/digest1"
+"$WORK/3sigma-sim" $SIM_ARGS | grep '^outcome digest:' >"$WORK/digest2"
+[ -s "$WORK/digest1" ] || { echo "FAIL: no digest line emitted"; exit 1; }
+if ! cmp -s "$WORK/digest1" "$WORK/digest2"; then
+    echo "FAIL: fault-injected runs with one seed diverged"
+    diff "$WORK/digest1" "$WORK/digest2" || true
+    exit 1
+fi
+echo "digests identical across runs:"
+cat "$WORK/digest1"
 
 echo "== service e2e smoke =="
 ./scripts/smoke_service.sh

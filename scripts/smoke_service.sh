@@ -28,8 +28,13 @@ go build -o "$LOADGEN" ./cmd/3sigma-loadgen
 start_daemon() {
     "$SERVERD" -addr "127.0.0.1:$PORT" -nodes 64 -partitions 4 \
         -cycle 10 -timescale 60 -checkpoint "$CKPT" -checkpoint-every 2s \
+        -drain-grace 2s \
         >>"$WORK/serverd.log" 2>&1 &
     PID=$!
+}
+
+readyz() {
+    "$LOADGEN" -addr "$ADDR" -readyz
 }
 
 solver_nodes() {
@@ -64,7 +69,22 @@ echo "-- batch 2: replay against restarted daemon"
 SOLVED=$(solver_nodes)
 [ "${SOLVED:-0}" -gt 0 ] || { echo "FAIL: solver_nodes=$SOLVED after batch 2"; exit 1; }
 
+echo "-- readiness drain: SIGTERM flips /readyz to 503 while /healthz stays 200"
+READY=$(readyz)
+[ "$READY" = "200" ] || { echo "FAIL: readyz=$READY while serving, want 200"; exit 1; }
 kill -TERM "$PID"
+# The daemon holds the listener open for -drain-grace after withdrawing
+# readiness; poll until the flip is visible.
+DRAIN=""
+i=0
+while [ $i -lt 15 ]; do
+    DRAIN=$(readyz)
+    [ "$DRAIN" = "503" ] && break
+    i=$((i + 1))
+    sleep 0.1
+done
+[ "$DRAIN" = "503" ] || { echo "FAIL: readyz=$DRAIN after SIGTERM, want 503"; exit 1; }
+echo "readyz flipped 200 -> 503 on SIGTERM"
 wait "$PID" || { echo "FAIL: serverd did not drain cleanly"; exit 1; }
 PID=""
 

@@ -27,6 +27,7 @@ import (
 	"threesigma/internal/baselines"
 	"threesigma/internal/core"
 	"threesigma/internal/dist"
+	"threesigma/internal/faults"
 	"threesigma/internal/job"
 	"threesigma/internal/metrics"
 	"threesigma/internal/predictor"
@@ -66,7 +67,16 @@ type (
 	// Estimate is 3σPredict's answer for one job: a runtime distribution,
 	// the best point estimate, and the winning expert.
 	Estimate = predictor.Estimate
+	// FaultConfig parameterizes deterministic fault injection (node MTBF /
+	// MTTR, correlated group failures, job crashes, stragglers, retry
+	// budget); see internal/faults.
+	FaultConfig = faults.Config
 )
+
+// ParseFaultSpec parses a fault scenario spec — a preset name ("light",
+// "heavy") or a comma-separated k=v list such as
+// "seed=7,mtbf=1800,mttr=300,group=0.2:4,crash=0.05,straggler=0.1:2,retries=3".
+func ParseFaultSpec(spec string) (FaultConfig, error) { return faults.ParseSpec(spec) }
 
 // Job classes.
 const (
@@ -203,6 +213,10 @@ type SimConfig struct {
 	// Scheduler overrides the system's default scheduler configuration.
 	Scheduler SchedulerConfig
 	Seed      int64
+	// Faults, when non-nil, injects a deterministic failure schedule (node
+	// crash/recover, job crash-with-retry, stragglers) into the run. Nil
+	// leaves every output bit-identical to a fault-free build.
+	Faults *FaultConfig
 }
 
 // SimResult bundles the metric report with raw outcomes and scheduler stats.
@@ -210,6 +224,11 @@ type SimResult struct {
 	Report   Report
 	Outcomes []*Outcome
 	Stats    SchedulerStats // zero value for Prio
+	// Digest is a hash of the run's observable outcome (job fates + fault
+	// accounting, wall-clock noise excluded); identical scheduling behavior
+	// yields identical digests, which is what the CI determinism gate for
+	// fault injection compares.
+	Digest string
 }
 
 // Simulate runs the workload under the named system on the workload's
@@ -242,6 +261,7 @@ func Simulate(sys System, w *Workload, cfg SimConfig) (*SimResult, error) {
 		DrainWindow:   cfg.DrainWindow,
 		Seed:          cfg.Seed,
 		VirtualTime:   cfg.VirtualTime,
+		Faults:        cfg.Faults,
 	}
 	if cfg.RealCluster {
 		opts.RuntimeJitter = 0.04
@@ -255,6 +275,7 @@ func Simulate(sys System, w *Workload, cfg SimConfig) (*SimResult, error) {
 	out := &SimResult{
 		Report:   metrics.FromResult(string(sys), res, w.Cluster),
 		Outcomes: res.Outcomes,
+		Digest:   metrics.OutcomeDigest(res),
 	}
 	if cs, ok := sched.(*core.Scheduler); ok {
 		out.Stats = cs.Stats()
@@ -277,6 +298,7 @@ func SimulateScheduler(sched Scheduler, jobs []*Job, cluster Cluster, cfg SimCon
 		DrainWindow:   cfg.DrainWindow,
 		Seed:          cfg.Seed,
 		VirtualTime:   cfg.VirtualTime,
+		Faults:        cfg.Faults,
 	}
 	if cfg.RealCluster {
 		opts.RuntimeJitter = 0.04
@@ -290,6 +312,7 @@ func SimulateScheduler(sched Scheduler, jobs []*Job, cluster Cluster, cfg SimCon
 	out := &SimResult{
 		Report:   metrics.FromResult("custom", res, cluster),
 		Outcomes: res.Outcomes,
+		Digest:   metrics.OutcomeDigest(res),
 	}
 	if cs, ok := sched.(*core.Scheduler); ok {
 		out.Stats = cs.Stats()
