@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench bench-fig1 serverd loadgen smoke faults
+.PHONY: build test race vet check fuzz verify bench bench-fig1 serverd loadgen smoke faults
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,22 @@ race:
 vet:
 	$(GO) vet ./...
 
-# verify is the CI gate: vet + build + race-enabled tests.
+# check runs the correctness suite: the differential solver oracle
+# (200 pinned-seed MILPs, workers {1,2,8} vs the dense reference) plus the
+# histogram/distribution invariant property tests (DESIGN.md §9).
+check:
+	THREESIGMA_ORACLE_MODELS=200 THREESIGMA_ORACLE_SEED=1 \
+		$(GO) test -count=1 ./internal/check
+
+# fuzz runs each fuzz target for a short randomized pass (the regression
+# corpus under testdata/fuzz always runs as part of plain `make test`).
+fuzz:
+	$(GO) test -fuzz '^FuzzHistogramInvariants$$' -fuzztime 10s -run '^$$' ./internal/histogram
+	$(GO) test -fuzz '^FuzzFromState$$' -fuzztime 10s -run '^$$' ./internal/histogram
+	$(GO) test -fuzz '^FuzzConditional$$' -fuzztime 10s -run '^$$' ./internal/dist
+
+# verify is the CI gate: vet + build + race-enabled tests + oracle + fuzz
+# smoke + determinism and service e2e gates.
 verify:
 	./scripts/ci.sh
 

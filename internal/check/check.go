@@ -1,0 +1,203 @@
+// Package check is the repository's correctness suite: executable
+// statements of the invariants the predict→schedule pipeline depends on,
+// shared between property tests, fuzz targets, and the differential solver
+// oracle (DESIGN.md §9).
+//
+// The verifiers in this file take a live value (a histogram sketch, a
+// conditional distribution) and return an error naming the first violated
+// invariant, so a fuzz target is one line: build the value from fuzzed
+// input, call Verify*, t.Fatal on error.
+package check
+
+import (
+	"fmt"
+	"math"
+
+	"threesigma/internal/dist"
+	"threesigma/internal/histogram"
+)
+
+// VerifyHistogram checks the Ben-Haim/Tom-Tov sketch invariants that the
+// predictor and dist.Empirical rely on:
+//
+//   - bins strictly sorted by centroid with positive counts (binary-search
+//     correctness in Sum/CDF),
+//   - total mass conservation: Sum at the upper bound returns the full count,
+//   - CDF is a monotone map into [0,1] with CDF(Min⁻)=0 and CDF(Max)=1,
+//   - Quantile is monotone and approximately inverts CDF,
+//   - Snapshot → FromState round-trips to an equivalent sketch.
+func VerifyHistogram(h *histogram.Histogram) error {
+	if h.Count() == 0 {
+		return nil // empty sketch: nothing to check
+	}
+	bins := h.Bins()
+	for i, b := range bins {
+		if !(b.Count > 0) {
+			return fmt.Errorf("bin %d: non-positive count %g", i, b.Count)
+		}
+		if math.IsNaN(b.Value) || math.IsInf(b.Value, 0) {
+			return fmt.Errorf("bin %d: non-finite centroid %g", i, b.Value)
+		}
+		if i > 0 && !(bins[i-1].Value < b.Value) {
+			return fmt.Errorf("bins %d,%d out of order: %g >= %g", i-1, i, bins[i-1].Value, b.Value)
+		}
+	}
+	total := 0.0
+	for _, b := range bins {
+		total += b.Count
+	}
+	if !approxEq(total, h.Count(), 1e-6*math.Max(1, h.Count())) {
+		return fmt.Errorf("bin counts sum to %g, Count() reports %g", total, h.Count())
+	}
+	if h.Min() > bins[0].Value || h.Max() < bins[len(bins)-1].Value {
+		return fmt.Errorf("support [%g,%g] does not cover centroids [%g,%g]",
+			h.Min(), h.Max(), bins[0].Value, bins[len(bins)-1].Value)
+	}
+	if s := h.Sum(h.Max()); !approxEq(s, h.Count(), 1e-6*math.Max(1, h.Count())) {
+		return fmt.Errorf("Sum(Max)=%g, want full count %g", s, h.Count())
+	}
+
+	// CDF: monotone, bounded, pinned at the support edges.
+	span := h.Max() - h.Min()
+	if c := h.CDF(math.Nextafter(h.Min(), math.Inf(-1))); c != 0 {
+		return fmt.Errorf("CDF below support = %g, want 0", c)
+	}
+	if c := h.CDF(h.Max()); !approxEq(c, 1, 1e-9) {
+		return fmt.Errorf("CDF(Max)=%g, want 1", c)
+	}
+	prev := math.Inf(-1)
+	for i := 0; i <= 64; i++ {
+		t := h.Min() + span*float64(i)/64
+		c := h.CDF(t)
+		if c < 0 || c > 1+1e-12 {
+			return fmt.Errorf("CDF(%g)=%g outside [0,1]", t, c)
+		}
+		if c < prev-1e-12 {
+			return fmt.Errorf("CDF not monotone at %g: %g after %g", t, c, prev)
+		}
+		prev = c
+	}
+
+	// Quantile: monotone, within support, approximately inverse to CDF.
+	// Slack scales with the support span: Quantile bisects over [Min,Max],
+	// so its resolution is relative to the span, not absolute.
+	qTol := math.Max(1e-9, span*1e-12)
+	prevQ := math.Inf(-1)
+	for i := 0; i <= 32; i++ {
+		q := float64(i) / 32
+		v := h.Quantile(q)
+		if math.IsNaN(v) || v < h.Min()-qTol || v > h.Max()+qTol {
+			return fmt.Errorf("Quantile(%g)=%g outside support [%g,%g]", q, v, h.Min(), h.Max())
+		}
+		if v < prevQ-qTol {
+			return fmt.Errorf("Quantile not monotone at q=%g: %g after %g", q, v, prevQ)
+		}
+		prevQ = v
+		// The CDF jumps at centroids (half a bin's mass sits on the point),
+		// and Quantile's bisection lands within span·2⁻⁶⁴ of the jump; probe
+		// far enough right to cross it (overshooting only raises the CDF, so
+		// the one-sided bound stays valid).
+		probe := v + span*1e-12
+		if probe == v {
+			probe = math.Nextafter(v, math.Inf(1))
+		}
+		if c := h.CDF(probe); c < q-1e-6 {
+			return fmt.Errorf("CDF(Quantile(%g)+ε)=%g < %g: round-trip lost mass", q, c, q)
+		}
+	}
+
+	// Snapshot → FromState idempotence: the restored sketch must snapshot
+	// back to the same state (persistence cannot drift the distribution).
+	st := h.Snapshot()
+	h2, err := histogram.FromState(st)
+	if err != nil {
+		return fmt.Errorf("FromState rejected own Snapshot: %v", err)
+	}
+	st2 := h2.Snapshot()
+	// FromState re-derives the total count by summing the bins, which can
+	// differ from the streamed accumulation in the last few ulps; everything
+	// else must survive exactly.
+	if !approxEq(st2.N, st.N, 1e-9*math.Max(1, st.N)) || st2.Min != st.Min || st2.Max != st.Max ||
+		len(st2.Bins) != len(st.Bins) {
+		return fmt.Errorf("snapshot round-trip drifted: %+v -> %+v", st, st2)
+	}
+	for i := range st.Bins {
+		if st.Bins[i] != st2.Bins[i] {
+			return fmt.Errorf("snapshot round-trip drifted at bin %d: %+v -> %+v", i, st.Bins[i], st2.Bins[i])
+		}
+	}
+	// Once normalized, a second round-trip must be a true fixed point.
+	h3, err := histogram.FromState(st2)
+	if err != nil {
+		return fmt.Errorf("FromState rejected normalized snapshot: %v", err)
+	}
+	st3 := h3.Snapshot()
+	if st3.N != st2.N || st3.Min != st2.Min || st3.Max != st2.Max || len(st3.Bins) != len(st2.Bins) {
+		return fmt.Errorf("normalized snapshot not a fixed point: %+v -> %+v", st2, st3)
+	}
+	return nil
+}
+
+// VerifyConditional checks the Eq. 2 conditional-distribution invariants
+// 3σSched's consumption curves depend on:
+//
+//   - CDF is monotone on [0, Max] and zero before the elapsed time (the job
+//     is known to still be running),
+//   - unless the base support is exhausted, all mass is recovered by Max,
+//   - the survival-ratio identity: S_cond(elapsed+dt) · S_base(elapsed) =
+//     S_base(elapsed+dt), i.e. conditioning renormalizes but never moves mass.
+func VerifyConditional(c dist.Conditional) error {
+	if c.Exhausted() {
+		// Degenerate "finishes immediately" regime (§4.2.1 hand-off):
+		// everything at or past elapsed must report certainty.
+		if got := c.CDF(c.Elapsed); !approxEq(got, 1, 1e-9) {
+			return fmt.Errorf("exhausted conditional: CDF(elapsed)=%g, want 1", got)
+		}
+		return nil
+	}
+	max := c.Max()
+	if max < c.Elapsed {
+		return fmt.Errorf("Max()=%g below elapsed %g on non-exhausted conditional", max, c.Elapsed)
+	}
+	// All the mass the base assigns to its support must be recovered by Max:
+	// CDF_cond(Max) = 1 − S_base(Max)/S_base(elapsed), which is exactly 1
+	// whenever the base itself reaches 1 at its upper bound (Empirical,
+	// Point, Uniform do; the zero-truncated Normal leaves a tail of mass
+	// past its reported Max, and the conditional must reproduce it exactly).
+	s0 := dist.Survival(c.Base, c.Elapsed)
+	wantAtMax := 1 - dist.Survival(c.Base, max+1)/s0
+	if got := c.CDF(max + 1); !approxEq(got, wantAtMax, 1e-9) {
+		return fmt.Errorf("CDF past Max = %g, want %g", got, wantAtMax)
+	}
+	if c.Elapsed > 0 {
+		if got := c.CDF(c.Elapsed * 0.5); got != 0 {
+			return fmt.Errorf("CDF(%g) = %g before elapsed %g, want 0", c.Elapsed*0.5, got, c.Elapsed)
+		}
+	}
+	span := max - c.Elapsed
+	prev := -1.0
+	for i := 0; i <= 64; i++ {
+		dt := span * float64(i) / 64
+		cd := c.CDF(c.Elapsed + dt)
+		if cd < 0 || cd > 1+1e-12 {
+			return fmt.Errorf("CDF(%g)=%g outside [0,1]", c.Elapsed+dt, cd)
+		}
+		if cd < prev-1e-12 {
+			return fmt.Errorf("CDF not monotone at %g: %g after %g", c.Elapsed+dt, cd, prev)
+		}
+		prev = cd
+
+		want := dist.Survival(c.Base, c.Elapsed+dt)
+		got := c.SurvivalRemaining(dt) * s0
+		if !approxEq(got, want, 1e-9*math.Max(1, s0)) {
+			return fmt.Errorf("survival ratio broken at dt=%g: S_cond·S_base(elapsed)=%g, S_base=%g",
+				dt, got, want)
+		}
+	}
+	return nil
+}
+
+func approxEq(a, b, tol float64) bool {
+	d := a - b
+	return d <= tol && d >= -tol
+}

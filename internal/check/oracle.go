@@ -1,0 +1,217 @@
+package check
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"threesigma/internal/milp"
+)
+
+// This file is the differential solver oracle: seeded random MILP instances
+// spanning the same structural shapes 3σSched's buildModel emits — binary
+// placement indicators under at-most-one demand rows, capacity rows over
+// (partition, slot) cells, optional continuous ExactShares allocation
+// variables with gang-size link rows, and optional preemption credits with
+// negative objective and negative capacity coefficients.
+//
+// For each instance the oracle solves four configurations that the solver
+// contracts to be equivalent — the single-worker dense-LP reference, then
+// workers ∈ {1, 2, 8} on the default (auto dense/sparse) path — and demands
+// bitwise-identical status, objective, assignment vector, and node count,
+// plus a feasible incumbent whenever one is claimed. Solves are node-budget
+// bounded with no deadline, so they fall under the determinism guarantee of
+// milp.Options.Workers (deadline-terminated solves are exempt).
+
+// OracleOptions configures RunOracle.
+type OracleOptions struct {
+	Models   int   // number of random instances (default 200)
+	Seed     int64 // generator seed (default 1)
+	MaxNodes int   // branch-and-bound budget per solve (default 64)
+}
+
+// GenModel builds one random scheduling-shaped MILP from rng. The instance
+// is always bounded (every binary sits in an at-most-one row, every
+// continuous allocation variable in a capacity row), but may be infeasible
+// in degenerate draws — the oracle only requires all solver configurations
+// to agree, including on infeasibility.
+func GenModel(rng *rand.Rand) *milp.Model {
+	m := &milp.Model{}
+	nParts := 2 + rng.Intn(3) // 2–4 partitions
+	nSlots := 1 + rng.Intn(4) // 1–4 plan-ahead slots
+	nJobs := 3 + rng.Intn(8)  // 3–10 jobs
+	exact := rng.Float64() < 0.4
+
+	capacity := make([][]float64, nParts)
+	for p := range capacity {
+		capacity[p] = make([]float64, nSlots)
+		for k := range capacity[p] {
+			capacity[p][k] = 2 + 10*rng.Float64()
+		}
+	}
+	// Sparse capacity-row accumulators, one per (partition, slot) cell.
+	type term struct {
+		idx  int
+		coef float64
+	}
+	capRows := make([][][]term, nParts)
+	for p := range capRows {
+		capRows[p] = make([][]term, nSlots)
+	}
+
+	for j := 0; j < nJobs; j++ {
+		tasks := 1 + rng.Intn(6)
+		nOpts := 1 + rng.Intn(4)
+		demIdx := make([]int, 0, nOpts)
+		demCoef := make([]float64, 0, nOpts)
+		for o := 0; o < nOpts; o++ {
+			k0 := rng.Intn(nSlots)
+			iv := m.AddVar(milp.Binary, 0.5+10*rng.Float64(), fmt.Sprintf("I[j%d,o%d]", j, o))
+			demIdx = append(demIdx, iv)
+			demCoef = append(demCoef, 1)
+			// Survival-curve consumption: monotone non-increasing from 1.
+			rc := 1.0
+			for k := k0; k < nSlots; k++ {
+				if exact {
+					// ExactShares: continuous per-partition allocation
+					// variables for the start slot, linked to the gang size;
+					// later slots decay the indicator's own consumption.
+					if k == k0 {
+						lIdx := []int{iv}
+						lCoef := []float64{float64(tasks)}
+						for p := 0; p < nParts; p++ {
+							av := m.AddVar(milp.Continuous, 0, fmt.Sprintf("a[j%d,o%d,p%d]", j, o, p))
+							lIdx = append(lIdx, av)
+							lCoef = append(lCoef, -1)
+							capRows[p][k] = append(capRows[p][k], term{av, rc})
+						}
+						m.AddLE(fmt.Sprintf("link[j%d,o%d]", j, o), lIdx, lCoef, 0)
+					} else {
+						p := rng.Intn(nParts)
+						capRows[p][k] = append(capRows[p][k], term{iv, float64(tasks) * rc})
+					}
+				} else {
+					// Fixed proportional shares across a random partition subset.
+					for p := 0; p < nParts; p++ {
+						if rng.Float64() < 0.7 {
+							share := float64(tasks) * (0.2 + 0.8*rng.Float64())
+							capRows[p][k] = append(capRows[p][k], term{iv, share * rc})
+						}
+					}
+				}
+				rc *= 0.4 + 0.6*rng.Float64()
+			}
+		}
+		m.AddLE(fmt.Sprintf("dem[j%d]", j), demIdx, demCoef, 1)
+	}
+
+	// Preemption credits: negative objective, capacity returned (negative
+	// coefficient) in every slot, bounded by its own at-most-one row.
+	if rng.Float64() < 0.5 {
+		nPre := 1 + rng.Intn(3)
+		for i := 0; i < nPre; i++ {
+			p := rng.Intn(nParts)
+			credit := 1 + 4*rng.Float64()
+			pv := m.AddVar(milp.Binary, -(0.5 + 4*rng.Float64()), fmt.Sprintf("P[%d]", i))
+			for k := 0; k < nSlots; k++ {
+				capRows[p][k] = append(capRows[p][k], term{pv, -credit})
+			}
+			m.AddLE(fmt.Sprintf("ub[P%d]", i), []int{pv}, []float64{1}, 1)
+		}
+	}
+
+	for p := 0; p < nParts; p++ {
+		for k := 0; k < nSlots; k++ {
+			if len(capRows[p][k]) == 0 {
+				continue
+			}
+			idx := make([]int, len(capRows[p][k]))
+			coef := make([]float64, len(capRows[p][k]))
+			for i, t := range capRows[p][k] {
+				idx[i], coef[i] = t.idx, t.coef
+			}
+			m.AddLE(fmt.Sprintf("cap[p%d,t%d]", p, k), idx, coef, capacity[p][k])
+		}
+	}
+	return m
+}
+
+// RunOracle generates opt.Models seeded instances and differentially checks
+// the solver configurations; it returns an error naming the first
+// divergence, or nil when every instance agrees.
+func RunOracle(opt OracleOptions) error {
+	if opt.Models <= 0 {
+		opt.Models = 200
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	if opt.MaxNodes <= 0 {
+		opt.MaxNodes = 64
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	for i := 0; i < opt.Models; i++ {
+		m := GenModel(rng)
+
+		// Reference: single worker, dense simplex forced.
+		prev := milp.DebugForceLP(milp.LPDense)
+		ref := milp.Solve(m, milp.Options{MaxNodes: opt.MaxNodes, Workers: 1})
+		milp.DebugForceLP(prev)
+		if err := checkIncumbent(m, &ref); err != nil {
+			return fmt.Errorf("model %d (dense reference): %v", i, err)
+		}
+
+		for _, w := range []int{1, 2, 8} {
+			got := milp.Solve(m, milp.Options{MaxNodes: opt.MaxNodes, Workers: w})
+			if err := checkIncumbent(m, &got); err != nil {
+				return fmt.Errorf("model %d (workers=%d): %v", i, w, err)
+			}
+			if got.Status != ref.Status {
+				return fmt.Errorf("model %d (workers=%d): status %v, reference %v", i, w, got.Status, ref.Status)
+			}
+			if math.Float64bits(got.Objective) != math.Float64bits(ref.Objective) {
+				return fmt.Errorf("model %d (workers=%d): objective %x (%g), reference %x (%g)",
+					i, w, math.Float64bits(got.Objective), got.Objective,
+					math.Float64bits(ref.Objective), ref.Objective)
+			}
+			if got.Nodes != ref.Nodes {
+				return fmt.Errorf("model %d (workers=%d): explored %d nodes, reference %d", i, w, got.Nodes, ref.Nodes)
+			}
+			if len(got.X) != len(ref.X) {
+				return fmt.Errorf("model %d (workers=%d): |X|=%d, reference %d", i, w, len(got.X), len(ref.X))
+			}
+			for v := range got.X {
+				if math.Float64bits(got.X[v]) != math.Float64bits(ref.X[v]) {
+					return fmt.Errorf("model %d (workers=%d): x[%s]=%g, reference %g",
+						i, w, m.VarName(v), got.X[v], ref.X[v])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkIncumbent asserts that a claimed solution actually is one: feasible,
+// integral on binaries, and with a consistent objective value.
+func checkIncumbent(m *milp.Model, s *milp.Solution) error {
+	switch s.Status {
+	case milp.Optimal, milp.Feasible:
+	default:
+		return nil // no incumbent claimed
+	}
+	if len(s.X) != m.NumVars() {
+		return fmt.Errorf("incumbent has %d vars, model %d", len(s.X), m.NumVars())
+	}
+	if !m.Feasible(s.X, 1e-6) {
+		return fmt.Errorf("status %v but incumbent violates constraints", s.Status)
+	}
+	for v, x := range s.X {
+		if m.Kind(v) == milp.Binary && x != 0 && x != 1 {
+			return fmt.Errorf("binary %s = %g in incumbent", m.VarName(v), x)
+		}
+	}
+	if obj := m.Objective(s.X); !approxEq(obj, s.Objective, 1e-6*math.Max(1, math.Abs(obj))) {
+		return fmt.Errorf("reported objective %g, recomputed %g", s.Objective, obj)
+	}
+	return nil
+}

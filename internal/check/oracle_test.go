@@ -1,0 +1,126 @@
+package check
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	"threesigma/internal/dist"
+	"threesigma/internal/histogram"
+	"threesigma/internal/milp"
+)
+
+// TestDifferentialOracle is the CI gate: THREESIGMA_ORACLE_MODELS seeded
+// instances (default 200, seed THREESIGMA_ORACLE_SEED, default 1), each
+// solved at workers {1,2,8} and compared bitwise against the single-worker
+// dense reference. See scripts/ci.sh.
+func TestDifferentialOracle(t *testing.T) {
+	opt := OracleOptions{}
+	if v := os.Getenv("THREESIGMA_ORACLE_MODELS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			t.Fatalf("THREESIGMA_ORACLE_MODELS=%q: %v", v, err)
+		}
+		opt.Models = n
+	} else if testing.Short() {
+		opt.Models = 25
+	}
+	if v := os.Getenv("THREESIGMA_ORACLE_SEED"); v != "" {
+		s, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("THREESIGMA_ORACLE_SEED=%q: %v", v, err)
+		}
+		opt.Seed = s
+	}
+	if err := RunOracle(opt); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGenModelShapes sanity-checks the generator itself: over a batch of
+// draws it must produce every structural shape the oracle claims to span.
+func TestGenModelShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var sawContinuous, sawNegObj, sawNegCoef bool
+	for i := 0; i < 50; i++ {
+		m := GenModel(rng)
+		if m.NumVars() == 0 || m.NumRows() == 0 {
+			t.Fatalf("draw %d: degenerate model (%d vars, %d rows)", i, m.NumVars(), m.NumRows())
+		}
+		if m.NumBinary() == 0 {
+			t.Fatalf("draw %d: no binary variables", i)
+		}
+		for v := 0; v < m.NumVars(); v++ {
+			if m.Kind(v) == milp.Continuous {
+				sawContinuous = true
+			}
+		}
+		for _, r := range m.Rows() {
+			for _, c := range r.Coef {
+				if c < 0 && len(r.Name) >= 4 && r.Name[:4] == "cap[" {
+					sawNegCoef = true
+				}
+			}
+		}
+		sol := milp.Solve(m, milp.Options{MaxNodes: 16})
+		if sol.Status == milp.Optimal || sol.Status == milp.Feasible {
+			if !m.Feasible(sol.X, 1e-6) {
+				t.Fatalf("draw %d: infeasible incumbent", i)
+			}
+		}
+		_ = sawNegObj
+	}
+	if !sawContinuous {
+		t.Error("50 draws produced no ExactShares continuous variables")
+	}
+	if !sawNegCoef {
+		t.Error("50 draws produced no preemption credits in capacity rows")
+	}
+}
+
+// TestVerifyHistogram exercises the verifier on healthy sketches across
+// regimes (few samples, heavy merge pressure, weighted mass).
+func TestVerifyHistogram(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		maxBins := 4 + rng.Intn(60)
+		h := histogram.New(maxBins)
+		n := 1 + rng.Intn(500)
+		for i := 0; i < n; i++ {
+			v := rng.ExpFloat64() * 1000
+			if rng.Float64() < 0.2 {
+				h.AddWeighted(v, 0.5+rng.Float64())
+			} else {
+				h.Add(v)
+			}
+		}
+		if err := VerifyHistogram(h); err != nil {
+			t.Fatalf("trial %d (maxBins=%d, n=%d): %v", trial, maxBins, n, err)
+		}
+	}
+	if err := VerifyHistogram(histogram.New(8)); err != nil {
+		t.Fatalf("empty histogram: %v", err)
+	}
+}
+
+// TestVerifyConditional exercises the verifier across base distributions
+// and elapsed times, including the exhausted regime.
+func TestVerifyConditional(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	bases := []dist.Distribution{
+		dist.NewPoint(120),
+		dist.NewUniform(60, 600),
+		dist.NewNormal(300, 90),
+		dist.FromSamples([]float64{30, 45, 45, 120, 300, 900, 2400}),
+	}
+	for _, b := range bases {
+		for trial := 0; trial < 16; trial++ {
+			elapsed := rng.Float64() * b.Max() * 1.2 // sometimes past Max: exhausted
+			c := dist.NewConditional(b, elapsed)
+			if err := VerifyConditional(c); err != nil {
+				t.Fatalf("base %v, elapsed %g: %v", b, elapsed, err)
+			}
+		}
+	}
+}

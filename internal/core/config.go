@@ -124,6 +124,15 @@ type Config struct {
 	// exact mode is intended for small clusters and fidelity studies.
 	ExactShares bool
 
+	// Checks enables internal invariant assertions on the hot path: every
+	// cycle verifies that capacity-row coefficients are non-negative, that
+	// memoized builder terms are coherent with the job's distribution
+	// version, and that extracted allocations conserve gang size. A
+	// violation panics with a diagnostic message. This is a debug/test aid
+	// (used by the correctness suite in internal/check and by sim/serverd
+	// tests); production configurations leave it false.
+	Checks bool
+
 	// OnDecision, when non-nil, receives every scheduling decision (starts,
 	// deferrals, preemptions, abandonments) — the operator-facing audit
 	// trail. The callback runs inline in the scheduling cycle; keep it fast.

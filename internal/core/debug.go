@@ -11,6 +11,20 @@ import (
 // DebugBuildModel exposes the cycle MILP for dissection in tests/probes.
 func DebugBuildModel(s *Scheduler, st *simulator.State) *builder { return s.buildModel(st) }
 
+// DebugStateSizes reports the sizes of the scheduler's per-job state maps,
+// so tests can assert that retiring a job (completion, removal, abandonment)
+// actually releases its planning state instead of leaking it.
+func DebugStateSizes(s *Scheduler) map[string]int {
+	return map[string]int{
+		"dists":     len(s.dists),
+		"distVer":   len(s.distVer),
+		"ue":        len(s.ue),
+		"planned":   len(s.planned),
+		"abandoned": len(s.abandoned),
+		"memo":      len(s.memo.jobs),
+	}
+}
+
 // Model exposes the builder's MILP.
 func (b *builder) Model() *milp.Model { return &b.model }
 

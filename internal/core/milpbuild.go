@@ -50,6 +50,10 @@ type builder struct {
 	jobs     []*job.Job
 	options  []option
 	preempts []preemptVar
+	// Memo counters, accumulated locally and flushed into Stats under the
+	// stats lock once per build (Stats() may be polled concurrently).
+	cacheHits   int
+	cacheMisses int
 }
 
 // buildModel translates the cluster state into the cycle's MILP (§4.3.1
@@ -152,6 +156,9 @@ func (s *Scheduler) buildModel(st *simulator.State) *builder {
 		d := s.distFor(j)
 		util := s.utilityFor(j, d, now)
 		memo := s.memo.forJob(j.ID, s.distVer[j.ID])
+		if cfg.Checks {
+			s.checkMemo(j.ID, memo, s.distVer[j.ID])
+		}
 		type spaceChoice struct {
 			space  int8
 			factor float64
@@ -187,14 +194,14 @@ func (s *Scheduler) buildModel(st *simulator.State) *builder {
 			// Cached across cycles; invalidated by distribution updates.
 			surv, hit := memo.surv[sc.space]
 			if hit {
-				s.stats.CacheHits++
+				b.cacheHits++
 			} else {
 				surv = make([]float64, slots)
 				for dk := 0; dk < slots; dk++ {
 					surv[dk] = dist.Survival(od, float64(dk)*cfg.SlotDur)
 				}
 				memo.surv[sc.space] = surv
-				s.stats.CacheMisses++
+				b.cacheMisses++
 			}
 			var allowed []int
 			if sc.space == spacePref {
@@ -220,16 +227,29 @@ func (s *Scheduler) buildModel(st *simulator.State) *builder {
 				// different resource partitions is equal to k", §4.3.3)
 				// that lets a busy partition carry zero share instead of
 				// blocking the whole option.
+				// Per-partition expected capacity is clamped at 0 before the
+				// proportional split: under fault injection a partition's
+				// expected capacity goes negative when evictions lag the
+				// capacity shrinkage (running jobs still charge a partition
+				// that just lost nodes), and an unclamped split would hand
+				// this option negative shares — i.e. negative capacity-row
+				// coefficients — in that partition while overshooting the
+				// healthy ones. Fault-free, every term is non-negative and
+				// the clamp changes no bits.
 				avail := 0.0
 				for _, p := range allowed {
-					avail += relaxedCap[p][k]
+					if c := relaxedCap[p][k]; c > 0 {
+						avail += c
+					}
 				}
 				if avail < float64(j.Tasks)*0.999 {
 					continue // cannot start in this slot even with preemption
 				}
 				shares := make([]float64, nParts)
 				for _, p := range allowed {
-					shares[p] = float64(j.Tasks) * relaxedCap[p][k] / avail
+					if c := relaxedCap[p][k]; c > 0 {
+						shares[p] = float64(j.Tasks) * c / avail
+					}
 				}
 				start := times[k]
 				// Expected utility of this start. Grid-aligned starts
@@ -244,11 +264,11 @@ func (s *Scheduler) buildModel(st *simulator.State) *builder {
 					key := euKey{space: sc.space, grid: grid0 + int64(k)}
 					var hit bool
 					if eu, hit = memo.eu[key]; hit {
-						s.stats.CacheHits++
+						b.cacheHits++
 					} else {
 						eu = job.ExpectedUtility(od, util, start, cfg.UtilitySteps)
 						memo.eu[key] = eu
-						s.stats.CacheMisses++
+						b.cacheMisses++
 					}
 				}
 				if eu <= 1e-9 {
@@ -300,6 +320,9 @@ func (s *Scheduler) buildModel(st *simulator.State) *builder {
 					}
 					b.model.AddLE(fmt.Sprintf("link[j%d,s%d,t%d]", j.ID, sc.space, k), idx, coef, 0)
 				}
+				if cfg.Checks {
+					s.checkOption(&o)
+				}
 				b.options = append(b.options, o)
 				jobVars = append(jobVars, o.varIdx)
 			}
@@ -318,10 +341,7 @@ func (s *Scheduler) buildModel(st *simulator.State) *builder {
 			// it clog the consideration window (it would crowd out
 			// feasible jobs under EDF ordering). Capacity-blocked jobs are
 			// NOT abandoned — they regain options when resources free up.
-			s.abandoned[j.ID] = true
-			delete(s.planned, j.ID)
-			s.memo.drop(j.ID)
-			s.logDecision(DecisionEvent{Time: now, Kind: DecisionAbandon, Job: j.ID})
+			s.abandon(j.ID, now)
 		}
 	}
 
@@ -370,6 +390,13 @@ func (s *Scheduler) buildModel(st *simulator.State) *builder {
 			b.model.AddLE(fmt.Sprintf("cap[p%d,t%d]", p, k), idx, coef, capacity[p][k])
 		}
 	}
+	if cfg.Checks {
+		b.checkCapacityRows()
+	}
+	s.statsMu.Lock()
+	s.stats.CacheHits += b.cacheHits
+	s.stats.CacheMisses += b.cacheMisses
+	s.statsMu.Unlock()
 	return b
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"threesigma/internal/dist"
@@ -87,7 +88,12 @@ type Scheduler struct {
 	abandoned map[job.ID]bool
 	memo      *buildMemo
 
-	stats Stats
+	// statsMu guards stats. All scheduling entry points (JobSubmitted,
+	// Cycle, JobCompleted, JobRemoved) must run on one goroutine — the maps
+	// above are unsynchronized — but Stats() may be called concurrently with
+	// them (the online service's /v1/metrics handler polls it mid-cycle).
+	statsMu sync.Mutex
+	stats   Stats
 }
 
 // New returns a scheduler with the given estimator and configuration.
@@ -105,8 +111,14 @@ func New(est Estimator, cfg Config) *Scheduler {
 	}
 }
 
-// Stats returns a copy of the accumulated measurements.
-func (s *Scheduler) Stats() Stats { return s.stats }
+// Stats returns a copy of the accumulated measurements. Unlike the other
+// scheduler methods it is safe to call from any goroutine, concurrently
+// with a running Cycle.
+func (s *Scheduler) Stats() Stats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.stats
+}
 
 // SetClock re-bases the scheduler's timing (solver deadlines, latency
 // stats) onto the given clock. It implements simulator.ClockAware so the
@@ -130,11 +142,13 @@ func (s *Scheduler) JobSubmitted(j *job.Job, now float64) {
 		d = dist.NewPoint(d.Mean())
 	}
 	lat := s.cfg.Clock.Since(t0)
+	s.statsMu.Lock()
 	s.stats.PredictTime += lat
 	if lat > s.stats.MaxPredictTime {
 		s.stats.MaxPredictTime = lat
 	}
 	s.stats.Predictions++
+	s.statsMu.Unlock()
 	s.setDist(j.ID, d)
 }
 
@@ -168,6 +182,23 @@ func (s *Scheduler) JobRemoved(id job.ID) {
 	delete(s.planned, id)
 	delete(s.abandoned, id)
 	s.memo.drop(id)
+}
+
+// abandon marks a pending job as unschedulable (zero attainable utility)
+// and sweeps every per-job resource except the abandoned marker itself.
+// The marker must survive so selectPending keeps skipping the job while the
+// cluster still lists it as pending; it is removed by JobCompleted /
+// JobRemoved when the simulator or service retires the job. Without this
+// sweep an abandoned job's distribution, version, and under-estimate
+// entries would live for the remaining lifetime of a long-running daemon.
+func (s *Scheduler) abandon(id job.ID, now float64) {
+	s.abandoned[id] = true
+	delete(s.planned, id)
+	delete(s.dists, id)
+	delete(s.distVer, id)
+	delete(s.ue, id)
+	s.memo.drop(id)
+	s.logDecision(DecisionEvent{Time: now, Kind: DecisionAbandon, Job: id})
 }
 
 // distFor returns the cached submission-time distribution, estimating
@@ -290,10 +321,7 @@ func (s *Scheduler) selectPending(pending []*job.Job, now float64) []*job.Job {
 			// extension; they would otherwise pin consideration slots.
 			maxExt := s.cfg.OEExtFactor * (j.Deadline - j.Submit)
 			if now > j.Deadline+maxExt {
-				s.abandoned[j.ID] = true
-				delete(s.planned, j.ID)
-				s.memo.drop(j.ID)
-				s.logDecision(DecisionEvent{Time: now, Kind: DecisionAbandon, Job: j.ID})
+				s.abandon(j.ID, now)
 				continue
 			}
 			slo = append(slo, j)
@@ -344,16 +372,19 @@ func (s *Scheduler) Cycle(st *simulator.State) simulator.Decision {
 		Now:      s.cfg.Clock.Now,
 	})
 	solveTime := sol.Elapsed
-	s.stats.SolverNodes += sol.Nodes
-	s.stats.SolverLPIters += sol.LPIters
-	s.stats.SolverWorkers = sol.Workers
-	s.stats.SpecLPs += sol.SpecLPs
-	s.stats.SpecUsed += sol.SpecUsed
 	s.extract(b, &sol, st, &dec)
 
 	cycleTime := s.cfg.Clock.Since(t0)
 	dec.CycleLatency = cycleTime
 	dec.SolverLatency = solveTime
+	ms := b.model.Stats()
+
+	s.statsMu.Lock()
+	s.stats.SolverNodes += sol.Nodes
+	s.stats.SolverLPIters += sol.LPIters
+	s.stats.SolverWorkers = sol.Workers
+	s.stats.SpecLPs += sol.SpecLPs
+	s.stats.SpecUsed += sol.SpecUsed
 	s.stats.Cycles++
 	s.stats.SolveTime += solveTime
 	if solveTime > s.stats.MaxSolveTime {
@@ -363,7 +394,6 @@ func (s *Scheduler) Cycle(st *simulator.State) simulator.Decision {
 	if cycleTime > s.stats.MaxCycleTime {
 		s.stats.MaxCycleTime = cycleTime
 	}
-	ms := b.model.Stats()
 	s.stats.LastModel = ms
 	if ms.Vars > s.stats.MaxVars {
 		s.stats.MaxVars = ms.Vars
@@ -373,6 +403,7 @@ func (s *Scheduler) Cycle(st *simulator.State) simulator.Decision {
 	}
 	s.stats.Preemptions += len(dec.Preempt)
 	s.stats.Starts += len(dec.Start)
+	s.statsMu.Unlock()
 	return dec
 }
 
@@ -382,6 +413,13 @@ func (s *Scheduler) extract(b *builder, sol *milp.Solution, st *simulator.State,
 	if sol.X == nil {
 		return
 	}
+	deferrals, allocFailures := 0, 0
+	defer func() {
+		s.statsMu.Lock()
+		s.stats.Deferrals += deferrals
+		s.stats.AllocFailures += allocFailures
+		s.statsMu.Unlock()
+	}()
 	// Preemptions first: they free capacity for slot-0 starts.
 	freeAdj := st.Free.Clone()
 	for _, pv := range b.preempts {
@@ -411,7 +449,7 @@ func (s *Scheduler) extract(b *builder, sol *milp.Solution, st *simulator.State,
 	})
 	for _, o := range chosen {
 		if o.slot > 0 {
-			s.stats.Deferrals++
+			deferrals++
 			s.planned[o.j.ID] = plan{space: o.space, start: o.start}
 			s.logDecision(DecisionEvent{
 				Time: st.Now, Kind: DecisionDefer, Job: o.j.ID,
@@ -429,9 +467,12 @@ func (s *Scheduler) extract(b *builder, sol *milp.Solution, st *simulator.State,
 		}
 		if alloc == nil {
 			// Discretization mismatch: retry next cycle.
-			s.stats.AllocFailures++
+			allocFailures++
 			delete(s.planned, o.j.ID)
 			continue
+		}
+		if s.cfg.Checks {
+			s.checkAlloc(o, alloc, freeAdj)
 		}
 		for p, n := range alloc {
 			freeAdj[p] -= n

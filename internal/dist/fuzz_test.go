@@ -1,0 +1,80 @@
+package dist_test
+
+// Fuzz target for the Eq. 2 conditional distribution, checked against the
+// shared verifier in internal/check (external test package to avoid the
+// dist ← check import cycle). Seed corpus under testdata/fuzz;
+// scripts/ci.sh runs a short smoke pass.
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"threesigma/internal/check"
+	"threesigma/internal/dist"
+)
+
+// FuzzConditional builds a base distribution (selected and parameterized by
+// the fuzzed bytes) and an elapsed time — possibly past the base's support,
+// exercising the exhausted/§4.2.1 regime — and asserts the conditional
+// invariants: monotone bounded CDF, zero mass before elapsed, and the
+// survival-ratio identity against the base.
+func FuzzConditional(f *testing.F) {
+	mk := func(kind byte, fields ...float64) []byte {
+		b := []byte{kind}
+		for _, v := range fields {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+		}
+		return b
+	}
+	f.Add(mk(0, 0.3, 120))                        // point, mid-run
+	f.Add(mk(1, 1.5, 60, 600))                    // uniform, exhausted
+	f.Add(mk(2, 0.9, 300, 90))                    // truncated normal
+	f.Add(mk(3, 0.5, 30, 45, 45, 120, 300, 2400)) // empirical
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 1 {
+			return
+		}
+		var vs []float64
+		for rest := data[1:]; len(rest) >= 8; rest = rest[8:] {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(rest))
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return // runtimes and parameters are finite upstream
+			}
+			vs = append(vs, math.Abs(v))
+		}
+		if len(vs) < 2 {
+			return
+		}
+		// vs[0] scales elapsed relative to the base's support so both the
+		// mid-run and the exhausted regimes are reachable from any input.
+		elapsedFrac, vs := math.Mod(vs[0], 2), vs[1:]
+		var base dist.Distribution
+		switch data[0] % 4 {
+		case 0:
+			base = dist.NewPoint(vs[0])
+		case 1:
+			if len(vs) < 2 {
+				return
+			}
+			lo := math.Min(vs[0], vs[1])
+			hi := math.Max(vs[0], vs[1])
+			base = dist.NewUniform(lo, hi)
+		case 2:
+			if len(vs) < 2 {
+				return
+			}
+			base = dist.NewNormal(vs[0], vs[1])
+		default:
+			base = dist.FromSamples(vs)
+		}
+		max := base.Max()
+		if math.IsInf(max, 0) || max > 1e15 {
+			return // bounded-support contract; huge supports lose CDF resolution
+		}
+		c := dist.NewConditional(base, elapsedFrac*max)
+		if err := check.VerifyConditional(c); err != nil {
+			t.Fatalf("base %v, elapsed %g: %v", base, elapsedFrac*max, err)
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package histogram_test
+
+// Table-driven corruption tests for FromState: a checkpoint written by a
+// buggy or hostile writer must either be repaired into a sketch that passes
+// the full invariant verifier or be rejected with an error — never loaded
+// silently corrupt (unsorted bins break every binary-searching query path).
+
+import (
+	"math"
+	"testing"
+
+	"threesigma/internal/check"
+	"threesigma/internal/histogram"
+)
+
+func TestFromStateCorruption(t *testing.T) {
+	bins := func(vc ...float64) []histogram.Bin {
+		out := make([]histogram.Bin, 0, len(vc)/2)
+		for i := 0; i+1 < len(vc); i += 2 {
+			out = append(out, histogram.Bin{Value: vc[i], Count: vc[i+1]})
+		}
+		return out
+	}
+	cases := []struct {
+		name     string
+		state    histogram.State
+		wantErr  bool
+		wantBins int
+		wantN    float64
+	}{
+		{
+			name:     "healthy",
+			state:    histogram.State{MaxBins: 8, Bins: bins(10, 1, 20, 2, 30, 1), N: 4, Min: 10, Max: 30},
+			wantBins: 3, wantN: 4,
+		},
+		{
+			name:     "unsorted bins are sorted",
+			state:    histogram.State{MaxBins: 8, Bins: bins(30, 1, 10, 1, 20, 2), N: 4, Min: 10, Max: 30},
+			wantBins: 3, wantN: 4,
+		},
+		{
+			name:     "negative count dropped and N recomputed",
+			state:    histogram.State{MaxBins: 8, Bins: bins(10, -5, 20, 2, 30, 1), N: -2, Min: 10, Max: 30},
+			wantBins: 2, wantN: 3,
+		},
+		{
+			name:     "zero count dropped",
+			state:    histogram.State{MaxBins: 8, Bins: bins(10, 0, 20, 2), N: 2, Min: 10, Max: 20},
+			wantBins: 1, wantN: 2,
+		},
+		{
+			name:     "duplicate centroids merged",
+			state:    histogram.State{MaxBins: 8, Bins: bins(10, 1, 10, 3, 20, 1), N: 5, Min: 10, Max: 20},
+			wantBins: 2, wantN: 5,
+		},
+		{
+			name:     "over budget merged down",
+			state:    histogram.State{MaxBins: 2, Bins: bins(10, 1, 11, 1, 30, 1, 31, 1), N: 4, Min: 10, Max: 31},
+			wantBins: 2, wantN: 4,
+		},
+		{
+			name:     "min/max inside centroid range clamped",
+			state:    histogram.State{MaxBins: 8, Bins: bins(10, 1, 30, 1), N: 2, Min: 15, Max: 25},
+			wantBins: 2, wantN: 2,
+		},
+		{
+			name:     "NaN min/max clamped",
+			state:    histogram.State{MaxBins: 8, Bins: bins(10, 1, 30, 1), N: 2, Min: math.NaN(), Max: math.NaN()},
+			wantBins: 2, wantN: 2,
+		},
+		{
+			name:     "infinite min/max clamped",
+			state:    histogram.State{MaxBins: 8, Bins: bins(10, 1, 30, 1), N: 2, Min: math.Inf(-1), Max: math.Inf(1)},
+			wantBins: 2, wantN: 2,
+		},
+		{
+			name:     "all bins dead yields empty sketch",
+			state:    histogram.State{MaxBins: 8, Bins: bins(10, 0, 20, -1), N: 7, Min: 10, Max: 20},
+			wantBins: 0, wantN: 0,
+		},
+		{
+			name:  "empty state",
+			state: histogram.State{MaxBins: 8},
+		},
+		{
+			name:    "NaN centroid rejected",
+			state:   histogram.State{MaxBins: 8, Bins: bins(math.NaN(), 1, 20, 1), N: 2, Min: 10, Max: 20},
+			wantErr: true,
+		},
+		{
+			name:    "infinite centroid rejected",
+			state:   histogram.State{MaxBins: 8, Bins: bins(math.Inf(1), 1, 20, 1), N: 2, Min: 10, Max: 20},
+			wantErr: true,
+		},
+		{
+			name:    "NaN count rejected",
+			state:   histogram.State{MaxBins: 8, Bins: bins(10, math.NaN(), 20, 1), N: 2, Min: 10, Max: 20},
+			wantErr: true,
+		},
+		{
+			name:    "infinite count rejected",
+			state:   histogram.State{MaxBins: 8, Bins: bins(10, math.Inf(1), 20, 1), N: 2, Min: 10, Max: 20},
+			wantErr: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h, err := histogram.FromState(tc.state)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("FromState(%+v) accepted an irrecoverable state", tc.state)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("FromState: %v", err)
+			}
+			if h.NumBins() != tc.wantBins {
+				t.Errorf("NumBins = %d, want %d", h.NumBins(), tc.wantBins)
+			}
+			if h.Count() != tc.wantN {
+				t.Errorf("Count = %g, want %g", h.Count(), tc.wantN)
+			}
+			if err := check.VerifyHistogram(h); err != nil {
+				t.Errorf("restored sketch violates invariants: %v", err)
+			}
+		})
+	}
+}

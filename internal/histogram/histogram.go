@@ -102,10 +102,17 @@ func (h *Histogram) mergeClosest() {
 	}
 	a, b := h.bins[best], h.bins[best+1]
 	tot := a.Count + b.Count
-	h.bins[best] = Bin{
-		Value: (a.Value*a.Count + b.Value*b.Count) / tot,
-		Count: tot,
+	v := (a.Value*a.Count + b.Value*b.Count) / tot
+	// The weighted mean must land inside [a.Value, b.Value]; with subnormal
+	// value·count products it can underflow to 0 (or NaN on overflow) and
+	// break the sorted-bins invariant every query path relies on. Clamp —
+	// a no-op for normal-magnitude inputs, so streamed results are unchanged.
+	if !(v >= a.Value) { // also catches NaN
+		v = a.Value
+	} else if v > b.Value {
+		v = b.Value
 	}
+	h.bins[best] = Bin{Value: v, Count: tot}
 	h.bins = append(h.bins[:best+1], h.bins[best+2:]...)
 }
 
@@ -263,15 +270,24 @@ func (h *Histogram) Quantile(q float64) float64 {
 		return h.max
 	}
 	lo, hi := h.min, h.max
-	for i := 0; i < 64 && hi-lo > 1e-12*(1+math.Abs(hi)); i++ {
-		mid := (lo + hi) / 2
+	// The tolerance must be relative to the support span, not the absolute
+	// magnitude of the values: an absolute cutoff silently returns the
+	// support midpoint for every q when the whole histogram lives below it
+	// (e.g. sub-picosecond runtimes). Midpoints are computed as
+	// lo+(hi-lo)/2 so supports near the float range cannot overflow.
+	tol := (hi - lo) * 1e-12
+	for i := 0; i < 64 && hi-lo > tol; i++ {
+		mid := lo + (hi-lo)/2
+		if mid <= lo || mid >= hi {
+			break // interval below float resolution
+		}
 		if h.CDF(mid) < q {
 			lo = mid
 		} else {
 			hi = mid
 		}
 	}
-	return (lo + hi) / 2
+	return lo + (hi-lo)/2
 }
 
 // State is a serializable snapshot of a histogram (predictor persistence).
@@ -290,14 +306,61 @@ func (h *Histogram) Snapshot() State {
 
 // FromState reconstructs a histogram from a snapshot. Empty snapshots
 // yield an empty histogram with the given bin budget.
-func FromState(s State) *Histogram {
+//
+// The snapshot is validated and repaired before use: every query path
+// (AddWeighted, Sum, CDF) binary-searches h.bins assuming sorted order and
+// positive counts, so a corrupted or hand-edited checkpoint would otherwise
+// silently yield wrong CDFs. Bins with non-positive counts are dropped,
+// out-of-order bins are re-sorted (duplicate centroids merged), an
+// over-budget bin list is merged down to MaxBins, and n/min/max are
+// recomputed from the surviving bins. Snapshots with non-finite centroids
+// or counts are irrecoverable and rejected with an error.
+func FromState(s State) (*Histogram, error) {
 	h := New(s.MaxBins)
-	h.bins = append(h.bins, s.Bins...)
-	h.n = s.N
-	if s.N > 0 {
-		h.min, h.max = s.Min, s.Max
+	for _, b := range s.Bins {
+		if math.IsNaN(b.Value) || math.IsInf(b.Value, 0) {
+			return nil, fmt.Errorf("histogram: snapshot bin has non-finite centroid %v", b.Value)
+		}
+		if math.IsNaN(b.Count) || math.IsInf(b.Count, 0) {
+			return nil, fmt.Errorf("histogram: snapshot bin %g has non-finite count %v", b.Value, b.Count)
+		}
+		if b.Count <= 0 {
+			continue // dead weight: drop rather than corrupt binary searches
+		}
+		h.bins = append(h.bins, b)
 	}
-	return h
+	sort.SliceStable(h.bins, func(i, j int) bool { return h.bins[i].Value < h.bins[j].Value })
+	// Merge duplicate centroids (AddWeighted would otherwise split their
+	// mass unpredictably between equal-valued bins).
+	out := h.bins[:0]
+	for _, b := range h.bins {
+		if n := len(out); n > 0 && out[n-1].Value == b.Value {
+			out[n-1].Count += b.Count
+			continue
+		}
+		out = append(out, b)
+	}
+	h.bins = out
+	for len(h.bins) > h.maxBins {
+		h.mergeClosest()
+	}
+	for _, b := range h.bins {
+		h.n += b.Count
+	}
+	if len(h.bins) == 0 {
+		return h, nil
+	}
+	// min/max must bracket the centroids; a snapshot may legitimately carry
+	// observed extremes outside the (merged) centroid range, but never inside
+	// it, and never NaN or infinite (Quantile bisects over [min,max]).
+	h.min, h.max = s.Min, s.Max
+	if !(h.min <= h.bins[0].Value) || math.IsInf(h.min, 0) { // also catches NaN
+		h.min = h.bins[0].Value
+	}
+	if !(h.max >= h.bins[len(h.bins)-1].Value) || math.IsInf(h.max, 0) {
+		h.max = h.bins[len(h.bins)-1].Value
+	}
+	return h, nil
 }
 
 // String renders a compact debug representation.

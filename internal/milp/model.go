@@ -114,6 +114,14 @@ func (m *Model) NumBinary() int {
 // VarName returns the debug name of variable v.
 func (m *Model) VarName(v int) string { return m.names[v] }
 
+// Kind returns the kind of variable v.
+func (m *Model) Kind(v int) VarKind { return m.kinds[v] }
+
+// Rows returns the model's constraint rows. The slice and the rows' Idx/Coef
+// backing arrays are the model's own storage: callers must treat them as
+// read-only (exposed for invariant checkers and tests, not for mutation).
+func (m *Model) Rows() []Row { return m.rows }
+
 // Objective evaluates the objective at x (which must have NumVars entries).
 func (m *Model) Objective(x []float64) float64 {
 	s := m.objConst

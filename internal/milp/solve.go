@@ -459,6 +459,20 @@ const lpSizeSparseCutoff = 8192
 // 0 = auto, 1 = always dense, 2 = always sparse.
 var lpForce int32
 
+// LP-representation override modes for DebugForceLP.
+const (
+	LPAuto   int32 = 0
+	LPDense  int32 = 1
+	LPSparse int32 = 2
+)
+
+// DebugForceLP overrides the dense/sparse LP-representation choice for every
+// subsequent relaxation solve and returns the previous mode. It exists for
+// the differential solver oracle (internal/check), which cross-checks the
+// hybrid auto-selected path against a forced dense reference; restore the
+// returned mode when done. Not for production use.
+func DebugForceLP(mode int32) int32 { return atomic.SwapInt32(&lpForce, mode) }
+
 // useSparseLP decides the representation for one relaxation: sparse when the
 // tableau is big and the structural matrix thin (scheduler instances: every
 // indicator sits in one demand row plus a few capacity rows), dense

@@ -85,7 +85,11 @@ func (p *Predictor) Load(r io.Reader) error {
 		groups[fi] = make(map[string]*group, len(m))
 		for val, gs := range m {
 			g := newGroup(&p.cfg)
-			g.hist = histogram.FromState(gs.Hist)
+			h, err := histogram.FromState(gs.Hist)
+			if err != nil {
+				return fmt.Errorf("predictor: load: feature %d, group %q: %w", fi, val, err)
+			}
+			g.hist = h
 			g.count = gs.Count
 			g.sum = gs.Sum
 			g.rolling = gs.Rolling

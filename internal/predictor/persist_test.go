@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"threesigma/internal/check"
 	"threesigma/internal/job"
 )
 
@@ -194,5 +195,65 @@ func TestSaveEmptyPredictor(t *testing.T) {
 	}
 	if !q.Estimate(mk("x", "y", 1)).Novel {
 		t.Error("empty restored predictor should be novel")
+	}
+}
+
+// TestLoadRepairsCorruptHistogram feeds Load a checkpoint whose histogram
+// bins were corrupted in the repairable ways a buggy writer can produce
+// through JSON (unsorted order, non-positive counts): Load must succeed and
+// hand every group a sketch that passes the full invariant verifier, with
+// the dead bins dropped — never a silently corrupt binary-search structure.
+func TestLoadRepairsCorruptHistogram(t *testing.T) {
+	p := New(Config{})
+	for i := 0; i < 30; i++ {
+		p.Observe(mk("alice", "etl", 4), 100+float64(i%7)*30)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var raw map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	corrupted := 0
+	for _, groups := range raw["groups"].([]any) {
+		for _, gv := range groups.(map[string]any) {
+			hist := gv.(map[string]any)["hist"].(map[string]any)
+			bins := hist["bins"].([]any)
+			if len(bins) < 2 {
+				continue
+			}
+			// Reverse the bin order and kill the first bin's count.
+			for i, j := 0, len(bins)-1; i < j; i, j = i+1, j-1 {
+				bins[i], bins[j] = bins[j], bins[i]
+			}
+			bins[0].(map[string]any)["count"] = -3.5
+			corrupted++
+		}
+	}
+	if corrupted == 0 {
+		t.Fatal("test setup produced no multi-bin histograms to corrupt")
+	}
+	mutated, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q := New(Config{})
+	if err := q.Load(bytes.NewReader(mutated)); err != nil {
+		t.Fatalf("load repairable corruption: %v", err)
+	}
+	for fi, m := range q.groups {
+		for val, g := range m {
+			if err := check.VerifyHistogram(g.hist); err != nil {
+				t.Errorf("feature %d group %q: restored sketch corrupt: %v", fi, val, err)
+			}
+		}
+	}
+	est := q.Estimate(mk("alice", "etl", 4))
+	if est.Novel || math.IsNaN(est.Point) || est.Point <= 0 {
+		t.Errorf("estimate after repair = %+v", est)
 	}
 }

@@ -157,7 +157,6 @@ type Service struct {
 	comps     compHeap
 	draining  bool
 	counters  Counters
-	stats     core.Stats // last cycle's copy (zero for greedy schedulers)
 	cycles    int64
 	ckpts     int64
 
@@ -421,9 +420,6 @@ func (s *Service) runCycle() {
 		heap.Push(&s.comps, completion{at: now + rt, id: run.Job.ID, runID: run.RunID})
 	}
 	s.cycles++
-	if ss, ok := s.cfg.Scheduler.(statser); ok {
-		s.stats = ss.Stats()
-	}
 	s.mu.Unlock()
 }
 
@@ -608,8 +604,10 @@ func (s *Service) Abandon(id job.ID) {
 	if _, ok := s.eng.Cancel(id, s.vnow()); ok {
 		s.abandoned[id] = true
 		s.counters.Abandoned++
-		// No s.removed entry: the scheduler dropped its own state when it
-		// abandoned the job.
+		// The scheduler swept the job's planning state when it abandoned it,
+		// but still holds the abandoned-ID marker; queue a JobRemoved so the
+		// next cycle clears that too and the marker set cannot grow forever.
+		s.removed = append(s.removed, id)
 	}
 }
 
@@ -751,8 +749,15 @@ type Metrics struct {
 	MaxSolve      time.Duration `json:"-"`
 }
 
-// Metrics returns the current observability snapshot.
+// Metrics returns the current observability snapshot. Scheduler counters
+// are read live from the scheduler (core.Scheduler.Stats is
+// concurrent-safe), not from a per-cycle copy, so a metrics poll during a
+// long solve sees up-to-date values.
 func (s *Service) Metrics() Metrics {
+	var cs core.Stats
+	if ss, ok := s.cfg.Scheduler.(statser); ok {
+		cs = ss.Stats()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m := Metrics{
@@ -772,17 +777,17 @@ func (s *Service) Metrics() Metrics {
 		Ready:           s.started && !s.draining,
 		Checkpoints:     s.ckpts,
 		NodeDownSeconds: s.eng.NodeDownSeconds(s.vnow()),
-		SchedCycles:     s.stats.Cycles,
-		SolverNodes:     s.stats.SolverNodes,
-		SolverLPIters:   s.stats.SolverLPIters,
-		Starts:          s.stats.Starts,
-		Preemptions:     s.stats.Preemptions,
-		MaxVars:         s.stats.MaxVars,
-		MaxRows:         s.stats.MaxRows,
-		MaxSolve:        s.stats.MaxSolveTime,
+		SchedCycles:     cs.Cycles,
+		SolverNodes:     cs.SolverNodes,
+		SolverLPIters:   cs.SolverLPIters,
+		Starts:          cs.Starts,
+		Preemptions:     cs.Preemptions,
+		MaxVars:         cs.MaxVars,
+		MaxRows:         cs.MaxRows,
+		MaxSolve:        cs.MaxSolveTime,
 	}
-	if s.stats.Cycles > 0 {
-		m.MeanCycleMS = float64(s.stats.CycleTime.Milliseconds()) / float64(s.stats.Cycles)
+	if cs.Cycles > 0 {
+		m.MeanCycleMS = float64(cs.CycleTime.Milliseconds()) / float64(cs.Cycles)
 	}
 	if s.cfg.Predictor != nil {
 		m.PredictorGroups = s.cfg.Predictor.GroupCount()

@@ -1,10 +1,11 @@
 #!/usr/bin/env sh
 # ci.sh — the repository's verification gate: vet, build, the full test
-# suite under the race detector, a fault-injection determinism gate (two
-# identical seeded chaos runs must produce bit-identical outcome digests),
-# and an end-to-end smoke of the online service (serverd + loadgen,
-# including a SIGTERM warm restart and a /readyz drain check).
-# Run from anywhere; operates on the repo root.
+# suite under the race detector, the differential solver oracle, a fuzz
+# smoke pass over the histogram/distribution property targets, a
+# fault-injection determinism gate (two identical seeded chaos runs must
+# produce bit-identical outcome digests), and an end-to-end smoke of the
+# online service (serverd + loadgen, including a SIGTERM warm restart and
+# a /readyz drain check). Run from anywhere; operates on the repo root.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -17,6 +18,20 @@ go build ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== differential solver oracle =="
+# Pinned seed: 200 random scheduling-shaped MILPs, each solved at workers
+# {1,2,8} and compared bitwise against the single-worker dense-LP reference
+# (DESIGN.md §9).
+THREESIGMA_ORACLE_MODELS=200 THREESIGMA_ORACLE_SEED=1 \
+    go test -count=1 -run '^TestDifferentialOracle$' ./internal/check
+
+echo "== fuzz smoke =="
+# A few seconds per target: regression corpus under testdata/fuzz plus a
+# short randomized pass over the invariant verifiers.
+go test -fuzz '^FuzzHistogramInvariants$' -fuzztime 5s -run '^$' ./internal/histogram
+go test -fuzz '^FuzzFromState$' -fuzztime 5s -run '^$' ./internal/histogram
+go test -fuzz '^FuzzConditional$' -fuzztime 5s -run '^$' ./internal/dist
 
 echo "== fault determinism gate =="
 # Same seed, same fault schedule => bit-identical outcomes, byte-for-byte.
