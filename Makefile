@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check fuzz verify bench bench-fig1 serverd loadgen smoke faults
+.PHONY: build test race vet lint check fuzz verify bench bench-fig1 serverd loadgen smoke faults
 
 build:
 	$(GO) build ./...
@@ -14,10 +14,16 @@ race:
 vet:
 	$(GO) vet ./...
 
-# check runs the correctness suite: the differential solver oracle
-# (200 pinned-seed MILPs, workers {1,2,8} vs the dense reference) plus the
-# histogram/distribution invariant property tests (DESIGN.md §9).
-check:
+# lint runs 3sigma-lint, the repo's determinism & concurrency analyzer
+# (DESIGN.md §10). Any unsuppressed diagnostic is a hard failure.
+lint:
+	$(GO) run ./cmd/3sigma-lint ./...
+
+# check runs the correctness suite: the static analyzer, the differential
+# solver oracle (200 pinned-seed MILPs, workers {1,2,8} vs the dense
+# reference), and the histogram/distribution invariant property tests
+# (DESIGN.md §9–10).
+check: lint
 	THREESIGMA_ORACLE_MODELS=200 THREESIGMA_ORACLE_SEED=1 \
 		$(GO) test -count=1 ./internal/check
 
@@ -28,8 +34,8 @@ fuzz:
 	$(GO) test -fuzz '^FuzzFromState$$' -fuzztime 10s -run '^$$' ./internal/histogram
 	$(GO) test -fuzz '^FuzzConditional$$' -fuzztime 10s -run '^$$' ./internal/dist
 
-# verify is the CI gate: vet + build + race-enabled tests + oracle + fuzz
-# smoke + determinism and service e2e gates.
+# verify is the CI gate: vet + lint + build + race-enabled tests + oracle +
+# fuzz smoke + determinism and service e2e gates.
 verify:
 	./scripts/ci.sh
 

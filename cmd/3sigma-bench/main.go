@@ -73,12 +73,14 @@ func main() {
 	// run executes one experiment; f returns the structured rows (for -json)
 	// and the formatted table (for the default text output).
 	run := func(name string, f func() (interface{}, string, error)) {
+		//lint:allow wallclock benchmark harness measures real experiment duration by design
 		t0 := time.Now()
 		data, out, err := f()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
+		//lint:allow wallclock benchmark harness measures real experiment duration by design
 		elapsed := time.Since(t0).Round(time.Millisecond)
 		if *jsonOut {
 			if err := enc.Encode(struct {

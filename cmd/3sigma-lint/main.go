@@ -1,0 +1,103 @@
+// 3sigma-lint enforces the repository's determinism and concurrency
+// invariants statically (DESIGN.md §10): no map-order dependence in the
+// deterministic packages, no wall-clock reads outside simulator/clock.go,
+// no math/rand outside internal/stats, no exact float equality, no mutex
+// copies, and no unguarded access to "// guarded by <mu>" fields.
+//
+// Usage:
+//
+//	3sigma-lint [-rule name[,name...]] [-json] [packages]
+//
+// The package arguments are accepted for familiarity ("./..." is what CI
+// passes) and act as path filters on the reported diagnostics; the whole
+// module at the working directory (or -C dir) is always loaded, because
+// type-checking is whole-module anyway. Exit status: 0 clean, 1 when any
+// unsuppressed diagnostic was reported, 2 on load/type-check errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"threesigma/internal/lint"
+)
+
+func main() {
+	var (
+		ruleFlag = flag.String("rule", "", "comma-separated rule names to run (default: all of "+strings.Join(lint.RuleNames(), ",")+")")
+		jsonFlag = flag.Bool("json", false, "emit one JSON object per diagnostic (grep-able CI output)")
+		dirFlag  = flag.String("C", ".", "module root to lint (directory containing go.mod)")
+	)
+	flag.Parse()
+
+	var selected []string
+	if *ruleFlag != "" {
+		for _, r := range strings.Split(*ruleFlag, ",") {
+			if r = strings.TrimSpace(r); r != "" {
+				selected = append(selected, r)
+			}
+		}
+	}
+	diags, err := lint.Run(*dirFlag, selected)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "3sigma-lint:", err)
+		os.Exit(2)
+	}
+	diags = filterPatterns(diags, flag.Args())
+
+	for _, d := range diags {
+		if *jsonFlag {
+			enc, _ := json.Marshal(struct {
+				File    string `json:"file"`
+				Line    int    `json:"line"`
+				Col     int    `json:"col"`
+				Rule    string `json:"rule"`
+				Message string `json:"message"`
+			}{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message})
+			fmt.Println(string(enc))
+		} else {
+			fmt.Println(d.String())
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonFlag {
+			fmt.Fprintf(os.Stderr, "3sigma-lint: %d diagnostic(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}
+
+// filterPatterns keeps diagnostics under the given go-style package path
+// patterns ("./...", "./internal/milp", "internal/milp/..."). No patterns,
+// "." or "./..." keep everything.
+func filterPatterns(diags []lint.Diagnostic, patterns []string) []lint.Diagnostic {
+	var prefixes []string
+	for _, p := range patterns {
+		p = filepath.ToSlash(p)
+		p = strings.TrimPrefix(p, "./")
+		p = strings.TrimSuffix(p, "...")
+		p = strings.TrimSuffix(p, "/")
+		if p == "" || p == "." {
+			return diags
+		}
+		prefixes = append(prefixes, p)
+	}
+	if len(prefixes) == 0 {
+		return diags
+	}
+	var out []lint.Diagnostic
+	for _, d := range diags {
+		file := filepath.ToSlash(d.Pos.Filename)
+		for _, p := range prefixes {
+			if file == p || strings.HasPrefix(file, p+"/") {
+				out = append(out, d)
+				break
+			}
+		}
+	}
+	return out
+}

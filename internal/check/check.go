@@ -98,6 +98,7 @@ func VerifyHistogram(h *histogram.Histogram) error {
 		// far enough right to cross it (overshooting only raises the CDF, so
 		// the one-sided bound stays valid).
 		probe := v + span*1e-12
+		//lint:allow floateq detects exact underflow of the epsilon addition, to fall back to Nextafter
 		if probe == v {
 			probe = math.Nextafter(v, math.Inf(1))
 		}
@@ -117,6 +118,7 @@ func VerifyHistogram(h *histogram.Histogram) error {
 	// FromState re-derives the total count by summing the bins, which can
 	// differ from the streamed accumulation in the last few ulps; everything
 	// else must survive exactly.
+	//lint:allow floateq persistence round-trip is contractually bitwise (only N may drift by ulps)
 	if !approxEq(st2.N, st.N, 1e-9*math.Max(1, st.N)) || st2.Min != st.Min || st2.Max != st.Max ||
 		len(st2.Bins) != len(st.Bins) {
 		return fmt.Errorf("snapshot round-trip drifted: %+v -> %+v", st, st2)
@@ -132,6 +134,7 @@ func VerifyHistogram(h *histogram.Histogram) error {
 		return fmt.Errorf("FromState rejected normalized snapshot: %v", err)
 	}
 	st3 := h3.Snapshot()
+	//lint:allow floateq a normalized snapshot must be a bitwise fixed point; any drift is the bug being hunted
 	if st3.N != st2.N || st3.Min != st2.Min || st3.Max != st2.Max || len(st3.Bins) != len(st2.Bins) {
 		return fmt.Errorf("normalized snapshot not a fixed point: %+v -> %+v", st2, st3)
 	}

@@ -3,9 +3,9 @@ package check
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"threesigma/internal/milp"
+	"threesigma/internal/stats"
 )
 
 // This file is the differential solver oracle: seeded random MILP instances
@@ -35,7 +35,7 @@ type OracleOptions struct {
 // continuous allocation variable in a capacity row), but may be infeasible
 // in degenerate draws — the oracle only requires all solver configurations
 // to agree, including on infeasibility.
-func GenModel(rng *rand.Rand) *milp.Model {
+func GenModel(rng stats.Rand) *milp.Model {
 	m := &milp.Model{}
 	nParts := 2 + rng.Intn(3) // 2–4 partitions
 	nSlots := 1 + rng.Intn(4) // 1–4 plan-ahead slots
@@ -149,7 +149,9 @@ func RunOracle(opt OracleOptions) error {
 	if opt.MaxNodes <= 0 {
 		opt.MaxNodes = 64
 	}
-	rng := rand.New(rand.NewSource(opt.Seed))
+	// stats.NewRand wraps the same PRNG stream rand.New(rand.NewSource)
+	// produced, so the pinned-seed model corpus is unchanged.
+	rng := stats.NewRand(opt.Seed)
 	for i := 0; i < opt.Models; i++ {
 		m := GenModel(rng)
 
@@ -206,6 +208,7 @@ func checkIncumbent(m *milp.Model, s *milp.Solution) error {
 		return fmt.Errorf("status %v but incumbent violates constraints", s.Status)
 	}
 	for v, x := range s.X {
+		//lint:allow floateq Solution contracts binaries to be exact 0/1 (snapped by Solve); the oracle verifies that bitwise
 		if m.Kind(v) == milp.Binary && x != 0 && x != 1 {
 			return fmt.Errorf("binary %s = %g in incumbent", m.VarName(v), x)
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"threesigma/internal/job"
 	"threesigma/internal/simulator"
@@ -44,6 +45,7 @@ func (s *Scheduler) checkOption(o *option) {
 		}
 		prev = c
 	}
+	//lint:allow floateq the builder seeds rc[0] with the exact constant 1; any other bit pattern is the violation
 	if len(o.rc) > 0 && o.rc[0] != 1 {
 		checkFailf("job %d slot %d: rc[0]=%g, want 1 (option consumes its full gang at start)",
 			o.j.ID, o.slot, o.rc[0])
@@ -58,8 +60,15 @@ func (s *Scheduler) checkMemo(id job.ID, pg *memoPage, ver uint64) {
 	if pg.ver != ver {
 		checkFailf("job %d: memo page version %d, distribution version %d", id, pg.ver, ver)
 	}
-	for space, surv := range pg.surv {
-		if len(surv) != s.cfg.Slots {
+	// Sort the spaces so a page with several bad curves always panics on
+	// the same one (checkFailf stops at the first violation it sees).
+	spaces := make([]int, 0, len(pg.surv))
+	for space := range pg.surv {
+		spaces = append(spaces, int(space))
+	}
+	sort.Ints(spaces)
+	for _, space := range spaces {
+		if surv := pg.surv[int8(space)]; len(surv) != s.cfg.Slots {
 			checkFailf("job %d space %d: memoized survival curve has %d samples, want %d slots",
 				id, space, len(surv), s.cfg.Slots)
 		}

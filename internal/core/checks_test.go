@@ -182,6 +182,7 @@ func TestRetiredJobsLeaveNoState(t *testing.T) {
 	if res == nil {
 		t.Fatal("no result")
 	}
+	//lint:allow detrange independent per-entry assertions; order immaterial
 	for key, n := range DebugStateSizes(sched) {
 		// The abandoned marker must survive while the cluster manager still
 		// lists the job as pending — the simulator never removes abandoned

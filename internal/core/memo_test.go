@@ -25,16 +25,16 @@ func TestMemoCrossCycleEquivalence(t *testing.T) {
 	warm := New(est, testConfig())
 	_, st0 := memoScenario(0)
 	warm.buildModel(st0)
-	if warm.stats.CacheHits != 0 {
-		t.Fatalf("first build should be all misses, hits = %d", warm.stats.CacheHits)
+	if warm.Stats().CacheHits != 0 {
+		t.Fatalf("first build should be all misses, hits = %d", warm.Stats().CacheHits)
 	}
-	if warm.stats.CacheMisses == 0 {
+	if warm.Stats().CacheMisses == 0 {
 		t.Fatal("first build recorded no misses; memo not exercised")
 	}
 
 	_, st1 := memoScenario(10)
 	bWarm := warm.buildModel(st1)
-	if warm.stats.CacheHits == 0 {
+	if warm.Stats().CacheHits == 0 {
 		t.Error("second cycle on the same grid should hit the memo")
 	}
 
@@ -67,18 +67,18 @@ func TestMemoInvalidationOnDistUpdate(t *testing.T) {
 	s.buildModel(st)
 	_, st1 := memoScenario(10)
 	s.buildModel(st1)
-	if s.stats.CacheHits == 0 {
+	if s.Stats().CacheHits == 0 {
 		t.Fatal("expected hits on second build")
 	}
 
-	hits, misses := s.stats.CacheHits, s.stats.CacheMisses
+	hits, misses := s.Stats().CacheHits, s.Stats().CacheMisses
 	s.setDist(slo.ID, dist.NewUniform(100, 2500))
 	_, st2 := memoScenario(20)
 	s.buildModel(st2)
-	if s.stats.CacheHits != hits {
-		t.Errorf("stale page served after dist update: hits %d -> %d", hits, s.stats.CacheHits)
+	if s.Stats().CacheHits != hits {
+		t.Errorf("stale page served after dist update: hits %d -> %d", hits, s.Stats().CacheHits)
 	}
-	if s.stats.CacheMisses <= misses {
+	if s.Stats().CacheMisses <= misses {
 		t.Error("rebuild after dist update should record fresh misses")
 	}
 }

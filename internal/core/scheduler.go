@@ -93,7 +93,7 @@ type Scheduler struct {
 	// above are unsynchronized — but Stats() may be called concurrently with
 	// them (the online service's /v1/metrics handler polls it mid-cycle).
 	statsMu sync.Mutex
-	stats   Stats
+	stats   Stats // guarded by statsMu
 }
 
 // New returns a scheduler with the given estimator and configuration.

@@ -360,6 +360,7 @@ func TestDecisionKindStrings(t *testing.T) {
 		DecisionPreempt: "preempt", DecisionAbandon: "abandon",
 		DecisionKind(9): "unknown",
 	}
+	//lint:allow detrange independent per-entry assertions; order immaterial
 	for k, s := range want {
 		if k.String() != s {
 			t.Errorf("%d = %q, want %q", k, k.String(), s)

@@ -14,6 +14,7 @@ type Scaled struct {
 // NewScaled wraps base with the given positive factor (factor <= 0 is
 // treated as 1).
 func NewScaled(base Distribution, factor float64) Distribution {
+	//lint:allow floateq identity fast path: exactly 1.0 means "unscaled", anything else genuinely scales
 	if factor == 1 || factor <= 0 {
 		return base
 	}

@@ -163,6 +163,7 @@ func New(cfg Config, partitions []int, horizon float64) *Injector {
 	}
 	sort.SliceStable(in.events, func(i, j int) bool {
 		a, b := in.events[i], in.events[j]
+		//lint:allow floateq exact tie-break: equal-bits event times fall through to the deterministic kind/partition order
 		if a.Time != b.Time {
 			return a.Time < b.Time
 		}

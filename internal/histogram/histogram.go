@@ -76,6 +76,7 @@ func (h *Histogram) AddWeighted(v, w float64) {
 		h.max = v
 	}
 	i := sort.Search(len(h.bins), func(i int) bool { return h.bins[i].Value >= v })
+	//lint:allow floateq exact centroid match: only bit-identical values may share a bin, near-equal ones must stay distinct for mergeClosest
 	if i < len(h.bins) && h.bins[i].Value == v {
 		h.bins[i].Count += w
 		return
@@ -334,6 +335,7 @@ func FromState(s State) (*Histogram, error) {
 	// mass unpredictably between equal-valued bins).
 	out := h.bins[:0]
 	for _, b := range h.bins {
+		//lint:allow floateq exact duplicate merge: AddWeighted splits mass unpredictably only between bit-identical centroids
 		if n := len(out); n > 0 && out[n-1].Value == b.Value {
 			out[n-1].Count += b.Count
 			continue

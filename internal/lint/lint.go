@@ -1,0 +1,166 @@
+// Package lint is 3sigma-lint: a stdlib-only static analyzer that enforces
+// the repository's determinism and concurrency invariants at compile time
+// (DESIGN.md §10). The whole evaluation rests on bit-identical replay — the
+// fault-determinism gate, the differential solver oracle, and the outcome
+// digests all assume that no wall-clock read, global-RNG draw, or
+// map-iteration-order dependence ever leaks into a scheduling decision.
+// Before this package that contract was enforced only dynamically, by
+// seeded-digest tests that can cover only the code paths they happen to
+// exercise; lint makes it a property of the source.
+//
+// The analyzer loads the module with go/parser and type-checks it with
+// go/types (stdlib packages are imported from source via go/importer, so no
+// external dependencies are needed), then runs a fixed catalog of rules:
+//
+//	detrange     ranging over a map in a deterministic package
+//	wallclock    time.Now/Since/After/Until outside simulator/clock.go
+//	globalrand   math/rand outside internal/stats
+//	floateq      ==/!= between floating-point expressions
+//	mutexcopy    a sync.Mutex/RWMutex copied by value
+//	guardedfield a "// guarded by <mu>" field accessed without the lock
+//
+// Every diagnostic is individually suppressible with a comment on the same
+// line or the line above:
+//
+//	//lint:allow <rule> <reason>
+//
+// The reason is mandatory: an allow without one does not suppress anything
+// and is itself reported (rule "badallow"), so every accepted exception in
+// the tree carries a written justification.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a named rule violated at a position.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// A rule inspects one reportable file of a type-checked unit and reports
+// violations through the unit's reporter. Rules that declare testFiles
+// false are not run on _test.go files (tests measure wall time, seed local
+// RNGs, and assert bitwise identity on purpose; the concurrency rules still
+// apply everywhere).
+type rule struct {
+	name      string
+	doc       string
+	testFiles bool
+	run       func(u *Unit, f *File, rep reporter)
+}
+
+type reporter func(n ast.Node, format string, args ...interface{})
+
+// rules is the catalog, in reporting order. badallow is not listed: it is
+// emitted by the suppression pass itself and cannot be switched off.
+var rules = []rule{
+	{"detrange", "map iteration in a deterministic package must sort keys first", true, runDetRange},
+	{"wallclock", "wall-clock reads are confined to simulator/clock.go", false, runWallClock},
+	{"globalrand", "math/rand is confined to internal/stats", false, runGlobalRand},
+	{"floateq", "no exact floating-point equality outside tests", false, runFloatEq},
+	{"mutexcopy", "sync.Mutex/RWMutex must not be copied by value", true, runMutexCopy},
+	{"guardedfield", "'guarded by' fields are only touched under their mutex", true, runGuardedField},
+}
+
+// RuleNames returns the catalog names in reporting order.
+func RuleNames() []string {
+	out := make([]string, len(rules))
+	for i, r := range rules {
+		out[i] = r.name
+	}
+	return out
+}
+
+// knownRule reports whether name is a catalog rule (or badallow).
+func knownRule(name string) bool {
+	if name == "badallow" {
+		return false // not suppressible, not selectable
+	}
+	for _, r := range rules {
+		if r.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Run loads the module rooted at root (the directory containing go.mod),
+// runs the selected rules (nil or empty means all), applies //lint:allow
+// suppressions, and returns the surviving diagnostics sorted by position.
+// Load or type-check failures are returned as an error: a tree that does
+// not compile cannot be certified deterministic.
+func Run(root string, selected []string) ([]Diagnostic, error) {
+	for _, name := range selected {
+		if !knownRule(name) {
+			return nil, fmt.Errorf("lint: unknown rule %q (have %s)", name, strings.Join(RuleNames(), ", "))
+		}
+	}
+	mod, err := Load(root)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, u := range mod.Units {
+		for _, f := range u.Files {
+			if !f.Report {
+				continue
+			}
+			allows := parseAllows(mod.Fset, f.AST)
+			for _, bad := range allows.malformed {
+				diags = append(diags, bad)
+			}
+			for _, r := range rules {
+				if f.Test && !r.testFiles {
+					continue
+				}
+				if len(selected) > 0 && !contains(selected, r.name) {
+					continue
+				}
+				rname := r.name
+				rep := func(n ast.Node, format string, args ...interface{}) {
+					pos := mod.Fset.Position(n.Pos())
+					if allows.suppressed(rname, pos.Line) {
+						return
+					}
+					diags = append(diags, Diagnostic{Pos: pos, Rule: rname, Message: fmt.Sprintf(format, args...)})
+				}
+				r.run(u, f, rep)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return diags, nil
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// deterministicPkgs are the package names whose code feeds scheduling
+// decisions and therefore the outcome digests: any map iteration there
+// observes Go's randomized map order unless the keys are sorted first.
+var deterministicPkgs = map[string]bool{
+	"core":      true,
+	"milp":      true,
+	"simulator": true,
+	"faults":    true,
+	"predictor": true,
+}
+
+// runDetRange reports ranging over a map inside a deterministic package,
+// unless the loop only collects keys/values into a slice (the sort-keys
+// idiom's first half) or only counts entries — the two body shapes whose
+// result is independent of iteration order.
+func runDetRange(u *Unit, f *File, rep reporter) {
+	seg := u.PkgPath
+	if i := strings.LastIndex(seg, "/"); i >= 0 {
+		seg = seg[i+1:]
+	}
+	if !deterministicPkgs[strings.TrimSuffix(seg, "_test")] {
+		return
+	}
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := u.Info.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if orderIndependentBody(rng) {
+			return true
+		}
+		rep(rng, "iterating a map (%s) in deterministic package %s: collect the keys, sort, then index — map order is randomized per run", types.TypeString(t, types.RelativeTo(u.Pkg)), seg)
+		return true
+	})
+}
+
+// orderIndependentBody reports whether a range-over-map body cannot observe
+// the iteration order: every statement is either an append into a slice
+// (key collection before sorting) or, when neither key nor value is bound,
+// a bare counter increment.
+func orderIndependentBody(rng *ast.RangeStmt) bool {
+	if len(rng.Body.List) == 0 {
+		return true
+	}
+	for _, st := range rng.Body.List {
+		switch s := st.(type) {
+		case *ast.AssignStmt:
+			if len(s.Rhs) != 1 {
+				return false
+			}
+			call, ok := s.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			fn, ok := call.Fun.(*ast.Ident)
+			if !ok || fn.Name != "append" {
+				return false
+			}
+		case *ast.IncDecStmt:
+			if boundVar(rng.Key) || boundVar(rng.Value) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// boundVar reports whether a range clause expression binds a usable
+// variable (i.e. is present and not the blank identifier).
+func boundVar(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	id, ok := e.(*ast.Ident)
+	return !ok || id.Name != "_"
+}

@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// runFloatEq reports == / != between floating-point expressions. Exact
+// float equality is almost always a rounding hazard; the deterministic
+// tie-breaks this codebase does rely on (lexicographic incumbent
+// comparison, pivot degeneracy checks) are deliberate bitwise checks and
+// carry a //lint:allow floateq annotation explaining why. Comparisons
+// against a literal 0 are exempt (sign/zero tests are exact), as are
+// compile-time constant comparisons and _test.go files (bitwise-identity
+// assertions are the point of the determinism tests).
+func runFloatEq(u *Unit, f *File, rep reporter) {
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		xt, yt := u.Info.Types[be.X], u.Info.Types[be.Y]
+		if !isFloat(xt.Type) && !isFloat(yt.Type) {
+			return true
+		}
+		if xt.Value != nil && yt.Value != nil {
+			return true // constant fold: decided at compile time
+		}
+		if isConstZero(xt) || isConstZero(yt) {
+			return true
+		}
+		rep(be, "exact floating-point %s comparison: compare with a tolerance, or annotate the bitwise check with //lint:allow floateq <why>", be.Op)
+		return true
+	})
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConstZero(tv types.TypeAndValue) bool {
+	if tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		v, ok := constant.Float64Val(tv.Value)
+		return ok && v == 0
+	}
+	return false
+}

@@ -1,0 +1,25 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// runGlobalRand reports importing math/rand (or math/rand/v2) outside
+// internal/stats. All scheduler randomness must flow through the seeded
+// sources in internal/stats so a run is a pure function of its seed; even
+// a locally-seeded rand.New elsewhere fragments the seed discipline.
+func runGlobalRand(u *Unit, f *File, rep reporter) {
+	if strings.HasSuffix(strings.TrimSuffix(u.PkgPath, "_test"), "internal/stats") {
+		return
+	}
+	for _, spec := range f.AST.Imports {
+		path, err := strconv.Unquote(spec.Path.Value)
+		if err != nil {
+			continue
+		}
+		if path == "math/rand" || path == "math/rand/v2" {
+			rep(spec, "import of %s outside internal/stats: draw randomness from a seeded internal/stats source so runs are reproducible from the seed alone", path)
+		}
+	}
+}

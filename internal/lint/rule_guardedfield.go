@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// guardedByRe extracts the mutex name from a field's "// guarded by <mu>"
+// annotation (doc comment or end-of-line comment; extra prose after the
+// name is fine: "guarded by mu; see loop()").
+var guardedByRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// runGuardedField enforces field-level lock annotations: a read or write of
+// a struct field annotated "// guarded by <mu>" is reported when no
+// enclosing function (or closure) acquires <mu>. Acquisition is detected
+// syntactically — a call to <path>.<mu>.Lock / RLock / TryLock / TryRLock
+// anywhere in the function body, regardless of control flow. Functions
+// whose name ends in "Locked" are exempt: by repo convention their callers
+// hold the lock (e.g. milp.claimLocked).
+func runGuardedField(u *Unit, f *File, rep reporter) {
+	guarded := collectGuarded(u)
+	if len(guarded) == 0 {
+		return
+	}
+	// stack tracks the enclosing FuncDecl/FuncLit chain; lockedBy caches,
+	// per function node, the set of mutex names its body acquires.
+	lockedBy := make(map[ast.Node]map[string]bool)
+	var stack []ast.Node
+	var inspect func(n ast.Node)
+	inspect = func(root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				stack = append(stack, n)
+				if lockedBy[n] == nil {
+					lockedBy[n] = acquiredMutexes(n)
+				}
+				// Walk the body with the stack in place, then pop.
+				for _, child := range children(n) {
+					inspect(child)
+				}
+				stack = stack[:len(stack)-1]
+				return false
+			case *ast.SelectorExpr:
+				sel := n.(*ast.SelectorExpr)
+				s, ok := u.Info.Selections[sel]
+				if !ok || s.Kind() != types.FieldVal {
+					return true
+				}
+				v, ok := s.Obj().(*types.Var)
+				if !ok {
+					return true
+				}
+				mu, isGuarded := guarded[v]
+				if !isGuarded {
+					return true
+				}
+				if funcNameLocked(stack) || holdsLock(stack, lockedBy, mu) {
+					return true
+				}
+				rep(sel, "field %s is guarded by %s, but no enclosing function locks it (suffix the function name with Locked if the caller holds it, or annotate //lint:allow guardedfield <why>)", v.Name(), mu)
+				return true
+			}
+			return true
+		})
+	}
+	inspect(f.AST)
+}
+
+// children returns the traversal roots of a function node: its body (and,
+// for completeness, nothing else — signatures cannot touch fields).
+func children(n ast.Node) []ast.Node {
+	switch n := n.(type) {
+	case *ast.FuncDecl:
+		if n.Body != nil {
+			return []ast.Node{n.Body}
+		}
+	case *ast.FuncLit:
+		if n.Body != nil {
+			return []ast.Node{n.Body}
+		}
+	}
+	return nil
+}
+
+// funcNameLocked reports whether the innermost named enclosing function
+// follows the *Locked caller-holds-the-lock convention.
+func funcNameLocked(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return strings.HasSuffix(fd.Name.Name, "Locked")
+		}
+	}
+	return false
+}
+
+// holdsLock reports whether any enclosing function acquires mu. A closure
+// defined inside a locked region is treated as locked: that is unsound for
+// closures that escape and run later, but those are exactly the sites a
+// human should justify with an explicit annotation after review.
+func holdsLock(stack []ast.Node, lockedBy map[ast.Node]map[string]bool, mu string) bool {
+	for _, fn := range stack {
+		if lockedBy[fn][mu] {
+			return true
+		}
+	}
+	return false
+}
+
+// acquiredMutexes scans a function body for lock acquisitions and returns
+// the set of mutex names acquired (the last selector component before
+// .Lock/.RLock/...: both `s.mu.Lock()` and `mu.Lock()` yield "mu").
+func acquiredMutexes(fn ast.Node) map[string]bool {
+	out := make(map[string]bool)
+	body := children(fn)
+	if body == nil {
+		return out
+	}
+	ast.Inspect(body[0], func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+		default:
+			return true
+		}
+		switch x := ast.Unparen(sel.X).(type) {
+		case *ast.Ident:
+			out[x.Name] = true
+		case *ast.SelectorExpr:
+			out[x.Sel.Name] = true
+		}
+		return true
+	})
+	return out
+}
+
+// collectGuarded finds every struct field in the unit carrying a
+// "guarded by <mu>" annotation and maps its types.Var to the mutex name.
+func collectGuarded(u *Unit) map[*types.Var]string {
+	out := make(map[*types.Var]string)
+	for _, f := range u.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fd := range st.Fields.List {
+				mu := annotationMutex(fd)
+				if mu == "" {
+					continue
+				}
+				for _, name := range fd.Names {
+					if v, ok := u.Info.Defs[name].(*types.Var); ok {
+						out[v] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// annotationMutex extracts the guarded-by mutex name from a struct field's
+// doc or line comment ("" when unannotated).
+func annotationMutex(fd *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{fd.Doc, fd.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}

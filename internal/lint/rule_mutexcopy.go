@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// runMutexCopy reports sync.Mutex / sync.RWMutex values copied by value: a
+// copy forks the lock state, so the copy guards nothing. Reported shapes:
+//
+//   - assignment from an existing value (y := x, y = *p, y = s.field)
+//   - passing such a value as a call argument
+//   - returning such a value
+//   - declaring a parameter, result, or receiver of a lock-bearing type
+//     by value
+//
+// Fresh values (composite literals, new/zero declarations) are fine.
+func runMutexCopy(u *Unit, f *File, rep reporter) {
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if blankIdent(n.Lhs[i]) {
+					continue
+				}
+				if cp, t := copiedLock(u, rhs); cp {
+					rep(rhs, "assignment copies a value containing %s: use a pointer", t)
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if cp, t := copiedLock(u, res); cp {
+					rep(res, "return copies a value containing %s: return a pointer", t)
+				}
+			}
+		case *ast.CallExpr:
+			if isConversion(u, n) {
+				return true
+			}
+			for _, arg := range n.Args {
+				if cp, t := copiedLock(u, arg); cp {
+					rep(arg, "call passes a value containing %s by value: pass a pointer", t)
+				}
+			}
+		case *ast.FuncDecl:
+			if n.Recv != nil {
+				checkFieldList(u, n.Recv, "receiver", rep)
+			}
+			if n.Type.Params != nil {
+				checkFieldList(u, n.Type.Params, "parameter", rep)
+			}
+			if n.Type.Results != nil {
+				checkFieldList(u, n.Type.Results, "result", rep)
+			}
+		case *ast.FuncLit:
+			if n.Type.Params != nil {
+				checkFieldList(u, n.Type.Params, "parameter", rep)
+			}
+			if n.Type.Results != nil {
+				checkFieldList(u, n.Type.Results, "result", rep)
+			}
+		}
+		return true
+	})
+}
+
+// copiedLock reports whether evaluating e copies an existing value whose
+// type (transitively, by value) contains a sync.Mutex/RWMutex. Composite
+// literals and function-call results construct fresh values and are not
+// copies of a live lock.
+func copiedLock(u *Unit, e ast.Expr) (bool, string) {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		t := u.Info.TypeOf(e)
+		if t == nil {
+			return false, ""
+		}
+		if lt := lockType(t, nil); lt != "" {
+			return true, lt
+		}
+	}
+	return false, ""
+}
+
+// checkFieldList reports by-value lock-bearing entries of a receiver,
+// parameter, or result list.
+func checkFieldList(u *Unit, fl *ast.FieldList, kind string, rep reporter) {
+	for _, fd := range fl.List {
+		t := u.Info.TypeOf(fd.Type)
+		if t == nil {
+			continue
+		}
+		if lt := lockType(t, nil); lt != "" {
+			rep(fd, "%s declares a value containing %s: use a pointer", kind, lt)
+		}
+	}
+}
+
+// lockType returns the name of the sync lock that t contains by value
+// ("" when none). Pointers, slices, maps, channels, and interfaces break
+// the containment: the lock is shared, not copied.
+func lockType(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && (obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+			return "sync." + obj.Name()
+		}
+	}
+	switch ut := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < ut.NumFields(); i++ {
+			if lt := lockType(ut.Field(i).Type(), seen); lt != "" {
+				return lt
+			}
+		}
+	case *types.Array:
+		return lockType(ut.Elem(), seen)
+	}
+	return ""
+}
+
+func blankIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// isConversion reports whether call is a type conversion, not a function
+// call (conversions of lock-free views aside, T(x) shares x's memory only
+// for reference types; conversions of lock-bearing structs are copies, but
+// go vet owns that corner — here they would double-report the assignment).
+func isConversion(u *Unit, call *ast.CallExpr) bool {
+	tv, ok := u.Info.Types[call.Fun]
+	return ok && tv.IsType()
+}

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// An allowSet holds the //lint:allow comments of one file. An allow on line
+// L suppresses matching diagnostics on L (end-of-line comment) and L+1
+// (comment on its own line above the statement). Allows without a reason
+// never suppress; they are returned as badallow diagnostics so that every
+// accepted exception carries a written justification.
+type allowSet struct {
+	byLine    map[int][]string // line -> rule names allowed there
+	malformed []Diagnostic
+}
+
+func (a *allowSet) suppressed(rule string, line int) bool {
+	for _, l := range []int{line, line - 1} {
+		for _, r := range a.byLine[l] {
+			if r == rule {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// parseAllows scans a file's comments for lint:allow directives.
+func parseAllows(fset *token.FileSet, f *ast.File) *allowSet {
+	a := &allowSet{byLine: make(map[int][]string)}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimPrefix(strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/"), " ")
+			rest, ok := strings.CutPrefix(strings.TrimSpace(text), "lint:allow")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			fields := strings.Fields(rest)
+			switch {
+			case len(fields) == 0:
+				a.malformed = append(a.malformed, Diagnostic{Pos: pos, Rule: "badallow",
+					Message: "lint:allow needs a rule and a reason: //lint:allow <rule> <why>"})
+			case !knownRule(fields[0]):
+				a.malformed = append(a.malformed, Diagnostic{Pos: pos, Rule: "badallow",
+					Message: "lint:allow names unknown rule " + quote(fields[0])})
+			case len(fields) == 1:
+				a.malformed = append(a.malformed, Diagnostic{Pos: pos, Rule: "badallow",
+					Message: "lint:allow " + fields[0] + " needs a written reason; the suppression is ignored"})
+			default:
+				a.byLine[pos.Line] = append(a.byLine[pos.Line], fields[0])
+			}
+		}
+	}
+	return a
+}
+
+func quote(s string) string { return `"` + s + `"` }

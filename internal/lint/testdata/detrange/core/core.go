@@ -1,0 +1,46 @@
+// Package core is named to match the analyzer's deterministic-package set.
+package core
+
+import "sort"
+
+// Sum iterates a map in a deterministic package with an order-dependent
+// body: flagged.
+func Sum(m map[string]int) int {
+	total := 0
+	for k, v := range m {
+		if k != "" {
+			total += v
+		}
+	}
+	return total
+}
+
+// Keys collects then sorts: the collection loop is order-independent and
+// must not be flagged.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Count increments a counter with neither key nor value bound: allowed.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// SumValues binds the value, so the accumulation order is observable in
+// floating point; this exact shape loses bit-determinism: flagged.
+func SumValues(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

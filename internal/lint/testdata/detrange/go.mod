@@ -1,0 +1,3 @@
+module lintfixture/detrange
+
+go 1.24

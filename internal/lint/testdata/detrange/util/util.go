@@ -1,0 +1,10 @@
+// Package util is outside the deterministic set: map ranges are fine here.
+package util
+
+// Any returns an arbitrary key; not flagged outside deterministic packages.
+func Any(m map[string]int) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}

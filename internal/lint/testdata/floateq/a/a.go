@@ -1,0 +1,28 @@
+package a
+
+// Same compares floats with ==: flagged.
+func Same(x, y float64) bool {
+	return x == y
+}
+
+// Differ compares floats with !=: flagged.
+func Differ(x, y float32) bool {
+	return x != y
+}
+
+// IsZero compares against the literal zero, the sanctioned sentinel test:
+// not flagged.
+func IsZero(x float64) bool {
+	return x == 0
+}
+
+// IntsEqual compares integers; the rule only watches floats.
+func IntsEqual(a, b int) bool {
+	return a == b
+}
+
+// Sentinel compares against a nonzero constant: still flagged — only the
+// exact-zero sentinel is exempt.
+func Sentinel(x float64) bool {
+	return x == 1.5
+}

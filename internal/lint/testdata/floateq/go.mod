@@ -1,0 +1,3 @@
+module lintfixture/floateq
+
+go 1.24

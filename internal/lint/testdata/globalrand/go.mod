@@ -1,0 +1,3 @@
+module lintfixture/globalrand
+
+go 1.24

@@ -1,0 +1,10 @@
+// Package stats mirrors the repo's sanctioned RNG home: math/rand is
+// allowed here and only here.
+package stats
+
+import "math/rand"
+
+// New returns a seeded source; not flagged inside internal/stats.
+func New(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

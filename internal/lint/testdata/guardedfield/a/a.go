@@ -1,0 +1,33 @@
+package a
+
+import "sync"
+
+// Box holds a field with a machine-readable guard annotation.
+type Box struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	m  int // unannotated; never flagged
+}
+
+// Bad reads n without ever locking mu: flagged.
+func (b *Box) Bad() int {
+	return b.n
+}
+
+// Good locks the declared guard before touching the field: not flagged.
+func (b *Box) Good() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+// peekLocked relies on the caller holding mu; the *Locked naming
+// convention exempts it.
+func (b *Box) peekLocked() int {
+	return b.n
+}
+
+// Unannotated fields are out of scope even without a lock.
+func (b *Box) Other() int {
+	return b.m
+}

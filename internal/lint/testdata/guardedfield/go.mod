@@ -1,0 +1,3 @@
+module lintfixture/guardedfield
+
+go 1.24

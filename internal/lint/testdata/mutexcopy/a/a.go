@@ -1,0 +1,34 @@
+package a
+
+import "sync"
+
+// Counter embeds a mutex; copying a Counter copies the lock.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// TakeByValue receives a sync.Mutex by value: flagged on the parameter.
+func TakeByValue(mu sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+// Snapshot copies a struct that contains a mutex: flagged at the copy.
+func Snapshot(c *Counter) Counter {
+	cp := *c
+	return cp
+}
+
+// ByPointer passes locks by pointer, the correct idiom: not flagged.
+func ByPointer(mu *sync.Mutex, c *Counter) {
+	mu.Lock()
+	c.mu.Lock()
+	c.mu.Unlock()
+	mu.Unlock()
+}
+
+// value receiver on a lock-bearing type: flagged on the receiver.
+func (c Counter) Peek() int {
+	return c.n
+}

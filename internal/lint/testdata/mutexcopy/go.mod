@@ -1,0 +1,3 @@
+module lintfixture/mutexcopy
+
+go 1.24

@@ -1,0 +1,31 @@
+package a
+
+import "time"
+
+// Allowed carries a well-formed suppression with a reason: the wallclock
+// diagnostic is swallowed and nothing is reported.
+func Allowed() time.Time {
+	//lint:allow wallclock fixture exercises the suppression path
+	return time.Now()
+}
+
+// NoReason omits the mandatory reason: badallow is reported AND the
+// wallclock diagnostic still fires — the suppression is ignored.
+func NoReason() time.Time {
+	//lint:allow wallclock
+	return time.Now()
+}
+
+// UnknownRule names a rule that does not exist: badallow.
+func UnknownRule() time.Time {
+	//lint:allow nosuchrule typo'd rule names must not silently suppress
+	return time.Now()
+}
+
+// WrongLine puts the allow two lines above the diagnostic, outside the
+// line/line+1 window: the wallclock diagnostic still fires.
+func WrongLine() time.Time {
+	//lint:allow wallclock too far away to apply
+
+	return time.Now()
+}

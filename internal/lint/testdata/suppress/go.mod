@@ -1,0 +1,3 @@
+module lintfixture/suppress
+
+go 1.24

@@ -1,0 +1,24 @@
+package a
+
+import "time"
+
+// Stamp reads the wall clock directly: flagged.
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// Age calls time.Since, which reads the wall clock: flagged.
+func Age(t time.Time) time.Duration {
+	return time.Since(t)
+}
+
+// Later uses the After *method* on a Time value, which is pure arithmetic
+// and must not be flagged (only the package-level time.After is banned).
+func Later(a, b time.Time) bool {
+	return a.After(b)
+}
+
+// Format is pure formatting; never flagged.
+func Format(t time.Time) string {
+	return t.Format(time.RFC3339)
+}

@@ -1,0 +1,3 @@
+module lintfixture/wallclock
+
+go 1.24

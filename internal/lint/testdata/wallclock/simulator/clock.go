@@ -1,0 +1,10 @@
+// Package simulator mirrors the repo layout: clock.go in a simulator
+// directory is the sanctioned wall-clock boundary and is exempt.
+package simulator
+
+import "time"
+
+// Now is the one place the fixture may touch the real clock.
+func Now() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,9 @@
+package simulator
+
+import "time"
+
+// Tick lives in the simulator package but NOT in clock.go, so its wall
+// clock read is flagged: the exemption is per-file, not per-package.
+func Tick() time.Time {
+	return time.Now()
+}

@@ -245,6 +245,7 @@ func TestMILPRandomAgainstBruteForce(t *testing.T) {
 
 func TestSolutionStatusString(t *testing.T) {
 	cases := map[Status]string{Optimal: "optimal", Feasible: "feasible", Infeasible: "infeasible", NoSolution: "no-solution"}
+	//lint:allow detrange independent per-entry assertions; order immaterial
 	for s, want := range cases {
 		if s.String() != want {
 			t.Errorf("Status(%d).String() = %q, want %q", s, s.String(), want)

@@ -136,6 +136,7 @@ func (h nodeHeap) Less(i, j int) bool {
 	if h[i].depth != h[j].depth {
 		return h[i].depth > h[j].depth
 	}
+	//lint:allow floateq exact tie-break: equal-bits bounds fall through to the deterministic branch order
 	if h[i].bound != h[j].bound {
 		return h[i].bound > h[j].bound
 	}
@@ -155,12 +156,12 @@ func (h *nodeHeap) Pop() interface{} {
 // speculation workers.
 type bbState struct {
 	m  *Model
-	mu sync.Mutex // guards open, incObj, stopped
+	mu sync.Mutex
 	// cond signals workers when nodes are pushed or the search stops.
 	cond    *sync.Cond
-	open    nodeHeap
-	incObj  float64 // workers read this for advisory pruning only
-	stopped bool
+	open    nodeHeap // guarded by mu
+	incObj  float64  // guarded by mu; workers read for advisory pruning only
+	stopped bool     // guarded by mu
 
 	specLPs int64 // atomic
 }
@@ -169,6 +170,7 @@ type bbState struct {
 // trouble degrades to the best incumbent with Status Feasible/NoSolution.
 func Solve(m *Model, opts Options) Solution {
 	if opts.Now == nil {
+		//lint:allow wallclock default time source for standalone solves; deterministic callers inject a virtual clock via Options.Now
 		opts.Now = time.Now
 	}
 	start := opts.Now()
@@ -443,6 +445,7 @@ func lexLess(a, b []float64) bool {
 		if i >= len(b) {
 			return false
 		}
+		//lint:allow floateq bitwise lexicographic order is the point: the incumbent tie-break must be exact to be deterministic
 		if a[i] != b[i] {
 			return a[i] < b[i]
 		}

@@ -113,6 +113,7 @@ func TestRoundTripEstimatePerFeatureGroup(t *testing.T) {
 		"priority":       {User: "zzz-new", Name: "zzz-new", Tasks: 999, Priority: 2},
 		"all":            {User: "zzz-new", Name: "zzz-new", Tasks: 999, Priority: 9},
 	}
+	//lint:allow detrange independent per-probe assertions; order immaterial
 	for feat, j := range probes {
 		ep, eq := p.Estimate(j), q.Estimate(j)
 		if eq.Novel != ep.Novel {
@@ -219,6 +220,7 @@ func TestLoadRepairsCorruptHistogram(t *testing.T) {
 	}
 	corrupted := 0
 	for _, groups := range raw["groups"].([]any) {
+		//lint:allow detrange every multi-bin group is mutated the same way; order immaterial
 		for _, gv := range groups.(map[string]any) {
 			hist := gv.(map[string]any)["hist"].(map[string]any)
 			bins := hist["bins"].([]any)
@@ -245,7 +247,9 @@ func TestLoadRepairsCorruptHistogram(t *testing.T) {
 	if err := q.Load(bytes.NewReader(mutated)); err != nil {
 		t.Fatalf("load repairable corruption: %v", err)
 	}
+	//lint:allow guardedfield single-goroutine white-box test; no concurrent access to q
 	for fi, m := range q.groups {
+		//lint:allow detrange independent per-group verification; order immaterial
 		for val, g := range m {
 			if err := check.VerifyHistogram(g.hist); err != nil {
 				t.Errorf("feature %d group %q: restored sketch corrupt: %v", fi, val, err)

@@ -215,18 +215,17 @@ type Estimate struct {
 type Predictor struct {
 	mu     sync.Mutex
 	cfg    Config
-	groups []map[string]*group // one map per feature
+	groups []map[string]*group // guarded by mu; one map per feature
 }
 
 // New returns a predictor with the given configuration.
 func New(cfg Config) *Predictor {
 	cfg.fill()
-	p := &Predictor{cfg: cfg}
-	p.groups = make([]map[string]*group, len(cfg.Features))
-	for i := range p.groups {
-		p.groups[i] = make(map[string]*group)
+	groups := make([]map[string]*group, len(cfg.Features))
+	for i := range groups {
+		groups[i] = make(map[string]*group)
 	}
-	return p
+	return &Predictor{cfg: cfg, groups: groups}
 }
 
 // Estimate produces the runtime distribution and point estimate for a job

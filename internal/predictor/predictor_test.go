@@ -153,6 +153,7 @@ func TestEstimatorKindString(t *testing.T) {
 		EstAverage: "average", EstMedian: "median", EstRolling: "rolling",
 		EstRecentAvg: "recent-avg", EstimatorKind(9): "unknown",
 	}
+	//lint:allow detrange independent per-entry assertions; order immaterial
 	for k, want := range names {
 		if k.String() != want {
 			t.Errorf("kind %d = %q, want %q", k, k.String(), want)
@@ -162,6 +163,7 @@ func TestEstimatorKindString(t *testing.T) {
 
 func TestTasksBucket(t *testing.T) {
 	cases := map[int]string{1: "<=1", 2: "<=2", 3: "<=4", 9: "<=16", 16: "<=16"}
+	//lint:allow detrange independent per-entry assertions; order immaterial
 	for k, want := range cases {
 		if got := tasksBucket(k); got != want {
 			t.Errorf("tasksBucket(%d) = %q, want %q", k, got, want)

@@ -60,6 +60,12 @@ type Config struct {
 	// Logf receives operational log lines (default: discard).
 	Logf func(format string, args ...any)
 
+	// Clock is the daemon's time source (default simulator.WallClock).
+	// Virtual time, checkpoint pacing, and uptime are all measured through
+	// it, so tests can pin the clock and replay the loop deterministically;
+	// only the cycle ticker and drain timeout stay on real time.
+	Clock simulator.Clock
+
 	// Faults, when non-nil, runs a chaos injector inside the scheduling
 	// loop: a deterministic node crash/recover schedule (over virtual time,
 	// Faults.Horizon seconds long) plus per-attempt job crashes and
@@ -90,6 +96,9 @@ func (c *Config) fill() error {
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
+	if c.Clock == nil {
+		c.Clock = simulator.WallClock{}
+	}
 	return nil
 }
 
@@ -113,6 +122,7 @@ type compHeap []completion
 
 func (h compHeap) Len() int { return len(h) }
 func (h compHeap) Less(i, j int) bool {
+	//lint:allow floateq exact tie-break: equal-bits due times fall through to the deterministic id order
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
@@ -149,16 +159,16 @@ type Service struct {
 
 	mu        sync.Mutex
 	eng       *simulator.Engine
-	queue     []*job.Job          // admission queue, drained each cycle
-	queued    map[job.ID]*job.Job // members of queue, by ID
-	gone      map[job.ID]bool     // cancelled before admission (no Outcome)
-	abandoned map[job.ID]bool     // dropped by the scheduler (zero utility)
-	removed   []job.ID            // cancelled after admission; sched.JobRemoved pending
-	comps     compHeap
-	draining  bool
-	counters  Counters
-	cycles    int64
-	ckpts     int64
+	queue     []*job.Job          // guarded by mu; admission queue, drained each cycle
+	queued    map[job.ID]*job.Job // guarded by mu; members of queue, by ID
+	gone      map[job.ID]bool     // guarded by mu; cancelled before admission (no Outcome)
+	abandoned map[job.ID]bool     // guarded by mu; dropped by the scheduler (zero utility)
+	removed   []job.ID            // guarded by mu; cancelled after admission; sched.JobRemoved pending
+	comps     compHeap            // guarded by mu
+	draining  bool                // guarded by mu
+	counters  Counters            // guarded by mu
+	cycles    int64               // guarded by mu
+	ckpts     int64               // guarded by mu
 
 	// Chaos injector state (nil / unused without Config.Faults).
 	inj      *faults.Injector
@@ -214,7 +224,7 @@ func (s *Service) Start() {
 		return
 	}
 	s.started = true
-	s.epoch = time.Now()
+	s.epoch = s.cfg.Clock.Now()
 	go s.loop()
 }
 
@@ -264,6 +274,7 @@ func (s *Service) Stop(timeout time.Duration) error {
 	select {
 	case <-s.loopDone:
 		return nil
+	//lint:allow wallclock the drain timeout bounds real shutdown latency; it must fire on the wall even if the virtual clock stands still
 	case <-time.After(timeout):
 		return fmt.Errorf("service: loop did not drain within %v", timeout)
 	}
@@ -272,7 +283,7 @@ func (s *Service) Stop(timeout time.Duration) error {
 // vnow returns the current virtual time in seconds. Callers hold s.mu or
 // tolerate small skew (the wall clock is monotonic).
 func (s *Service) vnow() float64 {
-	return time.Since(s.epoch).Seconds() * s.cfg.TimeScale
+	return s.cfg.Clock.Since(s.epoch).Seconds() * s.cfg.TimeScale
 }
 
 // cycleWall is the wall-clock scheduling period.
@@ -284,7 +295,7 @@ func (s *Service) loop() {
 	defer close(s.loopDone)
 	ticker := time.NewTicker(s.cycleWall())
 	defer ticker.Stop()
-	lastCkpt := time.Now()
+	lastCkpt := s.cfg.Clock.Now()
 	for {
 		select {
 		case <-s.stop:
@@ -292,15 +303,17 @@ func (s *Service) loop() {
 			// the predictor state is flushed so a restart resumes warm.
 			s.runCycle()
 			s.checkpoint()
-			s.cfg.Logf("drained: %d completed, %d cancelled, %d cycles",
-				s.counters.Completed, s.counters.Cancelled, s.cycles)
+			s.mu.Lock()
+			comp, canc, cyc := s.counters.Completed, s.counters.Cancelled, s.cycles
+			s.mu.Unlock()
+			s.cfg.Logf("drained: %d completed, %d cancelled, %d cycles", comp, canc, cyc)
 			return
 		case <-ticker.C:
 			s.runCycle()
 			if s.cfg.Predictor != nil && s.cfg.CheckpointPath != "" &&
-				time.Since(lastCkpt) >= s.cfg.CheckpointEvery {
+				s.cfg.Clock.Since(lastCkpt) >= s.cfg.CheckpointEvery {
 				s.checkpoint()
-				lastCkpt = time.Now()
+				lastCkpt = s.cfg.Clock.Now()
 			}
 		}
 	}
@@ -761,7 +774,7 @@ func (s *Service) Metrics() Metrics {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m := Metrics{
-		UptimeSeconds:   time.Since(s.epoch).Seconds(),
+		UptimeSeconds:   s.cfg.Clock.Since(s.epoch).Seconds(),
 		VirtualNow:      s.vnow(),
 		TimeScale:       s.cfg.TimeScale,
 		Cycles:          s.cycles,

@@ -379,11 +379,13 @@ func (e *Engine) evictRun(ri *runEntry, now float64) (requeued bool) {
 // job holds nodes there.
 func (e *Engine) victimIn(part int) *runEntry {
 	var best *runEntry
+	//lint:allow detrange argmax under the strict total order (Start, ID) picks the same victim in any iteration order
 	for _, ri := range e.running {
 		if ri.rj.Alloc[part] <= 0 {
 			continue
 		}
 		if best == nil || ri.rj.Start > best.rj.Start ||
+			//lint:allow floateq exact Start tie-break falls through to the unique job ID, keeping the order total
 			(ri.rj.Start == best.rj.Start && ri.rj.Job.ID > best.rj.Job.ID) {
 			best = ri
 		}

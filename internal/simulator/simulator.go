@@ -221,6 +221,7 @@ type eventHeap []event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
+	//lint:allow floateq exact tie-break: equal-bits event times fall through to the deterministic seq order
 	if h[i].time != h[j].time {
 		return h[i].time < h[j].time
 	}

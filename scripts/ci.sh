@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
-# ci.sh — the repository's verification gate: vet, build, the full test
-# suite under the race detector, the differential solver oracle, a fuzz
+# ci.sh — the repository's verification gate: vet, the 3sigma-lint static
+# analyzer, build, the full test suite under the race detector, the
+# differential solver oracle, a fuzz
 # smoke pass over the histogram/distribution property targets, a
 # fault-injection determinism gate (two identical seeded chaos runs must
 # produce bit-identical outcome digests), and an end-to-end smoke of the
@@ -12,6 +13,13 @@ cd "$(dirname "$0")/.."
 
 echo "== go vet =="
 go vet ./...
+
+echo "== 3sigma-lint =="
+# The repo's own determinism & concurrency analyzer (DESIGN.md §10): map
+# iteration in deterministic packages, wall-clock reads outside the clock
+# boundary, unseeded randomness, exact float comparison, copied locks and
+# unguarded annotated fields. Exits non-zero on any unsuppressed finding.
+go run ./cmd/3sigma-lint ./...
 
 echo "== go build =="
 go build ./...
