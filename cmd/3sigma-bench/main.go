@@ -34,6 +34,9 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit one JSON object per experiment instead of formatted tables")
 	fig12Hours := flag.Float64("fig12-hours", 0.2, "measurement window for the Fig 12 scalability run")
 	faultSpec := flag.String("faults", "", "run the availability scenario (SLO attainment vs node MTBF sweep) with this fault spec: preset (light, heavy) or k=v list; mtbf is overridden per sweep point")
+	steady := flag.Bool("steady", false, "run the steady-state incremental-solve scenario (three arms: incremental, rebuild-warm, rebuild-cold)")
+	out := flag.String("out", "", "append this run's structured results to a BENCH trajectory JSON file (upserted by -label)")
+	label := flag.String("label", "dev", "trajectory entry label used with -out (e.g. pr6)")
 	flag.Parse()
 
 	var sc experiments.Scale
@@ -49,7 +52,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	if !*all && *fig == 0 && *table == 0 && *faultSpec == "" {
+	if !*all && *fig == 0 && *table == 0 && *faultSpec == "" && !*steady {
 		fmt.Println("3sigma-bench: regenerate the paper's evaluation")
 		fmt.Println("  -fig 1    SLO miss comparison (E2E, simulated cluster)")
 		fmt.Println("  -fig 2    trace analyses (runtime CDFs, CoV spectra, estimate errors)")
@@ -63,15 +66,19 @@ func main() {
 		fmt.Println("  -fig 12   scalability (12,583 nodes)")
 		fmt.Println("  -all      everything above")
 		fmt.Println("  -faults SPEC  availability scenario: SLO attainment vs node MTBF sweep")
+		fmt.Println("  -steady   steady-state incremental-solve scenario (DESIGN.md §12)")
 		fmt.Println("  -json     machine-readable output (incl. solver counters)")
+		fmt.Println("  -out FILE append results to a committed BENCH trajectory file")
 		return
 	}
 
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	want := func(n int) bool { return *all || *fig == n }
-	// run executes one experiment; f returns the structured rows (for -json)
-	// and the formatted table (for the default text output).
+	// collected accumulates every experiment's structured rows for -out.
+	collected := map[string]interface{}{}
+	// run executes one experiment; f returns the structured rows (for -json
+	// and -out) and the formatted table (for the default text output).
 	run := func(name string, f func() (interface{}, string, error)) {
 		//lint:allow wallclock benchmark harness measures real experiment duration by design
 		t0 := time.Now()
@@ -80,6 +87,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
+		collected[name] = data
 		//lint:allow wallclock benchmark harness measures real experiment duration by design
 		elapsed := time.Since(t0).Round(time.Millisecond)
 		if *jsonOut {
@@ -172,6 +180,12 @@ func main() {
 			return pts, experiments.FormatAvailability(pts), err
 		})
 	}
+	if *steady {
+		run("Steady", func() (interface{}, string, error) {
+			arms, err := experiments.Steady(experiments.SteadyScale(), *seed)
+			return arms, experiments.FormatSteady(arms), err
+		})
+	}
 	if *ablations {
 		run("Ablation: plan-ahead", func() (interface{}, string, error) {
 			pts, err := experiments.AblationPlanAhead(sc, *seed, nil)
@@ -187,5 +201,26 @@ func main() {
 			pts, err := experiments.AblationExactShares(small, *seed)
 			return pts, experiments.FormatAblation("Ablation: MILP share formulation (small scale)", pts), err
 		})
+	}
+	if *out != "" {
+		scenario := "bench_" + sc.Name
+		entryScale := sc.Name
+		switch {
+		case *steady:
+			scenario = "steady"
+			entryScale = experiments.SteadyScale().Name
+		case *fig != 0 && !*all:
+			scenario = fmt.Sprintf("fig%d_%s", *fig, sc.Name)
+		case *table != 0 && !*all:
+			scenario = fmt.Sprintf("table%d_%s", *table, sc.Name)
+		}
+		err := experiments.AppendTrajectory(*out, scenario, experiments.TrajectoryEntry{
+			Label: *label, Scale: entryScale, Seed: *seed, Experiments: collected,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "trajectory: wrote entry %q to %s\n", *label, *out)
 	}
 }

@@ -37,6 +37,7 @@ func main() {
 	segStart := flag.Float64("segment-start", 0, "trace replay: segment start time, seconds")
 	faultSpec := flag.String("faults", "", "fault injection spec: preset (light, heavy) or k=v list, e.g. seed=7,mtbf=1800,mttr=300,group=0.2:4,crash=0.05,straggler=0.1:2,retries=3")
 	digest := flag.Bool("digest", false, "print the run's outcome digest (hash of job fates; stable across identical runs, used by the CI determinism gate)")
+	forceRebuild := flag.Bool("forcerebuild", false, "disable the incremental model-patch path: recompile the MILP from scratch every cycle (outcome-identical by contract; used by the CI digest gate)")
 	flag.Parse()
 
 	var faultCfg *threesigma.FaultConfig
@@ -101,6 +102,7 @@ func main() {
 		//lint:allow wallclock operator-facing elapsed display; the simulation itself runs on its own (virtual) clock
 		t0 := time.Now()
 		simCfg := threesigma.SimConfig{Seed: *seed, RealCluster: *rc, CycleInterval: *cycle, VirtualTime: *virtual, Faults: faultCfg}
+		simCfg.Scheduler.ForceRebuild = *forceRebuild
 		if *verbose {
 			simCfg.Scheduler.OnDecision = func(e threesigma.DecisionEvent) { fmt.Println(e) }
 		}

@@ -189,6 +189,47 @@ func RunOracle(opt OracleOptions) error {
 				}
 			}
 		}
+
+		// Warm-basis differential: re-solving with the reference run's root
+		// basis (the exact feed 3σSched's incremental path uses across
+		// cycles) may change the simplex path but never the answer. All warm
+		// worker counts must agree bitwise with each other, and when the
+		// cold reference proved optimality the warm solve must reach the
+		// same optimum.
+		if len(ref.RootBasis) > 0 {
+			wref := milp.Solve(m, milp.Options{MaxNodes: opt.MaxNodes, Workers: 1, WarmBasis: ref.RootBasis})
+			if err := checkIncumbent(m, &wref); err != nil {
+				return fmt.Errorf("model %d (warm, workers=1): %v", i, err)
+			}
+			if ref.Status == milp.Optimal {
+				if wref.Status != milp.Optimal {
+					return fmt.Errorf("model %d (warm): status %v, cold reference Optimal", i, wref.Status)
+				}
+				if !approxEq(wref.Objective, ref.Objective, 1e-6*math.Max(1, math.Abs(ref.Objective))) {
+					return fmt.Errorf("model %d (warm): objective %g, cold reference %g", i, wref.Objective, ref.Objective)
+				}
+			}
+			for _, w := range []int{2, 8} {
+				got := milp.Solve(m, milp.Options{MaxNodes: opt.MaxNodes, Workers: w, WarmBasis: ref.RootBasis})
+				if got.Status != wref.Status {
+					return fmt.Errorf("model %d (warm, workers=%d): status %v, warm reference %v", i, w, got.Status, wref.Status)
+				}
+				if math.Float64bits(got.Objective) != math.Float64bits(wref.Objective) {
+					return fmt.Errorf("model %d (warm, workers=%d): objective %x (%g), warm reference %x (%g)",
+						i, w, math.Float64bits(got.Objective), got.Objective,
+						math.Float64bits(wref.Objective), wref.Objective)
+				}
+				if got.Nodes != wref.Nodes {
+					return fmt.Errorf("model %d (warm, workers=%d): explored %d nodes, warm reference %d", i, w, got.Nodes, wref.Nodes)
+				}
+				for v := range got.X {
+					if math.Float64bits(got.X[v]) != math.Float64bits(wref.X[v]) {
+						return fmt.Errorf("model %d (warm, workers=%d): x[%s]=%g, warm reference %g",
+							i, w, m.VarName(v), got.X[v], wref.X[v])
+					}
+				}
+			}
+		}
 	}
 	return nil
 }

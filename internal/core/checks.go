@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"threesigma/internal/job"
+	"threesigma/internal/milp"
 	"threesigma/internal/simulator"
 )
 
@@ -72,6 +73,19 @@ func (s *Scheduler) checkMemo(id job.ID, pg *memoPage, ver uint64) {
 			checkFailf("job %d space %d: memoized survival curve has %d samples, want %d slots",
 				id, space, len(surv), s.cfg.Slots)
 		}
+	}
+}
+
+// checkIncremental proves the incremental re-solve path's core obligation
+// after a patched cycle: compiling this cycle's recording from scratch must
+// yield a model bitwise-identical — names, kinds, objective bits, sparsity
+// patterns, coefficient and RHS bits — to the patched previous-cycle model
+// the solver is about to see. This is the oracle the CI digest gate relies
+// on; it is O(model) per cycle and therefore Checks-gated.
+func (b *builder) checkIncremental() {
+	fresh := b.buildFresh()
+	if diff := milp.EqualBitwise(b.model, fresh); diff != "" {
+		checkFailf("patched model diverges from full rebuild: %s", diff)
 	}
 }
 

@@ -115,6 +115,38 @@ type Config struct {
 	// benchmarks; production configurations leave it false.
 	NoWarmStart bool
 
+	// ForceRebuild disables the incremental model-patch path (DESIGN.md
+	// §12): every cycle compiles its MILP from scratch even when the
+	// cluster state is unchanged since the previous cycle. The patched and
+	// rebuilt models are bitwise-identical by construction (verified under
+	// Checks and by the CI digest gate), so this is purely a performance
+	// ablation knob; production configurations leave it false.
+	ForceRebuild bool
+
+	// NoWarmBasis disables the cross-cycle solver reuse of the incremental
+	// re-solve path: restoring each cycle's root LP from the previous
+	// cycle's optimal simplex basis, and answering a cycle whose model is
+	// bitwise-unchanged with the previous cycle's solution outright. Like
+	// ForceRebuild it exists for the repository's own benchmark arms;
+	// whether a basis is fed (and whether a solve is reused) is decided
+	// from state that is identical in incremental and force-rebuild runs,
+	// so toggling ForceRebuild alone never changes scheduling outcomes
+	// while toggling NoWarmBasis may.
+	NoWarmBasis bool
+
+	// SolveQuantum, when > 0, quantizes the model's evaluation clock: every
+	// cycle's MILP is built as of floor(now/quantum)·quantum instead of
+	// `now` itself. Utilities, survival curves and slot-0 starts are then
+	// evaluated at most one quantum stale — negligible against deadline
+	// horizons of hours and a plan-ahead grid of SlotDur — and consecutive
+	// event-free cycles within one quantum produce bitwise-identical
+	// models, which the incremental path (DESIGN.md §12) detects and
+	// answers without solving at all. Event reactions are unaffected: a
+	// submit/complete/preempt still rebuilds and re-solves on the very next
+	// cycle, just at a quantized evaluation time. 0 (the default) disables
+	// quantization and reproduces the historical bit-exact behavior.
+	SolveQuantum float64
+
 	// ExactShares switches the MILP to the paper's literal §4.3.3
 	// formulation: continuous per-partition allocation variables with a
 	// demand constraint "the sum of allocations from different resource

@@ -26,7 +26,7 @@ func DebugStateSizes(s *Scheduler) map[string]int {
 }
 
 // Model exposes the builder's MILP.
-func (b *builder) Model() *milp.Model { return &b.model }
+func (b *builder) Model() *milp.Model { return b.model }
 
 // DebugDescribe summarizes the builder's options vs a solution.
 func DebugDescribe(b *builder, sol *milp.Solution, st *simulator.State) string {

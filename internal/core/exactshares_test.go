@@ -47,7 +47,7 @@ func TestExactSharesSolutionAllocates(t *testing.T) {
 	j := &job.Job{ID: 1, Class: job.BestEffort, Submit: 0, Tasks: 5, Runtime: 100}
 	st := stateWith(simulator.NewCluster(8, 2), []*job.Job{j}, nil, 0)
 	b := s.buildModel(st)
-	sol := milp.Solve(&b.model, milp.Options{})
+	sol := milp.Solve(b.model, milp.Options{})
 	if sol.Status != milp.Optimal && sol.Status != milp.Feasible {
 		t.Fatalf("status = %v", sol.Status)
 	}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"testing"
+
+	"threesigma/internal/dist"
+	"threesigma/internal/job"
+	"threesigma/internal/metrics"
+	"threesigma/internal/milp"
+	"threesigma/internal/simulator"
+	"threesigma/internal/workload"
+)
+
+// incScenario returns a state with two deadline jobs and one running BE job
+// — enough structure to exercise demand rows, capacity rows, and a
+// preemption indicator in the patched model.
+func incScenario(now float64) *simulator.State {
+	a := &job.Job{ID: 1, Class: job.SLO, Submit: 0, Deadline: 4000, Tasks: 2,
+		Runtime: 400, Preferred: []int{0}, NonPrefFactor: 1.5}
+	b := &job.Job{ID: 2, Class: job.SLO, Submit: 0, Deadline: 5000, Tasks: 3,
+		Runtime: 600, Preferred: []int{1}, NonPrefFactor: 1.5}
+	be := &job.Job{ID: 3, Class: job.BestEffort, Submit: 0, Tasks: 2, Runtime: 900}
+	run := &simulator.RunningJob{Job: be, Start: 0, Alloc: simulator.Alloc{1, 1}}
+	return stateWith(simulator.NewCluster(8, 2), []*job.Job{a, b}, []*simulator.RunningJob{run}, now)
+}
+
+// TestPatchedModelBitwiseEqualsFresh: a quiet cycle must take the patch
+// path, and the patched model must be bit-for-bit the model a from-scratch
+// compile of the same recording would produce — the core invariant that
+// makes ForceRebuild outcome-neutral.
+func TestPatchedModelBitwiseEqualsFresh(t *testing.T) {
+	s := New(uniformEstimator(300, 2000), testConfig())
+	b0 := s.buildModel(incScenario(0))
+	if b0.patched {
+		t.Fatal("first cycle has no previous model to patch")
+	}
+	// The first build installs each job's distribution (setDist), which
+	// dirties the second cycle; quiet steady state begins at the third.
+	s.buildModel(incScenario(5))
+	for _, now := range []float64{10, 20, 30} {
+		b := s.buildModel(incScenario(now))
+		if !b.quiet {
+			t.Fatalf("t=%v: cycle with unchanged epoch not quiet", now)
+		}
+		if !b.patched {
+			t.Fatalf("t=%v: quiet cycle did not patch (fellBack=%v)", now, b.fellBack)
+		}
+		if diff := milp.EqualBitwise(b.model, b.buildFresh()); diff != "" {
+			t.Fatalf("t=%v: patched model differs from fresh build: %s", now, diff)
+		}
+	}
+	if s.Stats().PatchedCycles != 3 {
+		t.Errorf("PatchedCycles = %d, want 3", s.Stats().PatchedCycles)
+	}
+}
+
+// TestForceRebuildSkipsPatch: the ablation knob must compile from scratch
+// every cycle and still produce the identical model.
+func TestForceRebuildSkipsPatch(t *testing.T) {
+	inc := New(uniformEstimator(300, 2000), testConfig())
+	cfgR := testConfig()
+	cfgR.ForceRebuild = true
+	reb := New(uniformEstimator(300, 2000), cfgR)
+	for _, now := range []float64{0, 10, 20} {
+		bi := inc.buildModel(incScenario(now))
+		br := reb.buildModel(incScenario(now))
+		if br.patched {
+			t.Fatalf("t=%v: ForceRebuild cycle patched", now)
+		}
+		if diff := milp.EqualBitwise(bi.model, br.model); diff != "" {
+			t.Fatalf("t=%v: incremental and force-rebuild models differ: %s", now, diff)
+		}
+	}
+	if reb.Stats().PatchedCycles != 0 {
+		t.Errorf("ForceRebuild PatchedCycles = %d, want 0", reb.Stats().PatchedCycles)
+	}
+}
+
+// TestMemoInvalidationScopedToChangedJob: re-estimating one job must not
+// discard the other jobs' memo pages, and a re-estimate that reproduces the
+// current distribution bit-for-bit must invalidate nothing at all.
+func TestMemoInvalidationScopedToChangedJob(t *testing.T) {
+	s := New(uniformEstimator(300, 2000), testConfig())
+	st := incScenario(0)
+	jobA, jobB := st.Pending[0], st.Pending[1]
+	s.buildModel(st)
+	s.buildModel(incScenario(10)) // warm the memo on the shared grid
+
+	// A no-op re-estimate (the estimator still returns the same uniform)
+	// must keep every page: zero new misses on the next build.
+	misses := s.Stats().CacheMisses
+	s.Reestimate(jobA)
+	s.Reestimate(jobB)
+	b := s.buildModel(incScenario(20))
+	if got := s.Stats().CacheMisses; got != misses {
+		t.Fatalf("no-op re-estimate invalidated memo pages: misses %d -> %d", misses, got)
+	}
+	if b.quiet {
+		t.Log("note: no-op re-estimates also kept the cycle quiet") // setDist no-op keeps jobsDirty clear
+	}
+
+	// A real distribution change on job B must drop B's page only.
+	pageA, pageB := s.memo.jobs[jobA.ID], s.memo.jobs[jobB.ID]
+	s.setDist(jobB.ID, dist.NewUniform(300, 2500))
+	hits, misses := s.Stats().CacheHits, s.Stats().CacheMisses
+	s.buildModel(incScenario(30))
+	if s.memo.jobs[jobA.ID] != pageA {
+		t.Error("job A's memo page was discarded by job B's update")
+	}
+	if s.memo.jobs[jobB.ID] == pageB {
+		t.Error("job B's memo page survived its distribution update")
+	}
+	if got := s.Stats().CacheHits; got <= hits {
+		t.Errorf("expected hits from job A's surviving page, hits %d -> %d", hits, got)
+	}
+	if got := s.Stats().CacheMisses; got <= misses {
+		t.Errorf("expected misses from job B's rebuilt page, misses %d -> %d", misses, got)
+	}
+}
+
+// incWorkload generates a small mixed workload for end-to-end digest tests.
+func incWorkload(seed int64) *workload.Workload {
+	return workload.Generate(workload.Config{
+		Cluster:       simulator.NewCluster(16, 2),
+		DurationHours: 0.05,
+		Load:          1.3,
+		Seed:          seed,
+	})
+}
+
+// digestWith runs the full simulator loop under cfg and returns the outcome
+// digest plus the scheduler's stats.
+func digestWith(t *testing.T, cfg Config, seed int64) (string, Stats) {
+	t.Helper()
+	w := incWorkload(seed)
+	s := New(PerfectEstimator{}, cfg)
+	sim, err := simulator.New(s, w.Jobs, simulator.Options{
+		Cluster:       w.Cluster,
+		CycleInterval: cfg.CycleInterval,
+		DrainWindow:   1200,
+		Seed:          seed,
+		VirtualTime:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Run()
+	return metrics.OutcomeDigest(res), s.Stats()
+}
+
+// TestDigestIncrementalVsForceRebuild: over a full simulated run, the
+// incremental path (patching + warm basis + solution reuse) must reproduce
+// the forced-rebuild run's outcome digest bit for bit. SolveQuantum is set
+// so the solution-reuse fast path is exercised, not just patching.
+func TestDigestIncrementalVsForceRebuild(t *testing.T) {
+	cfg := testConfig()
+	cfg.CycleInterval = 5
+	cfg.SolveQuantum = 60
+	cfg.Checks = true
+
+	incDigest, incStats := digestWith(t, cfg, 7)
+
+	cfgR := cfg
+	cfgR.ForceRebuild = true
+	rebDigest, rebStats := digestWith(t, cfgR, 7)
+
+	if incDigest != rebDigest {
+		t.Fatalf("outcome digest diverged: incremental %s != force-rebuild %s", incDigest, rebDigest)
+	}
+	if incStats.PatchedCycles == 0 {
+		t.Error("incremental run never patched; test exercised nothing")
+	}
+	if incStats.ReusedSolves == 0 {
+		t.Error("incremental run never reused a solve; SolveQuantum fast path not exercised")
+	}
+	// The reuse decision is computed from the recordings, which are identical
+	// in both runs — so the rebuild arm must have reused the same cycles.
+	if incStats.ReusedSolves != rebStats.ReusedSolves {
+		t.Errorf("reuse decisions diverged: incremental %d, force-rebuild %d",
+			incStats.ReusedSolves, rebStats.ReusedSolves)
+	}
+	if rebStats.PatchedCycles != 0 {
+		t.Errorf("force-rebuild run patched %d cycles", rebStats.PatchedCycles)
+	}
+}
+
+// TestDigestWarmVsColdBasis: disabling the warm basis and solution reuse
+// (NoWarmBasis) changes the solver's path but is still a correct solve; with
+// the solver given enough budget to reach optimality each cycle, outcomes
+// must agree here too. This pins the restore path to "accelerator only":
+// a warm basis must never change what the solver returns, only how fast.
+func TestDigestWarmVsColdBasis(t *testing.T) {
+	cfg := testConfig()
+	cfg.CycleInterval = 5
+	cfg.SolveQuantum = 60
+	cfg.SolverMaxNodes = 4096 // effectively unbounded at this scale
+
+	warmDigest, warmStats := digestWith(t, cfg, 11)
+
+	cfgC := cfg
+	cfgC.NoWarmBasis = true
+	coldDigest, coldStats := digestWith(t, cfgC, 11)
+
+	if warmDigest != coldDigest {
+		t.Fatalf("outcome digest diverged: warm %s != cold %s", warmDigest, coldDigest)
+	}
+	if warmStats.WarmBasisReuses == 0 && warmStats.ReusedSolves == 0 {
+		t.Error("warm run neither restored a basis nor reused a solve")
+	}
+	if coldStats.WarmBasisReuses != 0 || coldStats.ReusedSolves != 0 {
+		t.Errorf("NoWarmBasis run used warm paths: basis=%d reused=%d",
+			coldStats.WarmBasisReuses, coldStats.ReusedSolves)
+	}
+}

@@ -26,11 +26,25 @@ type memoPage struct {
 	// option of the job, since a start at slot k consumes capacity in slot
 	// k2 with probability surv[k2−k].
 	surv map[int8][]float64
+	// run caches the unconditional survival numerators of the Eq. 2 update
+	// while the job is *running*: S(times[k] − start) for grid slot
+	// grid0+k. The start time and on-preferred placement are part of the
+	// key because a preemption and restart changes both; the conditional
+	// denominator S(now − start) depends on `now` and is recomputed every
+	// cycle (one evaluation instead of one per slot).
+	run map[runKey]float64
 }
 
 type euKey struct {
 	space int8
 	grid  int64 // absolute slot index: start time / SlotDur
+}
+
+// runKey identifies one grid-slot survival numerator of a running job.
+type runKey struct {
+	grid      int64  // absolute slot index of the sample point
+	startBits uint64 // math.Float64bits of the run's start time
+	onPref    bool   // run placed entirely on preferred resources
 }
 
 func newBuildMemo() *buildMemo {
@@ -46,6 +60,7 @@ func (m *buildMemo) forJob(id job.ID, ver uint64) *memoPage {
 			ver:  ver,
 			eu:   make(map[euKey]float64),
 			surv: make(map[int8][]float64),
+			run:  make(map[runKey]float64),
 		}
 		m.jobs[id] = pg
 	}

@@ -41,19 +41,253 @@ type preemptVar struct {
 	surv []float64
 }
 
-// builder holds one cycle's MILP and the option bookkeeping needed to
-// interpret its solution.
+// Logical identities for the incremental re-solve path (DESIGN.md §12).
+// Every variable and row the builder emits carries a modelKey naming what it
+// *means* — "the indicator of job 7 starting in space 1 at slot 3" — rather
+// than where it landed. Two cycles whose key sequences match have
+// structurally identical models, so the previous cycle's model can be
+// patched in place; a single divergent key fails the walk and forces a full
+// rebuild. Unused fields stay zero, keeping keys comparable with ==.
+const (
+	keyVarI      uint8 = iota // option indicator I[j,s,t]
+	keyVarA                   // ExactShares allocation a[j,s,t,p]
+	keyVarP                   // preemption indicator P[j]
+	keyRowUbP                 // preemption upper bound ub_P[j]
+	keyRowLink                // ExactShares gang link link[j,s,t]
+	keyRowDemand              // at-most-one-option demand[j]
+	keyRowCap                 // capacity cap[p,t]
+)
+
+type modelKey struct {
+	class uint8
+	job   job.ID
+	space int8
+	slot  int16
+	part  int32
+}
+
+// keyName renders the key's debug name, matching the historical formats
+// byte-for-byte (digest stability: names feed EqualBitwise and the model
+// dumps of the correctness suite).
+func keyName(k modelKey) string {
+	switch k.class {
+	case keyVarI:
+		return fmt.Sprintf("I[j%d,s%d,t%d]", k.job, k.space, k.slot)
+	case keyVarA:
+		return fmt.Sprintf("a[j%d,s%d,t%d,p%d]", k.job, k.space, k.slot, k.part)
+	case keyVarP:
+		return fmt.Sprintf("P[j%d]", k.job)
+	case keyRowUbP:
+		return fmt.Sprintf("ub_P[j%d]", k.job)
+	case keyRowLink:
+		return fmt.Sprintf("link[j%d,s%d,t%d]", k.job, k.space, k.slot)
+	case keyRowDemand:
+		return fmt.Sprintf("demand[j%d]", k.job)
+	default:
+		return fmt.Sprintf("cap[p%d,t%d]", k.part, k.slot)
+	}
+}
+
+// buildRec is one cycle's recorded model: keys, kinds, and numeric payload,
+// with all row sparsity packed into two flat arrays. The scheduler
+// double-buffers two of these (incState.prev/spare) so steady-state cycles
+// allocate nothing here beyond map traffic.
+type buildRec struct {
+	varKeys  []modelKey
+	varKinds []milp.VarKind
+	varObj   []float64
+	rowKeys  []modelKey
+	rowRHS   []float64
+	rowOff   []int // rowOff[i] = start of row i in idx/coef
+	idx      []int
+	coef     []float64
+}
+
+func (r *buildRec) reset() {
+	r.varKeys, r.varKinds, r.varObj = r.varKeys[:0], r.varKinds[:0], r.varObj[:0]
+	r.rowKeys, r.rowRHS, r.rowOff = r.rowKeys[:0], r.rowRHS[:0], r.rowOff[:0]
+	r.idx, r.coef = r.idx[:0], r.coef[:0]
+}
+
+// rowSpan returns row i's [lo, hi) span in idx/coef.
+func (r *buildRec) rowSpan(i int) (int, int) {
+	lo := r.rowOff[i]
+	hi := len(r.idx)
+	if i+1 < len(r.rowOff) {
+		hi = r.rowOff[i+1]
+	}
+	return lo, hi
+}
+
+// builder holds one cycle's recorded MILP and the option bookkeeping needed
+// to interpret its solution. Generation records into cur; materialize turns
+// the recording into b.model — by patching the previous cycle's model in
+// place when nothing structural changed, or by building from scratch.
 type builder struct {
 	s        *Scheduler
 	st       *simulator.State
-	model    milp.Model
+	model    *milp.Model
+	cur      *buildRec
 	jobs     []*job.Job
 	options  []option
 	preempts []preemptVar
-	// Memo counters, accumulated locally and flushed into Stats under the
-	// stats lock once per build (Stats() may be polled concurrently).
+
+	quiet     bool // no job/node event since the previous cycle's snapshot
+	patched   bool // materialized by patching the previous model
+	fellBack  bool // quiet cycle whose patch walk failed
+	warmOK    bool // previous root basis may seed this cycle's root LP
+	unchanged bool // recording is bitwise-identical to the previous cycle's
+
+	// Counters accumulated locally and flushed into Stats under the stats
+	// lock once per build (Stats() may be polled concurrently).
 	cacheHits   int
 	cacheMisses int
+	rowsPatched int
+	colsPatched int
+}
+
+// addVar records a variable and returns its index in the final model.
+func (b *builder) addVar(key modelKey, kind milp.VarKind, obj float64) int {
+	r := b.cur
+	r.varKeys = append(r.varKeys, key)
+	r.varKinds = append(r.varKinds, kind)
+	r.varObj = append(r.varObj, obj)
+	return len(r.varObj) - 1
+}
+
+// addRow records the sparse constraint Sum(coef·x[idx]) <= rhs, applying
+// Model.AddLE's zero-coefficient pruning so the recorded pattern matches
+// what a fresh build would contain.
+func (b *builder) addRow(key modelKey, idx []int, coef []float64, rhs float64) {
+	r := b.cur
+	r.rowKeys = append(r.rowKeys, key)
+	r.rowRHS = append(r.rowRHS, rhs)
+	r.rowOff = append(r.rowOff, len(r.idx))
+	for i, id := range idx {
+		if coef[i] == 0 {
+			continue
+		}
+		r.idx = append(r.idx, id)
+		r.coef = append(r.coef, coef[i])
+	}
+}
+
+// buildFresh compiles the recording into a new Model.
+func (b *builder) buildFresh() *milp.Model {
+	cur := b.cur
+	m := &milp.Model{}
+	for i, k := range cur.varKeys {
+		m.AddVar(cur.varKinds[i], cur.varObj[i], keyName(k))
+	}
+	for i, k := range cur.rowKeys {
+		lo, hi := cur.rowSpan(i)
+		m.AddLE(keyName(k), cur.idx[lo:hi], cur.coef[lo:hi], cur.rowRHS[i])
+	}
+	return m
+}
+
+// recsEqual reports whether two recordings describe bitwise-identical
+// models: same key sequences, kinds, sparsity patterns, and bit-equal
+// objective, coefficient and RHS payloads. When the current recording equals
+// the previous cycle's, this cycle's solve would reproduce the previous
+// solution exactly (the solver is a deterministic function of the model and
+// its warm inputs), so Cycle reuses it without solving. Computed from the
+// recordings alone — state identical under ForceRebuild — so incremental and
+// forced-rebuild runs make the same reuse decision.
+func recsEqual(a, b *buildRec) bool {
+	if len(a.varKeys) != len(b.varKeys) || len(a.rowKeys) != len(b.rowKeys) ||
+		len(a.idx) != len(b.idx) {
+		return false
+	}
+	for i, k := range a.varKeys {
+		if b.varKeys[i] != k || b.varKinds[i] != a.varKinds[i] ||
+			math.Float64bits(b.varObj[i]) != math.Float64bits(a.varObj[i]) {
+			return false
+		}
+	}
+	for i, k := range a.rowKeys {
+		if b.rowKeys[i] != k || b.rowOff[i] != a.rowOff[i] ||
+			math.Float64bits(b.rowRHS[i]) != math.Float64bits(a.rowRHS[i]) {
+			return false
+		}
+	}
+	for i, id := range a.idx {
+		if b.idx[i] != id || math.Float64bits(b.coef[i]) != math.Float64bits(a.coef[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// tryPatch walks the recording against the previous cycle's keys and model,
+// overwriting numeric payload in place. Any structural divergence — a key,
+// kind, or sparsity-pattern mismatch — aborts; the partially patched model
+// is then discarded by the fresh build, so a failed walk is never observed.
+func (b *builder) tryPatch() bool {
+	prev, cur := b.s.inc.prev, b.cur
+	if len(prev.varKeys) != len(cur.varKeys) || len(prev.rowKeys) != len(cur.rowKeys) {
+		return false
+	}
+	for i, k := range cur.varKeys {
+		if prev.varKeys[i] != k {
+			return false
+		}
+	}
+	for i, k := range cur.rowKeys {
+		if prev.rowKeys[i] != k {
+			return false
+		}
+	}
+	p := b.s.inc.model.BeginPatch()
+	for i := range cur.varKeys {
+		if !p.Var(cur.varKinds[i], cur.varObj[i]) {
+			return false
+		}
+	}
+	for i := range cur.rowKeys {
+		lo, hi := cur.rowSpan(i)
+		if !p.Row(cur.idx[lo:hi], cur.coef[lo:hi], cur.rowRHS[i]) {
+			return false
+		}
+	}
+	if !p.Done() {
+		return false
+	}
+	b.rowsPatched = p.RowsPatched()
+	b.colsPatched = p.ColsPatched()
+	return true
+}
+
+// materialize produces b.model from the recording and retires the recording
+// into incState for the next cycle. The patched and freshly built models are
+// bitwise-identical by construction — the recording holds this cycle's
+// freshly computed values either way, and a patch only ever lands them on
+// matching structure (checkIncremental proves it under Config.Checks).
+//
+// warmOK is deliberately computed from patch-independent state (quiet flag
+// and structure sizes), so incremental and ForceRebuild runs make the same
+// warm-basis decision and stay outcome-identical.
+func (b *builder) materialize() {
+	s := b.s
+	inc := &s.inc
+	cur := b.cur
+	if b.quiet && !s.cfg.ForceRebuild && inc.model != nil && inc.prev != nil {
+		if b.tryPatch() {
+			b.model = inc.model
+			b.patched = true
+		} else {
+			b.fellBack = true
+		}
+	}
+	if b.model == nil {
+		b.model = b.buildFresh()
+		inc.model = b.model
+	}
+	b.warmOK = b.quiet && inc.prev != nil &&
+		len(inc.prev.varKeys) == len(cur.varKeys) &&
+		len(inc.prev.rowKeys) == len(cur.rowKeys)
+	b.unchanged = b.quiet && inc.prev != nil && recsEqual(inc.prev, cur)
+	inc.prev, inc.spare = cur, inc.prev
 }
 
 // buildModel translates the cluster state into the cycle's MILP (§4.3.1
@@ -62,8 +296,34 @@ func (s *Scheduler) buildModel(st *simulator.State) *builder {
 	b := &builder{s: s, st: st}
 	cfg := &s.cfg
 	now := st.Now
+	// Quantized model-evaluation clock (Config.SolveQuantum): every value
+	// below derives from this `now`, so cycles within one quantum that saw
+	// no event record bitwise-identical models — the precondition for the
+	// solution-reuse fast path in Cycle.
+	if q := cfg.SolveQuantum; q > 0 {
+		now = math.Floor(now/q) * q
+	}
 	nParts := len(st.Cluster.Partitions)
 	slots := cfg.Slots
+
+	// A cycle is quiet when the engine epoch is unchanged since the last
+	// build (no submit/start/complete/preempt/node event — only time
+	// advanced) and no scheduler-side per-job state moved (re-estimate,
+	// abandonment, removal). Quiet cycles are patch and warm-start
+	// candidates. The dirty flag is cleared *before* generation: an
+	// abandonment fired during this build dirties the next cycle, and this
+	// cycle's own structural drift is caught by the patch walk.
+	b.quiet = s.inc.have && st.Epoch == s.inc.epoch && !s.inc.jobsDirty
+	s.inc.have = true
+	s.inc.epoch = st.Epoch
+	s.inc.jobsDirty = false
+	rec := s.inc.spare
+	s.inc.spare = nil
+	if rec == nil {
+		rec = &buildRec{}
+	}
+	rec.reset()
+	b.cur = rec
 
 	// Slot start times are anchored to an *absolute* grid (slot 0 = now,
 	// later slots at multiples of SlotDur in wall-clock time). Anchoring at
@@ -104,10 +364,9 @@ func (s *Scheduler) buildModel(st *simulator.State) *builder {
 	}
 	runUses := make([]runUse, 0, len(st.Running))
 	for _, r := range st.Running {
-		sf := s.runningSurvival(r, now)
 		u := runUse{r: r, surv: make([]float64, slots)}
+		s.runningSurvCurve(r, now, times, grid0, u.surv, b)
 		for k := 0; k < slots; k++ {
-			u.surv[k] = sf(offsets[k])
 			for p, n := range r.Alloc {
 				capacity[p][k] -= float64(n) * u.surv[k]
 			}
@@ -123,8 +382,8 @@ func (s *Scheduler) buildModel(st *simulator.State) *builder {
 			}
 			elapsed := u.r.Elapsed(now)
 			cost := cfg.BEWeight * float64(u.r.Job.Tasks) * (cfg.PreemptBase + elapsed/cfg.BEDecayWindow)
-			v := b.model.AddVar(milp.Binary, -cost, fmt.Sprintf("P[j%d]", u.r.Job.ID))
-			b.model.AddLE(fmt.Sprintf("ub_P[j%d]", u.r.Job.ID), []int{v}, []float64{1}, 1)
+			v := b.addVar(modelKey{class: keyVarP, job: u.r.Job.ID}, milp.Binary, -cost)
+			b.addRow(modelKey{class: keyRowUbP, job: u.r.Job.ID}, []int{v}, []float64{1}, 1)
 			b.preempts = append(b.preempts, preemptVar{r: u.r, varIdx: v, surv: u.surv})
 		}
 	}
@@ -304,7 +563,8 @@ func (s *Scheduler) buildModel(st *simulator.State) *builder {
 					// exact offsets the memoized curve was sampled at.
 					copy(o.rc, surv[:slots-k])
 				}
-				o.varIdx = b.model.AddVar(milp.Binary, eu, fmt.Sprintf("I[j%d,s%d,t%d]", j.ID, sc.space, k))
+				o.varIdx = b.addVar(modelKey{class: keyVarI, job: j.ID, space: sc.space, slot: int16(k)},
+					milp.Binary, eu)
 				if cfg.ExactShares {
 					// §4.3.3 demand constraint (a): continuous allocation
 					// variables a_{o,p} with Σ_p a_op >= k·I_o (the LP
@@ -313,12 +573,13 @@ func (s *Scheduler) buildModel(st *simulator.State) *builder {
 					idx := []int{o.varIdx}
 					coef := []float64{float64(j.Tasks)}
 					for _, p := range allowed {
-						av := b.model.AddVar(milp.Continuous, 0, fmt.Sprintf("a[j%d,s%d,t%d,p%d]", j.ID, sc.space, k, p))
+						av := b.addVar(modelKey{class: keyVarA, job: j.ID, space: sc.space, slot: int16(k), part: int32(p)},
+							milp.Continuous, 0)
 						o.allocVars = append(o.allocVars, av)
 						idx = append(idx, av)
 						coef = append(coef, -1)
 					}
-					b.model.AddLE(fmt.Sprintf("link[j%d,s%d,t%d]", j.ID, sc.space, k), idx, coef, 0)
+					b.addRow(modelKey{class: keyRowLink, job: j.ID, space: sc.space, slot: int16(k)}, idx, coef, 0)
 				}
 				if cfg.Checks {
 					s.checkOption(&o)
@@ -332,7 +593,7 @@ func (s *Scheduler) buildModel(st *simulator.State) *builder {
 			for i := range coef {
 				coef[i] = 1
 			}
-			b.model.AddLE(fmt.Sprintf("demand[j%d]", j.ID), jobVars, coef, 1)
+			b.addRow(modelKey{class: keyRowDemand, job: j.ID}, jobVars, coef, 1)
 		}
 		if !anyUtility && j.HasDeadline() {
 			// Even an immediate start earns zero utility, and deadline
@@ -387,15 +648,27 @@ func (s *Scheduler) buildModel(st *simulator.State) *builder {
 			if len(idx) == 0 {
 				continue
 			}
-			b.model.AddLE(fmt.Sprintf("cap[p%d,t%d]", p, k), idx, coef, capacity[p][k])
+			b.addRow(modelKey{class: keyRowCap, part: int32(p), slot: int16(k)}, idx, coef, capacity[p][k])
 		}
 	}
+	b.materialize()
 	if cfg.Checks {
 		b.checkCapacityRows()
+		if b.patched {
+			b.checkIncremental()
+		}
 	}
 	s.statsMu.Lock()
 	s.stats.CacheHits += b.cacheHits
 	s.stats.CacheMisses += b.cacheMisses
+	if b.patched {
+		s.stats.PatchedCycles++
+		s.stats.RowsPatched += b.rowsPatched
+		s.stats.ColsPatched += b.colsPatched
+	}
+	if b.fellBack {
+		s.stats.RebuildFallbacks++
+	}
 	s.statsMu.Unlock()
 	return b
 }

@@ -1,0 +1,67 @@
+package dist
+
+import (
+	"math"
+
+	"threesigma/internal/histogram"
+)
+
+// Same reports whether two distributions are structurally identical — same
+// concrete type and bitwise-equal parameters — so every Survival/CDF/Quantile
+// query is guaranteed to return bitwise-identical answers from either.
+//
+// The scheduler's re-estimation path uses it to scope cache invalidation: a
+// prediction refresh that reproduces the job's previous distribution must not
+// bump the job's distribution version, or every memoized expected-utility and
+// survival curve for that job would be discarded for nothing (and the
+// incremental model-patch path would lose its "nothing changed" fast path).
+// Unknown or mismatched concrete types conservatively compare as different.
+func Same(a, b Distribution) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	switch x := a.(type) {
+	case Point:
+		y, ok := b.(Point)
+		return ok && feq(x.Value, y.Value)
+	case Uniform:
+		y, ok := b.(Uniform)
+		return ok && feq(x.Lo, y.Lo) && feq(x.Hi, y.Hi)
+	case Normal:
+		y, ok := b.(Normal)
+		return ok && feq(x.Mu, y.Mu) && feq(x.Sigma, y.Sigma)
+	case Scaled:
+		y, ok := b.(Scaled)
+		return ok && feq(x.Factor, y.Factor) && Same(x.Base, y.Base)
+	case Empirical:
+		y, ok := b.(Empirical)
+		return ok && sameHist(x.H, y.H)
+	default:
+		return false
+	}
+}
+
+// sameHist compares full histogram state bin-for-bin.
+func sameHist(a, b *histogram.Histogram) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a == b {
+		return true
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if sa.MaxBins != sb.MaxBins || !feq(sa.N, sb.N) ||
+		!feq(sa.Min, sb.Min) || !feq(sa.Max, sb.Max) ||
+		len(sa.Bins) != len(sb.Bins) {
+		return false
+	}
+	for i := range sa.Bins {
+		if !feq(sa.Bins[i].Value, sb.Bins[i].Value) || !feq(sa.Bins[i].Count, sb.Bins[i].Count) {
+			return false
+		}
+	}
+	return true
+}
+
+// feq is bitwise float equality (NaN-safe, avoids float== lint findings).
+func feq(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }

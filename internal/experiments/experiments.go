@@ -58,7 +58,11 @@ type Scale struct {
 	MaxPending    int
 	SolverBudget  time.Duration
 	DrainWindow   float64
-	TraceJobs     int // records per environment for the Fig. 2 analyses
+	// SolveQuantum quantizes the scheduler's model-evaluation clock
+	// (core.Config.SolveQuantum); 0 leaves quantization off. Only the
+	// steady-state scenario sets it.
+	SolveQuantum float64
+	TraceJobs    int // records per environment for the Fig. 2 analyses
 	// Repeats averages every experiment point over this many workload
 	// seeds (default 1). The figure drivers report the averages.
 	Repeats int
@@ -111,6 +115,7 @@ func (s Scale) coreConfig() core.Config {
 		MaxPending:     s.MaxPending,
 		SolverBudget:   s.SolverBudget,
 		SolverMaxNodes: 24,
+		SolveQuantum:   s.SolveQuantum,
 	}
 }
 
@@ -213,6 +218,14 @@ func Run(sys System, w *workload.Workload, sc Scale, opts RunOptions) (RunResult
 			SpecUsed:    rr.Sched.SpecUsed,
 			CacheHits:   rr.Sched.CacheHits,
 			CacheMisses: rr.Sched.CacheMisses,
+
+			PatchedCycles:     rr.Sched.PatchedCycles,
+			RebuildFallbacks:  rr.Sched.RebuildFallbacks,
+			RowsPatched:       rr.Sched.RowsPatched,
+			ColsPatched:       rr.Sched.ColsPatched,
+			WarmBasisReuses:   rr.Sched.WarmBasisReuses,
+			IncumbentSeedHits: rr.Sched.IncumbentSeedHits,
+			ReusedSolves:      rr.Sched.ReusedSolves,
 		}
 	}
 	return rr, nil

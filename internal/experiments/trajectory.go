@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Trajectory files (BENCH_<scenario>.json) are committed to the repository
+// and grow one entry per PR: each entry snapshots the scenario's latency
+// percentiles and solver counters, so a speedup or regression shows up in
+// the diff of the PR that caused it. Entries are keyed by label; re-running
+// with an existing label replaces that entry in place (regeneration is
+// idempotent), while a new label appends.
+
+// TrajectoryEntry is one PR's (or one dev run's) snapshot.
+type TrajectoryEntry struct {
+	Label string `json:"label"`
+	Scale string `json:"scale"`
+	Seed  int64  `json:"seed"`
+	// Experiments maps experiment name to its structured rows — the same
+	// payload 3sigma-bench -json emits for the experiment.
+	Experiments map[string]interface{} `json:"experiments"`
+}
+
+// Trajectory is the committed file.
+type Trajectory struct {
+	Scenario string            `json:"scenario"`
+	Entries  []TrajectoryEntry `json:"entries"`
+}
+
+// AppendTrajectory loads path (if it exists), upserts the entry by label,
+// and writes the file back with stable indentation.
+func AppendTrajectory(path, scenario string, e TrajectoryEntry) error {
+	var tr Trajectory
+	if buf, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(buf, &tr); err != nil {
+			return fmt.Errorf("trajectory %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	tr.Scenario = scenario
+	replaced := false
+	for i := range tr.Entries {
+		if tr.Entries[i].Label == e.Label {
+			tr.Entries[i] = e
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		tr.Entries = append(tr.Entries, e)
+	}
+	buf, err := json.MarshalIndent(&tr, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

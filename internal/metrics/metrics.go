@@ -81,6 +81,18 @@ type SolverStats struct {
 	SpecUsed    int // of those, consumed by the coordinator
 	CacheHits   int // builder memo lookups served from cache
 	CacheMisses int // builder memo lookups computed fresh
+
+	// Incremental re-solve counters (DESIGN.md §12): how often the model
+	// builder patched the previous cycle's MILP in place instead of
+	// recompiling it, how much of the patched payload actually changed, and
+	// how often the solver consumed cross-cycle warm inputs.
+	PatchedCycles     int // cycles whose model was patched in place
+	RebuildFallbacks  int // quiet cycles whose patch walk failed
+	RowsPatched       int // patched rows whose coefficients or RHS changed
+	ColsPatched       int // patched objective coefficients that changed
+	WarmBasisReuses   int // root LPs restored from the previous optimal basis
+	IncumbentSeedHits int // cycles whose warm-start seed became the first incumbent
+	ReusedSolves      int // cycles answered with the previous solution (model bitwise-unchanged)
 }
 
 // CacheHitRate returns the fraction of builder memo lookups served from
@@ -95,8 +107,9 @@ func (s SolverStats) CacheHitRate() float64 {
 
 // String renders the counters as one diagnostic line.
 func (s SolverStats) String() string {
-	return fmt.Sprintf("nodes=%d lp-iters=%d workers=%d spec=%d/%d cache-hit=%.1f%%",
-		s.Nodes, s.LPIters, s.Workers, s.SpecUsed, s.SpecLPs, 100*s.CacheHitRate())
+	return fmt.Sprintf("nodes=%d lp-iters=%d workers=%d spec=%d/%d cache-hit=%.1f%% patched=%d fallbacks=%d reused=%d warm-basis=%d seed-hits=%d",
+		s.Nodes, s.LPIters, s.Workers, s.SpecUsed, s.SpecLPs, 100*s.CacheHitRate(),
+		s.PatchedCycles, s.RebuildFallbacks, s.ReusedSolves, s.WarmBasisReuses, s.IncumbentSeedHits)
 }
 
 // FromResult computes the report for a run on the given cluster.
@@ -221,6 +234,13 @@ func Average(rs []Report) Report {
 		avg.Solver.SpecUsed += r.Solver.SpecUsed
 		avg.Solver.CacheHits += r.Solver.CacheHits
 		avg.Solver.CacheMisses += r.Solver.CacheMisses
+		avg.Solver.PatchedCycles += r.Solver.PatchedCycles
+		avg.Solver.RebuildFallbacks += r.Solver.RebuildFallbacks
+		avg.Solver.RowsPatched += r.Solver.RowsPatched
+		avg.Solver.ColsPatched += r.Solver.ColsPatched
+		avg.Solver.WarmBasisReuses += r.Solver.WarmBasisReuses
+		avg.Solver.IncumbentSeedHits += r.Solver.IncumbentSeedHits
+		avg.Solver.ReusedSolves += r.Solver.ReusedSolves
 		if r.Solver.Workers > avg.Solver.Workers {
 			avg.Solver.Workers = r.Solver.Workers
 		}
@@ -240,6 +260,13 @@ func Average(rs []Report) Report {
 	avg.Solver.SpecUsed = int(math.Round(float64(avg.Solver.SpecUsed) / n))
 	avg.Solver.CacheHits = int(math.Round(float64(avg.Solver.CacheHits) / n))
 	avg.Solver.CacheMisses = int(math.Round(float64(avg.Solver.CacheMisses) / n))
+	avg.Solver.PatchedCycles = int(math.Round(float64(avg.Solver.PatchedCycles) / n))
+	avg.Solver.RebuildFallbacks = int(math.Round(float64(avg.Solver.RebuildFallbacks) / n))
+	avg.Solver.RowsPatched = int(math.Round(float64(avg.Solver.RowsPatched) / n))
+	avg.Solver.ColsPatched = int(math.Round(float64(avg.Solver.ColsPatched) / n))
+	avg.Solver.WarmBasisReuses = int(math.Round(float64(avg.Solver.WarmBasisReuses) / n))
+	avg.Solver.IncumbentSeedHits = int(math.Round(float64(avg.Solver.IncumbentSeedHits) / n))
+	avg.Solver.ReusedSolves = int(math.Round(float64(avg.Solver.ReusedSolves) / n))
 	return avg
 }
 

@@ -23,6 +23,10 @@ type lpArena struct {
 	p1     []float64 // phase-1 objective
 	w      []float64 // Devex reference weights
 
+	// Warm-restore revert snapshot (tableau + basis before forced pivots).
+	save      []float64
+	saveBasis []int
+
 	spRows []spRow   // sparse row headers
 	spIdx  []int32   // sparse entry backing
 	spVal  []float64 // sparse value backing

@@ -161,6 +161,139 @@ func (m *Model) Feasible(x []float64, tol float64) bool {
 	return true
 }
 
+// Patcher rewrites a Model's numeric payload in place while asserting that
+// its structure — variable count and kinds, row count, and every row's
+// sparsity pattern — is unchanged since the model was built. It is the milp
+// half of the incremental re-solve path (DESIGN.md §12): the scheduler's
+// builder walks the new cycle's recorded columns and rows against the
+// previous cycle's model and overwrites only values, never structure, so a
+// successful patch yields a model bitwise-identical to a full rebuild
+// without reallocating rows, columns, or debug names. Any structural
+// divergence fails the walk and the caller falls back to a full rebuild.
+type Patcher struct {
+	m           *Model
+	v, r        int
+	rowsPatched int
+	colsPatched int
+	failed      bool
+}
+
+// BeginPatch starts an in-place patch pass over the model. The caller must
+// feed every variable (Var) and then every row (Row) in construction order
+// and check Done.
+func (m *Model) BeginPatch() *Patcher { return &Patcher{m: m} }
+
+// Var matches the next variable against the walk cursor and overwrites its
+// objective coefficient. Returns false on kind mismatch or exhaustion.
+func (p *Patcher) Var(kind VarKind, obj float64) bool {
+	if p.failed || p.v >= len(p.m.obj) || p.m.kinds[p.v] != kind {
+		p.failed = true
+		return false
+	}
+	if math.Float64bits(p.m.obj[p.v]) != math.Float64bits(obj) {
+		p.m.obj[p.v] = obj
+		p.colsPatched++
+	}
+	p.v++
+	return true
+}
+
+// Row matches the next row's sparsity pattern against the walk cursor and
+// overwrites its coefficients and right-hand side. idx must already have
+// zero-coefficient entries dropped (AddLE's rule). Returns false on any
+// pattern mismatch.
+func (p *Patcher) Row(idx []int, coef []float64, rhs float64) bool {
+	if p.failed || p.r >= len(p.m.rows) {
+		p.failed = true
+		return false
+	}
+	r := &p.m.rows[p.r]
+	if len(r.Idx) != len(idx) {
+		p.failed = true
+		return false
+	}
+	for i, id := range idx {
+		if r.Idx[i] != id {
+			p.failed = true
+			return false
+		}
+	}
+	changed := math.Float64bits(r.RHS) != math.Float64bits(rhs)
+	r.RHS = rhs
+	for i, c := range coef {
+		if !changed && math.Float64bits(r.Coef[i]) != math.Float64bits(c) {
+			changed = true
+		}
+		r.Coef[i] = c
+	}
+	if changed {
+		p.rowsPatched++
+	}
+	p.r++
+	return true
+}
+
+// Done reports whether the walk consumed the model exactly — every variable
+// and row matched, with nothing left over.
+func (p *Patcher) Done() bool {
+	return !p.failed && p.v == len(p.m.obj) && p.r == len(p.m.rows)
+}
+
+// RowsPatched returns the number of rows whose coefficients or RHS changed.
+func (p *Patcher) RowsPatched() int { return p.rowsPatched }
+
+// ColsPatched returns the number of objective coefficients that changed.
+func (p *Patcher) ColsPatched() int { return p.colsPatched }
+
+// EqualBitwise compares two models field by field — names, kinds, objective
+// bits, constants, and every row's name, pattern, coefficient bits, and RHS
+// bits — returning "" when identical or a description of the first mismatch.
+// The incremental cross-check (internal/core, Checks mode) uses it to prove
+// a patched model equal to a from-scratch rebuild.
+func EqualBitwise(a, b *Model) string {
+	if len(a.obj) != len(b.obj) {
+		return fmt.Sprintf("var count %d != %d", len(a.obj), len(b.obj))
+	}
+	if math.Float64bits(a.objConst) != math.Float64bits(b.objConst) {
+		return fmt.Sprintf("objConst %v != %v", a.objConst, b.objConst)
+	}
+	for v := range a.obj {
+		if a.names[v] != b.names[v] {
+			return fmt.Sprintf("var %d name %q != %q", v, a.names[v], b.names[v])
+		}
+		if a.kinds[v] != b.kinds[v] {
+			return fmt.Sprintf("var %d (%s) kind mismatch", v, a.names[v])
+		}
+		if math.Float64bits(a.obj[v]) != math.Float64bits(b.obj[v]) {
+			return fmt.Sprintf("var %d (%s) obj %v != %v", v, a.names[v], a.obj[v], b.obj[v])
+		}
+	}
+	if len(a.rows) != len(b.rows) {
+		return fmt.Sprintf("row count %d != %d", len(a.rows), len(b.rows))
+	}
+	for ri := range a.rows {
+		ra, rb := &a.rows[ri], &b.rows[ri]
+		if ra.Name != rb.Name {
+			return fmt.Sprintf("row %d name %q != %q", ri, ra.Name, rb.Name)
+		}
+		if math.Float64bits(ra.RHS) != math.Float64bits(rb.RHS) {
+			return fmt.Sprintf("row %d (%s) rhs %v != %v", ri, ra.Name, ra.RHS, rb.RHS)
+		}
+		if len(ra.Idx) != len(rb.Idx) {
+			return fmt.Sprintf("row %d (%s) nnz %d != %d", ri, ra.Name, len(ra.Idx), len(rb.Idx))
+		}
+		for k := range ra.Idx {
+			if ra.Idx[k] != rb.Idx[k] {
+				return fmt.Sprintf("row %d (%s) idx[%d] %d != %d", ri, ra.Name, k, ra.Idx[k], rb.Idx[k])
+			}
+			if math.Float64bits(ra.Coef[k]) != math.Float64bits(rb.Coef[k]) {
+				return fmt.Sprintf("row %d (%s) coef[%d] %v != %v", ri, ra.Name, k, ra.Coef[k], rb.Coef[k])
+			}
+		}
+	}
+	return ""
+}
+
 // Stats describes the size of a model (exposed for the Fig. 12 scalability
 // analysis of constraint/variable growth).
 type Stats struct {

@@ -28,6 +28,12 @@ type lpResult struct {
 	x     []float64 // structural variable values
 	obj   float64   // objective value (max form, includes no constant)
 	iters int
+	// basis is the optimal basis (basis[i] = column basic in row i, slacks
+	// at n+i), captured only when the caller requested it (root LPs, so the
+	// scheduler can warm-start the next cycle).
+	basis []int
+	// warmed counts the crash pivots applied from a warm-basis hint.
+	warmed int
 }
 
 // denseLP is a dense two-phase primal simplex instance for
@@ -48,6 +54,12 @@ type denseLP struct {
 	iters   int
 	trace   *[]pivotRec // optional pivot trace (tests)
 	ar      *lpArena    // scratch backing for tab/zrow/basis/cost/w
+
+	// warm, when non-nil, is a previous optimum's basis used to crash-start
+	// phase 2; wantBasis asks solve to capture the optimal basis into the
+	// result. Both are set by solveRelaxationOpt for root relaxations.
+	warm      []int
+	wantBasis bool
 }
 
 // newDenseLP builds the tableau from fixed (substituted) model data:
@@ -137,7 +149,13 @@ func (lp *denseLP) solve(maxIter int) (lpResult, error) {
 		}
 		lp.purgeArtificials()
 	}
-	// Phase 2 on the real objective; artificials may not enter.
+	// Phase 2 on the real objective; artificials may not enter. A warm basis
+	// is restored before the reduced costs are priced (initZ prices whatever
+	// basis the restore left behind).
+	warmed := 0
+	if lp.nArt == 0 && len(lp.warm) > 0 {
+		warmed = lp.restore(lp.warm)
+	}
 	lp.initZ(lp.cost)
 	if err := lp.iterate(lp.cost, maxIter, lp.artCol0); err != nil {
 		return lpResult{}, err
@@ -152,7 +170,123 @@ func (lp *denseLP) solve(maxIter int) (lpResult, error) {
 	for j := 0; j < lp.n; j++ {
 		obj += lp.cost[j] * x[j]
 	}
-	return lpResult{x: x, obj: obj, iters: lp.iters}, nil
+	res := lpResult{x: x, obj: obj, iters: lp.iters, warmed: warmed}
+	if lp.wantBasis {
+		res.basis = append([]int(nil), lp.basis...)
+	}
+	return res, nil
+}
+
+// restoreTol is the minimum forced-pivot magnitude of a warm-basis restore.
+// Stricter than pivTol: a forced pivot skips the ratio test, so a small
+// element would amplify rounding error with no feasibility backstop.
+const restoreTol = 1e-7
+
+// restore reconstructs a previous optimum's basis *set* before phase 2
+// begins (the warm start of the incremental re-solve path, DESIGN.md §12).
+// Unlike a ratio-test crash — which rebuilds a feasible basis but generally
+// not the optimal one, leaving the subsequent Devex pass to re-derive the
+// optimum from scratch — restore pivots every desired column in by force.
+// When the model barely moved since the basis was optimal (a quiet cycle's
+// time-shifted re-solve), the restored basis is optimal or a pivot or two
+// away, and iterate terminates almost immediately.
+//
+// Forced pivots ignore feasibility, so the tableau and basis are snapshotted
+// first and the whole restore is reverted if any RHS entry comes out
+// negative (the previous basis is primal-infeasible for the new values) —
+// the solve then proceeds cold from the slack basis it started with.
+// Fully deterministic: columns enter in ascending index order, the pivot row
+// maximizes |element| with lowest-index tie-break, and the feasibility
+// verdict is a pure function of the (tableau, warm) pair — so every worker
+// count sees the same pivots.
+func (lp *denseLP) restore(warm []int) int {
+	desired := make([]bool, lp.cols)
+	cnt := 0
+	for _, v := range warm {
+		// Structural and slack columns only; artificial entries (redundant
+		// rows neutralized by a previous phase 1) are ignored.
+		if v >= 0 && v < lp.artCol0 && !desired[v] {
+			desired[v] = true
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	m, stride := lp.m, lp.cols+1
+	save := f64(&lp.ar.save, m*stride)
+	for i := 0; i < m; i++ {
+		copy(save[i*stride:(i+1)*stride], lp.tab[i])
+	}
+	saveBasis := ints(&lp.ar.saveBasis, m)
+	copy(saveBasis, lp.basis)
+	basic := make([]bool, lp.cols)
+	for _, b := range lp.basis {
+		basic[b] = true
+	}
+	pivots := 0
+	for j := 0; j < lp.artCol0; j++ {
+		if !desired[j] || basic[j] {
+			continue
+		}
+		leave := -1
+		best := restoreTol
+		for i := 0; i < m; i++ {
+			if desired[lp.basis[i]] {
+				continue // never evict a column the warm basis keeps
+			}
+			if a := math.Abs(lp.tab[i][j]); a > best {
+				best, leave = a, i
+			}
+		}
+		if leave < 0 {
+			continue // singular against the remaining rows: leave it out
+		}
+		basic[lp.basis[leave]] = false
+		lp.forcePivot(leave, j)
+		basic[j] = true
+		pivots++
+	}
+	for i := 0; i < m; i++ {
+		if lp.tab[i][lp.cols] < -feasTol {
+			// The restored basis is infeasible for this cycle's values:
+			// revert to the pristine slack basis and solve cold.
+			for r := 0; r < m; r++ {
+				copy(lp.tab[r], save[r*stride:(r+1)*stride])
+			}
+			copy(lp.basis, saveBasis)
+			return 0
+		}
+	}
+	lp.iters += pivots
+	return pivots
+}
+
+// forcePivot is pivot without the reduced-cost row update: restore runs
+// before initZ prices the basis, so there is no zrow to maintain yet.
+func (lp *denseLP) forcePivot(r, e int) {
+	row := lp.tab[r]
+	p := row[e]
+	inv := 1 / p
+	for j := 0; j <= lp.cols; j++ {
+		row[j] *= inv
+	}
+	row[e] = 1 // exact
+	for i := 0; i < lp.m; i++ {
+		if i == r {
+			continue
+		}
+		f := lp.tab[i][e]
+		if f == 0 {
+			continue
+		}
+		ti := lp.tab[i]
+		for j := 0; j <= lp.cols; j++ {
+			ti[j] -= f * row[j]
+		}
+		ti[e] = 0
+	}
+	lp.basis[r] = e
 }
 
 // initZ recomputes the reduced-cost row for the given column costs by

@@ -61,6 +61,15 @@ type Options struct {
 	// still during the solve, so the Deadline can never expire mid-search
 	// and budgeted solves become deterministic regardless of host load.
 	Now func() time.Time
+	// WarmBasis, when non-nil, is a previous optimum's basis (basis[i] =
+	// column basic in LP row i, slacks at NumVars+i) used to crash-start the
+	// root relaxation. The scheduler carries each cycle's root basis into the
+	// next cycle's solve when the model structure is unchanged (DESIGN.md
+	// §12). The crash is deterministic and applied identically by whichever
+	// worker solves the root LP, so the any-worker-count reproducibility
+	// guarantee below is preserved; a stale or mismatched basis degrades to
+	// extra simplex pivots, never to an incorrect result.
+	WarmBasis []int
 	// Workers sets the LP worker-pool size (default GOMAXPROCS). Workers
 	// beyond the first speculatively solve the LP relaxations of open
 	// nodes; the exploration itself — node order, pruning, incumbent
@@ -75,16 +84,19 @@ type Options struct {
 
 // Solution is the result of Solve.
 type Solution struct {
-	Status    Status
-	X         []float64 // length NumVars; binaries are exact 0/1
-	Objective float64
-	Nodes     int           // branch-and-bound nodes explored
-	LPIters   int           // simplex pivots of consumed node relaxations (deterministic)
-	Bound     float64       // best remaining upper bound at stop time
-	Elapsed   time.Duration // wall-clock solve time
-	Workers   int           // effective worker-pool size
-	SpecLPs   int           // node relaxations solved by speculation workers
-	SpecUsed  int           // of those, consumed by the coordinator
+	Status     Status
+	X          []float64 // length NumVars; binaries are exact 0/1
+	Objective  float64
+	Nodes      int           // branch-and-bound nodes explored
+	LPIters    int           // simplex pivots of consumed node relaxations (deterministic)
+	Bound      float64       // best remaining upper bound at stop time
+	Elapsed    time.Duration // wall-clock solve time
+	Workers    int           // effective worker-pool size
+	SpecLPs    int           // node relaxations solved by speculation workers
+	SpecUsed   int           // of those, consumed by the coordinator
+	RootBasis  []int         // root relaxation's optimal basis (warm-start feed for the next solve)
+	WarmPivots int           // crash pivots applied from Options.WarmBasis (0 = cold root solve)
+	SeedUsed   bool          // Options.Seed was feasible and installed as the initial incumbent
 }
 
 // Value returns X[v], or 0 when no solution is present.
@@ -118,6 +130,13 @@ type bbNode struct {
 	objC  float64
 	err   error
 	spec  bool // solved by a speculation worker
+
+	// Root-only warm-start plumbing: warm is the crash basis hint and
+	// wantBasis requests capture of the optimal basis. Kept on the node (not
+	// read from Options at solve time) so a speculation worker that claims
+	// the root produces bitwise-identical results to the coordinator.
+	warm      []int
+	wantBasis bool
 }
 
 func newBBNode(fixed []int8, bound float64, depth int, branch int8) *bbNode {
@@ -202,6 +221,7 @@ func Solve(m *Model, opts Options) Solution {
 	if opts.Seed != nil && m.Feasible(opts.Seed, feasTol) {
 		incumbent = append([]float64(nil), opts.Seed...)
 		incObj = m.Objective(incumbent)
+		sol.SeedUsed = true
 	}
 	// updateIncumbent applies the deterministic acceptance rule: strictly
 	// better objectives always win; objective ties (within 1e-12) go to the
@@ -233,7 +253,10 @@ func Solve(m *Model, opts Options) Solution {
 	for i := range rootFixed {
 		rootFixed[i] = -1
 	}
-	st.open = nodeHeap{newBBNode(rootFixed, math.Inf(1), 0, 0)}
+	root := newBBNode(rootFixed, math.Inf(1), 0, 0)
+	root.warm = opts.WarmBasis
+	root.wantBasis = true
+	st.open = nodeHeap{root}
 	heap.Init(&st.open)
 	greedy := newGreedyCtx(m)
 
@@ -291,6 +314,10 @@ func Solve(m *Model, opts Options) Solution {
 		sol.LPIters += node.res.iters
 		if node.spec {
 			sol.SpecUsed++
+		}
+		if node.wantBasis && node.err == nil {
+			sol.RootBasis = node.res.basis
+			sol.WarmPivots = node.res.warmed
 		}
 		if node.err != nil {
 			continue // infeasible or numerically dead subtree: prune
@@ -380,7 +407,7 @@ func Solve(m *Model, opts Options) Solution {
 // speculative solve. Either way node.res/objC/err are valid on return.
 func ensureLP(m *Model, node *bbNode) {
 	if atomic.CompareAndSwapInt32(&node.state, lpUnclaimed, lpInFlight) {
-		node.res, node.objC, node.err = solveRelaxation(m, node.fixed)
+		node.res, node.objC, node.err = solveRelaxationOpt(m, node.fixed, node.warm, node.wantBasis)
 		atomic.StoreInt32(&node.state, lpDone)
 		close(node.done)
 		return
@@ -409,7 +436,7 @@ func (st *bbState) speculate() {
 		}
 		st.mu.Unlock()
 		node.spec = true
-		node.res, node.objC, node.err = solveRelaxation(st.m, node.fixed)
+		node.res, node.objC, node.err = solveRelaxationOpt(st.m, node.fixed, node.warm, node.wantBasis)
 		atomic.AddInt64(&st.specLPs, 1)
 		atomic.StoreInt32(&node.state, lpDone)
 		close(node.done)
@@ -505,6 +532,15 @@ func useSparseLP(n int, rows []Row) bool {
 // It is safe for concurrent use: every call draws its working memory from a
 // pooled arena, so parallel speculation workers never share LP state.
 func solveRelaxation(m *Model, fixed []int8) (lpResult, float64, error) {
+	return solveRelaxationOpt(m, fixed, nil, false)
+}
+
+// solveRelaxationOpt is solveRelaxation with root-LP warm-start plumbing:
+// warm, when non-nil, crash-starts the simplex from a previous optimum's
+// basis (this forces the dense representation, whose pivot sequence the
+// sparse path reproduces bitwise anyway, so the choice cannot change the
+// result); wantBasis captures the optimal basis into the lpResult.
+func solveRelaxationOpt(m *Model, fixed []int8, warm []int, wantBasis bool) (lpResult, float64, error) {
 	n := m.NumVars()
 	ar := lpArenaPool.Get().(*lpArena)
 	defer lpArenaPool.Put(ar)
@@ -557,11 +593,16 @@ func solveRelaxation(m *Model, fixed []int8) (lpResult, float64, error) {
 			Idx: idxBk[start:off:off], Coef: coefBk[start:off:off]})
 	}
 	ar.rows = rows
-	if useSparseLP(n, rows) {
-		res, err := newSparseLPWith(c, rows, ar).solve(0)
+	if warm == nil && useSparseLP(n, rows) {
+		sp := newSparseLPWith(c, rows, ar)
+		sp.wantBasis = wantBasis
+		res, err := sp.solve(0)
 		return res, objConst, err
 	}
-	res, err := newDenseLPWith(c, rows, ar).solve(0)
+	dl := newDenseLPWith(c, rows, ar)
+	dl.warm = warm
+	dl.wantBasis = wantBasis
+	res, err := dl.solve(0)
 	return res, objConst, err
 }
 

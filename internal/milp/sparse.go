@@ -40,6 +40,10 @@ type sparseLP struct {
 	// merge scratch, swapped with row storage after each sparse row update.
 	scrIdx []int32
 	scrVal []float64
+
+	// wantBasis asks solve to capture the optimal basis into the result
+	// (same encoding as denseLP; set for root relaxations).
+	wantBasis bool
 }
 
 // denseRowFrac: a row converts to dense storage once nnz × denseRowFrac
@@ -248,7 +252,11 @@ func (lp *sparseLP) solve(maxIter int) (lpResult, error) {
 	for j := 0; j < lp.n; j++ {
 		obj += lp.cost[j] * x[j]
 	}
-	return lpResult{x: x, obj: obj, iters: lp.iters}, nil
+	res := lpResult{x: x, obj: obj, iters: lp.iters}
+	if lp.wantBasis {
+		res.basis = append([]int(nil), lp.basis...)
+	}
+	return res, nil
 }
 
 // initZ recomputes the reduced-cost row by pricing out the current basis.

@@ -760,6 +760,15 @@ type Metrics struct {
 	MaxRows       int           `json:"max_rows"`
 	MeanCycleMS   float64       `json:"mean_cycle_ms"`
 	MaxSolve      time.Duration `json:"-"`
+
+	// Incremental re-solve counters (DESIGN.md §12).
+	PatchedCycles     int `json:"patched_cycles"`
+	RebuildFallbacks  int `json:"rebuild_fallbacks"`
+	RowsPatched       int `json:"rows_patched"`
+	ColsPatched       int `json:"cols_patched"`
+	WarmBasisReuses   int `json:"warm_basis_reuses"`
+	IncumbentSeedHits int `json:"incumbent_seed_hits"`
+	ReusedSolves      int `json:"reused_solves"`
 }
 
 // Metrics returns the current observability snapshot. Scheduler counters
@@ -798,6 +807,14 @@ func (s *Service) Metrics() Metrics {
 		MaxVars:         cs.MaxVars,
 		MaxRows:         cs.MaxRows,
 		MaxSolve:        cs.MaxSolveTime,
+
+		PatchedCycles:     cs.PatchedCycles,
+		RebuildFallbacks:  cs.RebuildFallbacks,
+		RowsPatched:       cs.RowsPatched,
+		ColsPatched:       cs.ColsPatched,
+		WarmBasisReuses:   cs.WarmBasisReuses,
+		IncumbentSeedHits: cs.IncumbentSeedHits,
+		ReusedSolves:      cs.ReusedSolves,
 	}
 	if cs.Cycles > 0 {
 		m.MeanCycleMS = float64(cs.CycleTime.Milliseconds()) / float64(cs.Cycles)

@@ -33,6 +33,13 @@ type Engine struct {
 	out     map[job.ID]*Outcome
 	skipped int
 
+	// Dirty-tracking feed (DESIGN.md §12): epoch advances on every mutating
+	// call and delta categorizes the mutations since the last Snapshot, which
+	// publishes both on the State and resets delta. Two snapshots with equal
+	// Epoch bracketed a window in which only time advanced.
+	epoch uint64
+	delta Delta
+
 	// Node-lifecycle layer: down[p] nodes of partition p are failed or
 	// drained and excluded from scheduling until recovered. Invariant per
 	// partition: free + allocated + down == provisioned.
@@ -146,6 +153,8 @@ func (e *Engine) Submit(j *job.Job) error {
 	}
 	e.out[j.ID] = &Outcome{Job: j}
 	e.pending = append(e.pending, j)
+	e.epoch++
+	e.delta.Submitted++
 	return nil
 }
 
@@ -168,6 +177,9 @@ func (e *Engine) Snapshot(now float64) *State {
 	}
 	// Deterministic order for reproducibility.
 	sortRunning(st.Running)
+	st.Epoch = e.epoch
+	st.Delta = e.delta
+	e.delta = Delta{}
 	return st
 }
 
@@ -219,6 +231,8 @@ func (e *Engine) Start(a StartAction, startTime float64) (*StartedRun, bool) {
 		o.Started = true
 		o.FirstStart = startTime
 	}
+	e.epoch++
+	e.delta.Started++
 	return &StartedRun{Job: j, RunID: ri.runID, OnPreferred: onPref}, true
 }
 
@@ -238,6 +252,8 @@ func (e *Engine) Preempt(id job.ID, now float64) bool {
 	o.Preemptions++
 	o.WastedWork += (now - ri.rj.Start) * float64(ri.rj.Job.Tasks)
 	e.pending = append(e.pending, ri.rj.Job)
+	e.epoch++
+	e.delta.Preempted++
 	return true
 }
 
@@ -265,6 +281,8 @@ func (e *Engine) Complete(id job.ID, runID int64, now float64) (j *job.Job, base
 	if !ri.rj.OnPreferred && ri.rj.Job.NonPrefFactor > 1 {
 		base /= ri.rj.Job.NonPrefFactor
 	}
+	e.epoch++
+	e.delta.Completed++
 	return ri.rj.Job, base, true
 }
 
@@ -281,12 +299,16 @@ func (e *Engine) Cancel(id job.ID, now float64) (wasRunning bool, ok bool) {
 		o := e.out[id]
 		o.WastedWork += (now - ri.rj.Start) * float64(ri.rj.Job.Tasks)
 		o.Cancelled = true
+		e.epoch++
+		e.delta.Completed++
 		return true, true
 	}
 	for i, j := range e.pending {
 		if j.ID == id {
 			e.pending = append(e.pending[:i], e.pending[i+1:]...)
 			e.out[id].Cancelled = true
+			e.epoch++
+			e.delta.Removed++
 			return false, true
 		}
 	}
@@ -317,6 +339,8 @@ func (e *Engine) Resize(part, delta int) error {
 	parts[part] += delta
 	e.cluster = Cluster{Partitions: parts}
 	e.free[part] += delta
+	e.epoch++
+	e.delta.NodeEvents++
 	return nil
 }
 
@@ -365,11 +389,14 @@ func (e *Engine) evictRun(ri *runEntry, now float64) (requeued bool) {
 	o := e.out[id]
 	o.Evictions++
 	o.LostToFailures += (now - ri.rj.Start) * float64(ri.rj.Job.Tasks)
+	e.epoch++
 	if e.retryBudget > 0 && o.Evictions > e.retryBudget {
 		o.Failed = true
+		e.delta.Completed++
 		return false
 	}
 	e.pending = append(e.pending, ri.rj.Job)
+	e.delta.Preempted++
 	return true
 }
 
@@ -426,6 +453,8 @@ func (e *Engine) FailNodes(part, n int, now float64) (failed int, evicted, exhau
 	e.noteDown(now)
 	e.free[part] -= n
 	e.down[part] += n
+	e.epoch++
+	e.delta.NodeEvents++
 	return n, evicted, exhausted, nil
 }
 
@@ -444,6 +473,8 @@ func (e *Engine) RecoverNodes(part, n int, now float64) (int, error) {
 	e.noteDown(now)
 	e.down[part] -= n
 	e.free[part] += n
+	e.epoch++
+	e.delta.NodeEvents++
 	return n, nil
 }
 
@@ -464,6 +495,8 @@ func (e *Engine) DrainNodes(part, n int, now float64) error {
 	e.noteDown(now)
 	e.free[part] -= n
 	e.down[part] += n
+	e.epoch++
+	e.delta.NodeEvents++
 	return nil
 }
 

@@ -81,6 +81,24 @@ type RunningJob struct {
 // Elapsed returns how long the current attempt has been running at now.
 func (r *RunningJob) Elapsed(now float64) float64 { return now - r.Start }
 
+// Delta summarizes the engine mutations since the previous snapshot — the
+// dirty-tracking feed of the incremental re-solve path (DESIGN.md §12). A
+// zero Delta on a quiet cycle tells the scheduler the job and node sets are
+// unchanged, so the previous cycle's MILP can be patched in place instead of
+// rebuilt. The counters are categorized for observability; correctness only
+// relies on Epoch.
+type Delta struct {
+	Submitted  int // jobs admitted to the pending queue
+	Started    int // pending → running transitions
+	Completed  int // running jobs retired
+	Removed    int // pending jobs cancelled
+	Preempted  int // running jobs preempted or evicted back to pending
+	NodeEvents int // failures, recoveries, drains, resizes
+}
+
+// Zero reports whether no mutation happened in the window.
+func (d Delta) Zero() bool { return d == Delta{} }
+
 // State is the cluster snapshot handed to the scheduler on each cycle.
 type State struct {
 	Now     float64
@@ -88,6 +106,12 @@ type State struct {
 	Pending []*job.Job    // submitted, not running, in submission order
 	Running []*RunningJob // currently executing
 	Cluster Cluster
+	// Epoch is the engine's mutation counter at snapshot time: it advances on
+	// every state-changing engine call, so two snapshots with equal Epoch saw
+	// an identical job/node state (only time advanced between them).
+	Epoch uint64
+	// Delta describes what changed since the previous snapshot.
+	Delta Delta
 }
 
 // StartAction asks the simulator to launch a pending job now on Alloc.

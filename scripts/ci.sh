@@ -4,7 +4,9 @@
 # differential solver oracle, a fuzz
 # smoke pass over the histogram/distribution property targets, a
 # fault-injection determinism gate (two identical seeded chaos runs must
-# produce bit-identical outcome digests), and an end-to-end smoke of the
+# produce bit-identical outcome digests), an incremental re-solve digest
+# gate (patched and force-rebuilt runs must agree bitwise, with and without
+# fault injection), and an end-to-end smoke of the
 # online service (serverd + loadgen, including a SIGTERM warm restart and
 # a /readyz drain check). Run from anywhere; operates on the repo root.
 set -eu
@@ -60,6 +62,26 @@ if ! cmp -s "$WORK/digest1" "$WORK/digest2"; then
 fi
 echo "digests identical across runs:"
 cat "$WORK/digest1"
+
+echo "== incremental re-solve digest gate =="
+# The incremental path (model patching + warm basis + solution reuse,
+# DESIGN.md §12) is contractually outcome-neutral: forcing a full rebuild
+# every cycle must produce the bit-identical outcome digest, fault-free and
+# under fault injection alike.
+for FAULTS in "" "-faults light"; do
+    INC_ARGS="-env google -nodes 48 -partitions 4 -hours 0.05 -load 1.2 -seed 5 \
+        -virtualtime $FAULTS -digest"
+    "$WORK/3sigma-sim" $INC_ARGS | grep '^outcome digest:' >"$WORK/inc"
+    "$WORK/3sigma-sim" $INC_ARGS -forcerebuild | grep '^outcome digest:' >"$WORK/reb"
+    [ -s "$WORK/inc" ] || { echo "FAIL: no digest line emitted"; exit 1; }
+    if ! cmp -s "$WORK/inc" "$WORK/reb"; then
+        echo "FAIL: incremental vs forced-rebuild outcomes diverged (faults='$FAULTS')"
+        diff "$WORK/inc" "$WORK/reb" || true
+        exit 1
+    fi
+    echo "incremental == rebuild (faults='${FAULTS:-none}'):"
+    cat "$WORK/inc"
+done
 
 echo "== service e2e smoke =="
 ./scripts/smoke_service.sh
