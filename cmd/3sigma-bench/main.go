@@ -18,11 +18,28 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"strings"
 	"time"
 
 	"threesigma/internal/experiments"
 	"threesigma/internal/faults"
 )
+
+// defaultLabel resolves the trajectory label to the current git short SHA so
+// committed BENCH entries identify the code that produced them; "dev" when
+// not in a git checkout.
+func defaultLabel() string {
+	sha, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "dev"
+	}
+	s := strings.TrimSpace(string(sha))
+	if s == "" {
+		return "dev"
+	}
+	return s
+}
 
 func main() {
 	scale := flag.String("scale", "medium", "experiment scale: small, medium or full")
@@ -35,9 +52,14 @@ func main() {
 	fig12Hours := flag.Float64("fig12-hours", 0.2, "measurement window for the Fig 12 scalability run")
 	faultSpec := flag.String("faults", "", "run the availability scenario (SLO attainment vs node MTBF sweep) with this fault spec: preset (light, heavy) or k=v list; mtbf is overridden per sweep point")
 	steady := flag.Bool("steady", false, "run the steady-state incremental-solve scenario (three arms: incremental, rebuild-warm, rebuild-cold)")
+	scalability := flag.Bool("scalability", false, "run the sharded-domain scalability scenario (three arms: monolithic, sharded-N, sharded-N single-worker)")
+	shards := flag.Int("shards", 0, "override the scheduling-domain count (0 = the scale's default; applies to every experiment and the -scalability scenario)")
 	out := flag.String("out", "", "append this run's structured results to a BENCH trajectory JSON file (upserted by -label)")
-	label := flag.String("label", "dev", "trajectory entry label used with -out (e.g. pr6)")
+	label := flag.String("label", "", "trajectory entry label used with -out (default: current git short SHA, else \"dev\")")
 	flag.Parse()
+	if *label == "" {
+		*label = defaultLabel()
+	}
 
 	var sc experiments.Scale
 	switch *scale {
@@ -52,7 +74,11 @@ func main() {
 		os.Exit(2)
 	}
 
-	if !*all && *fig == 0 && *table == 0 && *faultSpec == "" && !*steady {
+	if *shards > 0 {
+		sc.Shards = *shards
+	}
+
+	if !*all && *fig == 0 && *table == 0 && *faultSpec == "" && !*steady && !*scalability {
 		fmt.Println("3sigma-bench: regenerate the paper's evaluation")
 		fmt.Println("  -fig 1    SLO miss comparison (E2E, simulated cluster)")
 		fmt.Println("  -fig 2    trace analyses (runtime CDFs, CoV spectra, estimate errors)")
@@ -67,6 +93,7 @@ func main() {
 		fmt.Println("  -all      everything above")
 		fmt.Println("  -faults SPEC  availability scenario: SLO attainment vs node MTBF sweep")
 		fmt.Println("  -steady   steady-state incremental-solve scenario (DESIGN.md §12)")
+		fmt.Println("  -scalability  sharded scheduling-domain scenario (DESIGN.md §13)")
 		fmt.Println("  -json     machine-readable output (incl. solver counters)")
 		fmt.Println("  -out FILE append results to a committed BENCH trajectory file")
 		return
@@ -186,6 +213,16 @@ func main() {
 			return arms, experiments.FormatSteady(arms), err
 		})
 	}
+	if *scalability {
+		run("Scalability", func() (interface{}, string, error) {
+			ssc := experiments.ScalabilityScale()
+			if *shards > 0 {
+				ssc.Shards = *shards
+			}
+			arms, err := experiments.Scalability(ssc, *seed)
+			return arms, experiments.FormatScalability(arms), err
+		})
+	}
 	if *ablations {
 		run("Ablation: plan-ahead", func() (interface{}, string, error) {
 			pts, err := experiments.AblationPlanAhead(sc, *seed, nil)
@@ -206,6 +243,9 @@ func main() {
 		scenario := "bench_" + sc.Name
 		entryScale := sc.Name
 		switch {
+		case *scalability:
+			scenario = "scalability"
+			entryScale = experiments.ScalabilityScale().Name
 		case *steady:
 			scenario = "steady"
 			entryScale = experiments.SteadyScale().Name

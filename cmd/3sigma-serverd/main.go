@@ -31,6 +31,7 @@ import (
 	"threesigma/internal/faults"
 	"threesigma/internal/predictor"
 	"threesigma/internal/service"
+	"threesigma/internal/shard"
 	"threesigma/internal/simulator"
 )
 
@@ -47,6 +48,7 @@ func main() {
 	verbose := flag.Bool("verbose", false, "log every scheduling decision (starts, deferrals, preemptions, abandonments)")
 	chaos := flag.String("chaos", "", "chaos injection spec: preset (light, heavy) or k=v list, e.g. seed=7,mtbf=1800,mttr=300,crash=0.05 (virtual-time schedule; see internal/faults)")
 	drainGrace := flag.Duration("drain-grace", time.Second, "time between withdrawing readiness (/readyz 503) and closing the listener on SIGTERM")
+	shards := flag.Int("shards", 1, "number of scheduling domains; >1 runs per-shard MILP solves under the cross-shard coordinator (DESIGN.md §13)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "3sigma-serverd: ", log.LstdFlags)
@@ -80,9 +82,18 @@ func main() {
 		}
 		faultCfg = &fc
 	}
+	cluster := simulator.NewCluster(*nodes, *parts)
+	var schedImpl simulator.Scheduler = sched
+	if *shards > 1 {
+		coord, err := shard.NewCoordinator(sched, cluster, *shards)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		schedImpl = coord
+	}
 	svc, err = service.New(service.Config{
-		Cluster:         simulator.NewCluster(*nodes, *parts),
-		Scheduler:       sched,
+		Cluster:         cluster,
+		Scheduler:       schedImpl,
 		Predictor:       p,
 		CycleInterval:   *cycle,
 		TimeScale:       *timescale,

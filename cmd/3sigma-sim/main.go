@@ -38,6 +38,11 @@ func main() {
 	faultSpec := flag.String("faults", "", "fault injection spec: preset (light, heavy) or k=v list, e.g. seed=7,mtbf=1800,mttr=300,group=0.2:4,crash=0.05,straggler=0.1:2,retries=3")
 	digest := flag.Bool("digest", false, "print the run's outcome digest (hash of job fates; stable across identical runs, used by the CI determinism gate)")
 	forceRebuild := flag.Bool("forcerebuild", false, "disable the incremental model-patch path: recompile the MILP from scratch every cycle (outcome-identical by contract; used by the CI digest gate)")
+	shards := flag.Int("shards", 1, "number of scheduling domains; >1 runs per-shard MILP solves under the cross-shard coordinator (DESIGN.md §13)")
+	workers := flag.Int("workers", 0, "LP worker-pool size per solve (0 = GOMAXPROCS; outcome-identical at any value by contract)")
+	domains := flag.Int("domains", 0, "generate a domain-partitioned workload: SLO jobs prefer exactly one of this many contiguous partition domains (0 = paper's random-subset preferences)")
+	sloShare := flag.Float64("sloshare", 0, "fraction of offered load from SLO jobs (0 = default 0.5; 1 = all SLO)")
+	nonPref := flag.Float64("nonpref", 0, "runtime slowdown factor outside a job's preferred partitions (0 = default 1.5)")
 	flag.Parse()
 
 	var faultCfg *threesigma.FaultConfig
@@ -84,6 +89,9 @@ func main() {
 			Cluster:       threesigma.NewCluster(*nodes, *parts),
 			DurationHours: *hours,
 			Load:          *load,
+			SLOLoadShare:  *sloShare,
+			NonPrefFactor: *nonPref,
+			Domains:       *domains,
 			Seed:          *seed,
 		})
 	}
@@ -101,8 +109,9 @@ func main() {
 	for _, sys := range systems {
 		//lint:allow wallclock operator-facing elapsed display; the simulation itself runs on its own (virtual) clock
 		t0 := time.Now()
-		simCfg := threesigma.SimConfig{Seed: *seed, RealCluster: *rc, CycleInterval: *cycle, VirtualTime: *virtual, Faults: faultCfg}
+		simCfg := threesigma.SimConfig{Seed: *seed, RealCluster: *rc, CycleInterval: *cycle, VirtualTime: *virtual, Faults: faultCfg, Shards: *shards}
 		simCfg.Scheduler.ForceRebuild = *forceRebuild
+		simCfg.Scheduler.SolverWorkers = *workers
 		if *verbose {
 			simCfg.Scheduler.OnDecision = func(e threesigma.DecisionEvent) { fmt.Println(e) }
 		}
@@ -117,6 +126,9 @@ func main() {
 		}
 		if *digest {
 			fmt.Printf("outcome digest: %s %s\n", sys, res.Digest)
+			for i, d := range res.ShardDigests {
+				fmt.Printf("shard digest: %s %d/%d %s\n", sys, i, len(res.ShardDigests), d)
+			}
 		}
 		if res.Stats.Cycles > 0 {
 			fmt.Printf("%-14s %4d cycles, mean cycle %v, max solve %v, model <=%d vars / %d rows (%s)\n",

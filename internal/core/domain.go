@@ -1,0 +1,33 @@
+package core
+
+import (
+	"threesigma/internal/job"
+	"threesigma/internal/simulator"
+)
+
+// DomainScheduler is the per-domain scheduling surface extracted from
+// Scheduler: everything the cross-shard coordinator (internal/shard) needs
+// to drive one scheduling domain as an independent 3σSched instance — job
+// routing, the per-cycle MILP solve over the domain's sub-snapshot, removal
+// of jobs that left without completing, clock injection, and live stats.
+// *Scheduler is the canonical implementation; the interface exists so the
+// coordinator (and its tests) depend on the scheduling contract rather than
+// on the concrete scheduler.
+type DomainScheduler interface {
+	JobSubmitted(j *job.Job, now float64)
+	Cycle(st *simulator.State) simulator.Decision
+	JobCompleted(j *job.Job, baseRuntime, now float64)
+	JobRemoved(id job.ID)
+	SetClock(c simulator.Clock)
+	Stats() Stats
+	Config() Config
+}
+
+var _ DomainScheduler = (*Scheduler)(nil)
+
+// Estimator returns the scheduler's runtime estimator. The shard coordinator
+// uses it to construct per-domain scheduler instances sharing one predictor
+// (a single runtime-history database serves every domain, as one 3σPredict
+// deployment would) and to feed completions of cross-domain jobs that no
+// single domain owns.
+func (s *Scheduler) Estimator() Estimator { return s.est }

@@ -17,6 +17,7 @@ import (
 	"threesigma/internal/job"
 	"threesigma/internal/metrics"
 	"threesigma/internal/predictor"
+	"threesigma/internal/shard"
 	"threesigma/internal/simulator"
 	"threesigma/internal/workload"
 )
@@ -62,7 +63,14 @@ type Scale struct {
 	// (core.Config.SolveQuantum); 0 leaves quantization off. Only the
 	// steady-state scenario sets it.
 	SolveQuantum float64
-	TraceJobs    int // records per environment for the Fig. 2 analyses
+	// Shards > 1 partitions the cluster into that many scheduling domains
+	// driven by the internal/shard coordinator (DESIGN.md §13); 0 or 1 is
+	// the monolithic single-solve configuration.
+	Shards int
+	// SolverWorkers overrides the per-solve LP worker-pool size
+	// (core.Config.SolverWorkers); 0 uses GOMAXPROCS.
+	SolverWorkers int
+	TraceJobs     int // records per environment for the Fig. 2 analyses
 	// Repeats averages every experiment point over this many workload
 	// seeds (default 1). The figure drivers report the averages.
 	Repeats int
@@ -116,6 +124,29 @@ func (s Scale) coreConfig() core.Config {
 		SolverBudget:   s.SolverBudget,
 		SolverMaxNodes: 24,
 		SolveQuantum:   s.SolveQuantum,
+		SolverWorkers:  s.SolverWorkers,
+	}
+}
+
+// solverStatsFrom projects the scheduler-side counters into the report's
+// SolverStats shape (shared by the monolithic, per-shard, and steady paths).
+func solverStatsFrom(st core.Stats) metrics.SolverStats {
+	return metrics.SolverStats{
+		Nodes:       st.SolverNodes,
+		LPIters:     st.SolverLPIters,
+		Workers:     st.SolverWorkers,
+		SpecLPs:     st.SpecLPs,
+		SpecUsed:    st.SpecUsed,
+		CacheHits:   st.CacheHits,
+		CacheMisses: st.CacheMisses,
+
+		PatchedCycles:     st.PatchedCycles,
+		RebuildFallbacks:  st.RebuildFallbacks,
+		RowsPatched:       st.RowsPatched,
+		ColsPatched:       st.ColsPatched,
+		WarmBasisReuses:   st.WarmBasisReuses,
+		IncumbentSeedHits: st.IncumbentSeedHits,
+		ReusedSolves:      st.ReusedSolves,
 	}
 }
 
@@ -183,12 +214,21 @@ func Run(sys System, w *workload.Workload, sc Scale, opts RunOptions) (RunResult
 	default:
 		return RunResult{}, fmt.Errorf("experiments: unknown system %q", sys)
 	}
+	var coord *shard.Coordinator
 	if coreSched != nil {
 		if opts.Estimator != nil {
 			c := coreSched.Config()
 			coreSched = core.New(opts.Estimator, c)
 		}
 		schedImpl = coreSched
+		if sc.Shards > 1 {
+			var err error
+			coord, err = shard.NewCoordinator(coreSched, w.Cluster, sc.Shards)
+			if err != nil {
+				return RunResult{}, err
+			}
+			schedImpl = coord
+		}
 	}
 
 	simOpts := simulator.Options{
@@ -208,25 +248,16 @@ func Run(sys System, w *workload.Workload, sc Scale, opts RunOptions) (RunResult
 	}
 	res := sim.Run()
 	rr := RunResult{Report: metrics.FromResult(string(sys), res, w.Cluster)}
-	if coreSched != nil {
-		rr.Sched = coreSched.Stats()
-		rr.Report.Solver = metrics.SolverStats{
-			Nodes:       rr.Sched.SolverNodes,
-			LPIters:     rr.Sched.SolverLPIters,
-			Workers:     rr.Sched.SolverWorkers,
-			SpecLPs:     rr.Sched.SpecLPs,
-			SpecUsed:    rr.Sched.SpecUsed,
-			CacheHits:   rr.Sched.CacheHits,
-			CacheMisses: rr.Sched.CacheMisses,
-
-			PatchedCycles:     rr.Sched.PatchedCycles,
-			RebuildFallbacks:  rr.Sched.RebuildFallbacks,
-			RowsPatched:       rr.Sched.RowsPatched,
-			ColsPatched:       rr.Sched.ColsPatched,
-			WarmBasisReuses:   rr.Sched.WarmBasisReuses,
-			IncumbentSeedHits: rr.Sched.IncumbentSeedHits,
-			ReusedSolves:      rr.Sched.ReusedSolves,
+	switch {
+	case coord != nil:
+		rr.Sched = coord.Stats()
+		rr.Report.Solver = solverStatsFrom(rr.Sched)
+		for _, st := range coord.ShardStats() {
+			rr.Report.ShardSolver = append(rr.Report.ShardSolver, solverStatsFrom(st))
 		}
+	case coreSched != nil:
+		rr.Sched = coreSched.Stats()
+		rr.Report.Solver = solverStatsFrom(rr.Sched)
 	}
 	return rr, nil
 }

@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"threesigma/internal/baselines"
+	"threesigma/internal/metrics"
+	"threesigma/internal/predictor"
+	"threesigma/internal/shard"
+	"threesigma/internal/simulator"
+	"threesigma/internal/workload"
+)
+
+// The SCALABILITY scenario measures sharded scheduling domains (DESIGN.md
+// §13) where they are designed to win: a cluster 10–100× the paper's 256
+// nodes, where one monolithic buildModel+Solve per cycle pays for every
+// partition's capacity rows while eight per-domain solves run concurrently
+// over an eighth of the rows each. The workload is domain-partitioned (SLO
+// jobs prefer exactly one domain's partitions, best-effort jobs are flexible
+// and exercise the coordinator's rebalancing/stealing), and three arms run
+// on the identical workload:
+//
+//	monolithic    -shards 1: one cluster-wide MILP per cycle (the baseline
+//	              the ≥2× acceptance target is measured against)
+//	sharded-N     N scheduling domains, default solver workers
+//	sharded-N-w1  N domains, single-threaded solver. Outcome digests —
+//	              combined and per shard — MUST equal the sharded-N arm bit
+//	              for bit (determinism at any worker count); Scalability
+//	              returns an error if they diverge.
+//
+// Latencies are wall-clock, so the scenario must run on an otherwise idle
+// machine (same caveat as Fig. 12 and the steady-state scenario).
+
+// ScalabilityScale returns the default scenario scale: 10× the paper's
+// cluster, 64 machine-type partitions, 8 scheduling domains of 8 partitions
+// each, with a pending queue deep enough (sustained 1.6× overload, MaxPending
+// 256) that every cycle carries a full-size MILP. The generous solver budget
+// keeps SolverMaxNodes (not wall-clock expiry) as the binding solve limit, so
+// runs stay deterministic while latencies are still honestly measured.
+func ScalabilityScale() Scale {
+	return Scale{
+		Name: "scalability", Nodes: 2560, Partitions: 64, DurationHours: 0.25,
+		CycleInterval: 10, Slots: 6, SlotDur: 300, MaxPending: 256,
+		SolverBudget: 2 * time.Second, DrainWindow: 1200,
+		Shards: 8, TraceJobs: 10000,
+	}
+}
+
+// ScalabilityArm is one arm's measurement.
+type ScalabilityArm struct {
+	Arm         string  `json:"arm"`
+	Shards      int     `json:"shards"`
+	Workers     int     `json:"workers"` // 0 = GOMAXPROCS
+	Cycles      int     `json:"cycles"`
+	MeanCycleMS float64 `json:"mean_cycle_ms"`
+	P50CycleMS  float64 `json:"p50_cycle_ms"`
+	P95CycleMS  float64 `json:"p95_cycle_ms"`
+	P99CycleMS  float64 `json:"p99_cycle_ms"`
+	MeanSolveMS float64 `json:"mean_solve_ms"`
+
+	Solver metrics.SolverStats `json:"solver"`
+	// ShardSolver carries the per-shard counters (empty on the monolithic
+	// arm); Coord the coordinator's cross-shard activity.
+	ShardSolver []metrics.SolverStats  `json:"shard_solver,omitempty"`
+	Coord       shard.CoordinatorStats `json:"coordinator,omitempty"`
+
+	Digest       string   `json:"digest"`
+	ShardDigests []string `json:"shard_digests,omitempty"`
+
+	// SpeedupVsMono is the monolithic arm's mean cycle latency over this
+	// arm's (the committed acceptance number on the sharded arm).
+	SpeedupVsMono float64 `json:"speedup_vs_mono,omitempty"`
+}
+
+// Scalability runs the scenario's three arms on one generated workload and
+// enforces the worker-count digest invariant on the sharded arms.
+func Scalability(sc Scale, seed int64) ([]ScalabilityArm, error) {
+	shards := sc.Shards
+	if shards < 1 {
+		shards = 8
+	}
+	// Domain-partitioned workload: every SLO job prefers exactly one
+	// domain's partitions, best-effort jobs are flexible. Poisson arrivals
+	// at a pinned rate (runtimes scaled to the load target) keep per-cycle
+	// event counts — and with them the quiet-domain fraction — stable as
+	// the cluster grows.
+	w := workload.Generate(workload.Config{
+		Cluster:       sc.Cluster(),
+		DurationHours: sc.DurationHours,
+		Load:          1.6,
+		JobsPerHour:   3600,
+		ArrivalSCV:    1,
+		Domains:       shards,
+		Seed:          seed,
+	})
+	arms := []struct {
+		name    string
+		shards  int
+		workers int
+	}{
+		{"monolithic", 1, 0},
+		{fmt.Sprintf("sharded-%d", shards), shards, 0},
+		{fmt.Sprintf("sharded-%d-workers-1", shards), shards, 1},
+	}
+	out := make([]ScalabilityArm, 0, len(arms))
+	for _, a := range arms {
+		pred := predictor.New(predictor.Config{})
+		for _, r := range w.Train {
+			pred.Observe(r.Job(), r.Runtime)
+		}
+		cfg := sc.coreConfig()
+		cfg.SolverWorkers = a.workers
+		sched := baselines.ThreeSigma(pred, cfg)
+		var impl simulator.Scheduler = sched
+		var coord *shard.Coordinator
+		if a.shards > 1 {
+			var err error
+			coord, err = shard.NewCoordinator(sched, w.Cluster, a.shards)
+			if err != nil {
+				return nil, err
+			}
+			impl = coord
+		}
+		sim, err := simulator.New(impl, w.Jobs, simulator.Options{
+			Cluster:       w.Cluster,
+			CycleInterval: sc.CycleInterval,
+			DrainWindow:   sc.DrainWindow,
+			Seed:          seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res := sim.Run()
+		arm := ScalabilityArm{
+			Arm:     a.name,
+			Shards:  a.shards,
+			Workers: a.workers,
+			Digest:  metrics.OutcomeDigest(res),
+		}
+		if coord != nil {
+			st := coord.Stats()
+			arm.Cycles = st.Cycles
+			arm.Solver = solverStatsFrom(st)
+			for _, sst := range coord.ShardStats() {
+				arm.ShardSolver = append(arm.ShardSolver, solverStatsFrom(sst))
+			}
+			arm.Coord = coord.CoordStats()
+			arm.ShardDigests = metrics.ShardOutcomeDigests(res, a.shards, coord.DigestShard)
+		} else {
+			st := sched.Stats()
+			arm.Cycles = st.Cycles
+			arm.Solver = solverStatsFrom(st)
+		}
+		arm.MeanCycleMS, arm.P50CycleMS, arm.P95CycleMS, arm.P99CycleMS = latencyStats(res.CycleLatencies)
+		arm.MeanSolveMS, _, _, _ = latencyStats(res.SolverLatency)
+		out = append(out, arm)
+	}
+	// Determinism contract: the sharded schedule is a function of the model,
+	// never of the LP worker pool, so the single-threaded arm must reproduce
+	// the default arm bit for bit — combined digest and every shard digest.
+	if out[1].Digest != out[2].Digest {
+		return nil, fmt.Errorf("scalability: %s digest %s != %s digest %s (worker count changed outcomes)",
+			out[1].Arm, out[1].Digest, out[2].Arm, out[2].Digest)
+	}
+	for i := range out[1].ShardDigests {
+		if out[1].ShardDigests[i] != out[2].ShardDigests[i] {
+			return nil, fmt.Errorf("scalability: shard %d digest diverged across worker counts", i)
+		}
+	}
+	mono := out[0].MeanCycleMS
+	for i := range out {
+		if out[i].MeanCycleMS > 0 {
+			out[i].SpeedupVsMono = mono / out[i].MeanCycleMS
+		}
+	}
+	return out, nil
+}
+
+// FormatScalability renders the arms as a table.
+func FormatScalability(arms []ScalabilityArm) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %7s %9s %9s %9s %9s %9s %8s\n",
+		"arm", "cycles", "mean ms", "p50 ms", "p95 ms", "p99 ms", "solve ms", "speedup")
+	for _, a := range arms {
+		fmt.Fprintf(&b, "%-22s %7d %9.3f %9.3f %9.3f %9.3f %9.3f %7.2fx\n",
+			a.Arm, a.Cycles, a.MeanCycleMS, a.P50CycleMS, a.P95CycleMS, a.P99CycleMS, a.MeanSolveMS, a.SpeedupVsMono)
+	}
+	for _, a := range arms {
+		fmt.Fprintf(&b, "%-22s %s digest=%s\n", a.Arm, a.Solver, a.Digest[:16])
+		if a.Coord != (shard.CoordinatorStats{}) {
+			fmt.Fprintf(&b, "%-22s span-starts=%d span-abandons=%d rebalanced=%d stolen=%d\n",
+				a.Arm, a.Coord.SpanStarts, a.Coord.SpanAbandons, a.Coord.Rebalanced, a.Coord.Stolen)
+		}
+	}
+	return b.String()
+}

@@ -109,23 +109,7 @@ func Steady(sc Scale, seed int64) ([]SteadyArm, error) {
 		arm := SteadyArm{
 			Arm:    a.name,
 			Cycles: st.Cycles,
-			Solver: metrics.SolverStats{
-				Nodes:       st.SolverNodes,
-				LPIters:     st.SolverLPIters,
-				Workers:     st.SolverWorkers,
-				SpecLPs:     st.SpecLPs,
-				SpecUsed:    st.SpecUsed,
-				CacheHits:   st.CacheHits,
-				CacheMisses: st.CacheMisses,
-
-				PatchedCycles:     st.PatchedCycles,
-				RebuildFallbacks:  st.RebuildFallbacks,
-				RowsPatched:       st.RowsPatched,
-				ColsPatched:       st.ColsPatched,
-				WarmBasisReuses:   st.WarmBasisReuses,
-				IncumbentSeedHits: st.IncumbentSeedHits,
-				ReusedSolves:      st.ReusedSolves,
-			},
+			Solver: solverStatsFrom(st),
 			Digest: metrics.OutcomeDigest(res),
 		}
 		arm.MeanCycleMS, arm.P50CycleMS, arm.P95CycleMS, arm.P99CycleMS = latencyStats(res.CycleLatencies)

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func readTrajectory(t *testing.T, path string) Trajectory {
+	t.Helper()
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr Trajectory
+	if err := json.Unmarshal(buf, &tr); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestAppendTrajectoryUpsert(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+
+	// Fresh file.
+	err := AppendTrajectory(path, "steady", TrajectoryEntry{
+		Label: "pr1", Scale: "steady", Seed: 1,
+		Experiments: map[string]interface{}{"Steady": []string{"a"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := readTrajectory(t, path)
+	if tr.Scenario != "steady" || len(tr.Entries) != 1 || tr.Entries[0].Label != "pr1" {
+		t.Fatalf("after first append: %+v", tr)
+	}
+
+	// New label appends.
+	if err := AppendTrajectory(path, "steady", TrajectoryEntry{Label: "pr2", Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Existing label replaces in place, preserving entry order.
+	if err := AppendTrajectory(path, "steady", TrajectoryEntry{Label: "pr1", Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+	tr = readTrajectory(t, path)
+	if len(tr.Entries) != 2 {
+		t.Fatalf("want 2 entries, got %d", len(tr.Entries))
+	}
+	if tr.Entries[0].Label != "pr1" || tr.Entries[0].Seed != 9 {
+		t.Errorf("upsert did not replace in place: %+v", tr.Entries[0])
+	}
+	if tr.Entries[1].Label != "pr2" {
+		t.Errorf("append order broken: %+v", tr.Entries)
+	}
+}
+
+func TestAppendTrajectoryStableOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	e := TrajectoryEntry{Label: "dev", Scale: "s", Seed: 3,
+		Experiments: map[string]interface{}{"A": 1.0, "B": "x"}}
+	if err := AppendTrajectory(path, "sc", e); err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent regeneration: same entry → byte-identical file (no diff
+	// noise in the committed BENCH files).
+	if err := AppendTrajectory(path, "sc", e); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Error("re-appending an identical entry changed the file bytes")
+	}
+	if !strings.HasSuffix(string(first), "\n") {
+		t.Error("trajectory file should end with a newline")
+	}
+}
+
+func TestAppendTrajectoryMalformed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := AppendTrajectory(path, "sc", TrajectoryEntry{Label: "dev"})
+	if err == nil {
+		t.Fatal("malformed trajectory file accepted; want error")
+	}
+	// The malformed file must be left untouched for inspection.
+	buf, _ := os.ReadFile(path)
+	if string(buf) != "{not json" {
+		t.Errorf("malformed file was rewritten to %q", buf)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"hash"
 	"math"
 	"sort"
 	"strconv"
@@ -58,6 +59,12 @@ type Report struct {
 	// Solver aggregates the MILP solver's work counters over the run
 	// (zero for schedulers without a MILP, e.g. Prio).
 	Solver SolverStats
+
+	// ShardSolver carries the per-shard solver counters when the run used
+	// sharded scheduling domains (DESIGN.md §13), indexed by shard; empty
+	// for monolithic runs. Average ignores it (per-shard counters are not
+	// meaningful to average across repeats with different shard activity).
+	ShardSolver []SolverStats `json:"shard_solver,omitempty"`
 
 	// Fault panel (all zero without fault injection): failure-induced
 	// evictions are counted separately from scheduler preemptions, and
@@ -302,6 +309,51 @@ func OutcomeDigest(res *simulator.Result) string {
 	fmt.Fprintf(h, "end=%s cycles=%d skipped=%d down=%s\n",
 		f(res.EndTime), res.Cycles, res.SkippedStarts, f(res.NodeDownSeconds))
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ShardOutcomeDigests hashes a run's outcome split across n digest shards:
+// shardOf attributes every job to a shard in [0, n) (the coordinator's
+// DigestShard — a pure function of the job, so attribution is identical on
+// every run), and each shard's digest covers exactly its jobs' fate lines in
+// the combined digest's format plus a per-shard trailer. The combined
+// OutcomeDigest is unchanged by sharding; these compose with it so a
+// cross-shard divergence can be localized to the domain that drifted.
+func ShardOutcomeDigests(res *simulator.Result, n int, shardOf func(*job.Job) int) []string {
+	hs := make([]hashState, n)
+	f := func(x float64) string { return strconv.FormatFloat(x, 'x', -1, 64) }
+	b := func(v bool) string {
+		if v {
+			return "1"
+		}
+		return "0"
+	}
+	for _, o := range res.Outcomes {
+		sh := shardOf(o.Job)
+		if sh < 0 || sh >= n {
+			sh = 0
+		}
+		fmt.Fprintf(hs[sh].w(), "%d|%s%s%s%s|%s|%s|%s|%s|%d|%s|%d|%s\n",
+			o.Job.ID, b(o.Started), b(o.Completed), b(o.Cancelled), b(o.Failed),
+			f(o.FirstStart), f(o.CompletionTime), f(o.ActualRuntime),
+			b(o.OnPreferred), o.Preemptions, f(o.WastedWork),
+			o.Evictions, f(o.LostToFailures))
+	}
+	out := make([]string, n)
+	for i := range hs {
+		fmt.Fprintf(hs[i].w(), "shard=%d/%d end=%s\n", i, n, f(res.EndTime))
+		out[i] = hex.EncodeToString(hs[i].w().Sum(nil))
+	}
+	return out
+}
+
+// hashState lazily allocates one sha256 state per digest shard.
+type hashState struct{ h hash.Hash }
+
+func (s *hashState) w() hash.Hash {
+	if s.h == nil {
+		s.h = sha256.New()
+	}
+	return s.h
 }
 
 // Table renders reports with a header, one row per system (the shape of the

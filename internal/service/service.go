@@ -105,6 +105,10 @@ func (c *Config) fill() error {
 // statser is implemented by core.Scheduler; greedy baselines are exempt.
 type statser interface{ Stats() core.Stats }
 
+// shardStatser is implemented by the shard coordinator: per-domain scheduler
+// counters alongside the combined Stats view (DESIGN.md §13).
+type shardStatser interface{ ShardStats() []core.Stats }
+
 // remover is implemented by schedulers that keep per-job state which must
 // be dropped when a job is cancelled (core.Scheduler.JobRemoved).
 type remover interface{ JobRemoved(id job.ID) }
@@ -769,6 +773,24 @@ type Metrics struct {
 	WarmBasisReuses   int `json:"warm_basis_reuses"`
 	IncumbentSeedHits int `json:"incumbent_seed_hits"`
 	ReusedSolves      int `json:"reused_solves"`
+
+	// Shards carries each scheduling domain's counters when the scheduler
+	// is the cross-shard coordinator (DESIGN.md §13); the scalar scheduler
+	// counters above then hold the combined view.
+	Shards []ShardMetrics `json:"shards,omitempty"`
+}
+
+// ShardMetrics is one scheduling domain's solver counters.
+type ShardMetrics struct {
+	Cycles        int `json:"cycles"`
+	SolverNodes   int `json:"solver_nodes"`
+	SolverLPIters int `json:"solver_lp_iters"`
+	Starts        int `json:"starts"`
+	Preemptions   int `json:"preemptions"`
+	MaxVars       int `json:"max_vars"`
+	MaxRows       int `json:"max_rows"`
+	PatchedCycles int `json:"patched_cycles"`
+	ReusedSolves  int `json:"reused_solves"`
 }
 
 // Metrics returns the current observability snapshot. Scheduler counters
@@ -779,6 +801,10 @@ func (s *Service) Metrics() Metrics {
 	var cs core.Stats
 	if ss, ok := s.cfg.Scheduler.(statser); ok {
 		cs = ss.Stats()
+	}
+	var shardStats []core.Stats
+	if ss, ok := s.cfg.Scheduler.(shardStatser); ok {
+		shardStats = ss.ShardStats()
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -815,6 +841,19 @@ func (s *Service) Metrics() Metrics {
 		WarmBasisReuses:   cs.WarmBasisReuses,
 		IncumbentSeedHits: cs.IncumbentSeedHits,
 		ReusedSolves:      cs.ReusedSolves,
+	}
+	for _, st := range shardStats {
+		m.Shards = append(m.Shards, ShardMetrics{
+			Cycles:        st.Cycles,
+			SolverNodes:   st.SolverNodes,
+			SolverLPIters: st.SolverLPIters,
+			Starts:        st.Starts,
+			Preemptions:   st.Preemptions,
+			MaxVars:       st.MaxVars,
+			MaxRows:       st.MaxRows,
+			PatchedCycles: st.PatchedCycles,
+			ReusedSolves:  st.ReusedSolves,
+		})
 	}
 	if cs.Cycles > 0 {
 		m.MeanCycleMS = float64(cs.CycleTime.Milliseconds()) / float64(cs.Cycles)

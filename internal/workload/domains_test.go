@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"testing"
+
+	"threesigma/internal/job"
+	"threesigma/internal/simulator"
+)
+
+// Domain-partitioned workloads must align every SLO preference set with
+// exactly one scheduling domain and cap gangs to fit the smallest domain —
+// the invariants the shard coordinator's digest-equality gate relies on.
+func TestGenerateDomains(t *testing.T) {
+	cluster := simulator.NewCluster(64, 8)
+	w := Generate(Config{
+		Cluster:       cluster,
+		DurationHours: 0.25,
+		Load:          1.0,
+		SLOLoadShare:  1, // all SLO (guard must not reset it to 0.5)
+		Domains:       4,
+		Seed:          2,
+	})
+	if len(w.Jobs) == 0 {
+		t.Fatal("empty workload")
+	}
+	doms := simulator.PartitionDomains(8, 4)
+	minDomNodes := 1 << 30
+	for _, d := range doms {
+		n := 0
+		for p := d.Lo; p < d.Hi; p++ {
+			n += cluster.Partitions[p]
+		}
+		if n < minDomNodes {
+			minDomNodes = n
+		}
+	}
+	for _, j := range w.Jobs {
+		if j.Class != job.SLO {
+			t.Fatalf("job %d: SLOLoadShare=1 produced a %v job", j.ID, j.Class)
+		}
+		if j.Tasks > minDomNodes {
+			t.Errorf("job %d: %d tasks exceed smallest domain (%d nodes)", j.ID, j.Tasks, minDomNodes)
+		}
+		if len(j.Preferred) == 0 {
+			t.Fatalf("job %d: SLO job without preferences in domain mode", j.ID)
+		}
+		matched := false
+		for _, d := range doms {
+			if j.Preferred[0] == d.Lo && len(j.Preferred) == d.NumParts() {
+				ok := true
+				for i, p := range j.Preferred {
+					if p != d.Lo+i {
+						ok = false
+						break
+					}
+				}
+				matched = ok
+				if matched {
+					break
+				}
+			}
+		}
+		if !matched {
+			t.Errorf("job %d: preferred set %v is not exactly one domain of %v", j.ID, j.Preferred, doms)
+		}
+	}
+}
+
+// Domains=0 must leave the legacy generator untouched: same seed, same jobs,
+// bit for bit (the CI digest gates depend on it).
+func TestGenerateDomainsOffUnchanged(t *testing.T) {
+	a := Generate(Config{DurationHours: 0.1, Seed: 7})
+	b := Generate(Config{DurationHours: 0.1, Seed: 7, Domains: 0})
+	if len(a.Jobs) != len(b.Jobs) {
+		t.Fatalf("job counts differ: %d vs %d", len(a.Jobs), len(b.Jobs))
+	}
+	for i := range a.Jobs {
+		ja, jb := a.Jobs[i], b.Jobs[i]
+		if ja.ID != jb.ID || ja.Tasks != jb.Tasks || ja.Runtime != jb.Runtime ||
+			ja.Submit != jb.Submit || ja.Class != jb.Class || ja.Deadline != jb.Deadline ||
+			len(ja.Preferred) != len(jb.Preferred) {
+			t.Fatalf("job %d differs: %+v vs %+v", i, ja, jb)
+		}
+	}
+}

@@ -45,6 +45,15 @@ type Config struct {
 	// meet Load instead (the Fig. 12 SCALABILITY-n workloads).
 	JobsPerHour float64
 
+	// Domains, when > 0, splits the partition list into that many contiguous
+	// scheduling domains (the same split as simulator.PartitionDomains) and
+	// gives every SLO job exactly one whole domain as its preferred set,
+	// with all gangs capped to fit the smallest domain. Such
+	// equivalence-partitioned workloads are what the sharded-coordinator
+	// digest gates run on (DESIGN.md §13). 0 keeps the §5 random-subset
+	// preference model — and the exact RNG draw sequence of earlier builds.
+	Domains int
+
 	Seed int64
 }
 
@@ -61,7 +70,7 @@ func (c *Config) fill() {
 	if c.Load <= 0 {
 		c.Load = 1.4
 	}
-	if c.SLOLoadShare <= 0 || c.SLOLoadShare >= 1 {
+	if c.SLOLoadShare <= 0 || c.SLOLoadShare > 1 {
 		c.SLOLoadShare = 0.5
 	}
 	if len(c.SlackChoices) == 0 {
@@ -164,6 +173,23 @@ func Generate(cfg Config) *Workload {
 	if prefCount > nParts {
 		prefCount = nParts
 	}
+	var doms []simulator.Domain
+	if cfg.Domains > 0 {
+		doms = simulator.PartitionDomains(nParts, cfg.Domains)
+		minDom := nodes
+		for _, d := range doms {
+			dn := 0
+			for p := d.Lo; p < d.Hi; p++ {
+				dn += cfg.Cluster.Partitions[p]
+			}
+			if dn < minDom {
+				minDom = dn
+			}
+		}
+		if minDom < maxGang {
+			maxGang = minDom
+		}
+	}
 	maxJobs := 2000000
 	fixedCount := 0
 	if cfg.JobsPerHour > 0 {
@@ -188,12 +214,24 @@ func Generate(cfg Config) *Workload {
 			j.Class = job.SLO
 			sloWork += work
 			j.NonPrefFactor = cfg.NonPrefFactor
-			// Preferred resources: a random subset of partitions.
-			perm := rng.Perm(nParts)
-			pref := append([]int(nil), perm[:prefCount]...)
-			sort.Ints(pref)
-			if prefCount < nParts {
-				j.Preferred = pref
+			if len(doms) > 0 {
+				// Domain-partitioned mode: prefer one whole domain.
+				d := doms[rng.Intn(len(doms))]
+				pref := make([]int, 0, d.Hi-d.Lo)
+				for p := d.Lo; p < d.Hi; p++ {
+					pref = append(pref, p)
+				}
+				if len(pref) < nParts {
+					j.Preferred = pref
+				}
+			} else {
+				// Preferred resources: a random subset of partitions.
+				perm := rng.Perm(nParts)
+				pref := append([]int(nil), perm[:prefCount]...)
+				sort.Ints(pref)
+				if prefCount < nParts {
+					j.Preferred = pref
+				}
 			}
 		} else {
 			j.Class = job.BestEffort

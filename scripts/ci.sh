@@ -6,7 +6,9 @@
 # fault-injection determinism gate (two identical seeded chaos runs must
 # produce bit-identical outcome digests), an incremental re-solve digest
 # gate (patched and force-rebuilt runs must agree bitwise, with and without
-# fault injection), and an end-to-end smoke of the
+# fault injection), a sharded-domain digest gate (-shards 1 vs -shards 8 vs
+# single-worker solves must agree bitwise on an equivalence-partitioned
+# workload), and an end-to-end smoke of the
 # online service (serverd + loadgen, including a SIGTERM warm restart and
 # a /readyz drain check). Run from anywhere; operates on the repo root.
 set -eu
@@ -82,6 +84,33 @@ for FAULTS in "" "-faults light"; do
     echo "incremental == rebuild (faults='${FAULTS:-none}'):"
     cat "$WORK/inc"
 done
+
+echo "== sharded-domain digest gate =="
+# Sharded scheduling domains (DESIGN.md §13) are contractually
+# outcome-neutral on an equivalence-partitioned workload (every SLO job
+# prefers exactly one domain, prohibitive slowdown elsewhere): the combined
+# outcome digest must be bitwise-identical across -shards 1 / -shards 8 and
+# across solver worker counts. go test -race ./internal/shard is covered by
+# the suite-wide race run above; the cross-process digest comparison here is
+# what pins the merge order.
+SHARD_ARGS="-env google -nodes 256 -partitions 32 -hours 0.1 -load 0.35 -seed 5 \
+    -virtualtime -domains 8 -sloshare 1 -nonpref 1000 -digest"
+"$WORK/3sigma-sim" $SHARD_ARGS -shards 1 | grep '^outcome digest:' >"$WORK/sh1"
+"$WORK/3sigma-sim" $SHARD_ARGS -shards 8 | grep '^outcome digest:' >"$WORK/sh8"
+"$WORK/3sigma-sim" $SHARD_ARGS -shards 8 -workers 1 | grep '^outcome digest:' >"$WORK/sh8w1"
+[ -s "$WORK/sh1" ] || { echo "FAIL: no digest line emitted"; exit 1; }
+if ! cmp -s "$WORK/sh1" "$WORK/sh8"; then
+    echo "FAIL: -shards 1 vs -shards 8 outcomes diverged"
+    diff "$WORK/sh1" "$WORK/sh8" || true
+    exit 1
+fi
+if ! cmp -s "$WORK/sh8" "$WORK/sh8w1"; then
+    echo "FAIL: -shards 8 outcomes changed with solver worker count"
+    diff "$WORK/sh8" "$WORK/sh8w1" || true
+    exit 1
+fi
+echo "sharded == monolithic, worker-count invariant:"
+cat "$WORK/sh1"
 
 echo "== service e2e smoke =="
 ./scripts/smoke_service.sh

@@ -31,6 +31,7 @@ import (
 	"threesigma/internal/job"
 	"threesigma/internal/metrics"
 	"threesigma/internal/predictor"
+	"threesigma/internal/shard"
 	"threesigma/internal/simulator"
 	"threesigma/internal/trace"
 	"threesigma/internal/workload"
@@ -212,7 +213,13 @@ type SimConfig struct {
 	VirtualTime bool
 	// Scheduler overrides the system's default scheduler configuration.
 	Scheduler SchedulerConfig
-	Seed      int64
+	// Shards > 1 partitions the cluster into that many scheduling domains,
+	// each running its own 3σSched cycle concurrently under the cross-shard
+	// coordinator (DESIGN.md §13). 0 or 1 runs the monolithic single-solve
+	// scheduler — bitwise identical to builds without the shard subsystem.
+	// Only the core-scheduler systems support sharding (not Prio).
+	Shards int
+	Seed   int64
 	// Faults, when non-nil, injects a deterministic failure schedule (node
 	// crash/recover, job crash-with-retry, stragglers) into the run. Nil
 	// leaves every output bit-identical to a fault-free build.
@@ -229,6 +236,13 @@ type SimResult struct {
 	// yields identical digests, which is what the CI determinism gate for
 	// fault injection compares.
 	Digest string
+	// ShardStats carries each scheduling domain's scheduler counters when
+	// the run was sharded (nil otherwise); Stats then holds the combined
+	// cross-shard view.
+	ShardStats []SchedulerStats
+	// ShardDigests are the per-domain outcome digests of a sharded run,
+	// indexed by shard (nil when unsharded).
+	ShardDigests []string
 }
 
 // Simulate runs the workload under the named system on the workload's
@@ -255,6 +269,18 @@ func Simulate(sys System, w *Workload, cfg SimConfig) (*SimResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	var coord *shard.Coordinator
+	if cfg.Shards > 1 {
+		cs, ok := sched.(*core.Scheduler)
+		if !ok {
+			return nil, fmt.Errorf("threesigma: system %s does not support sharding", sys)
+		}
+		coord, err = shard.NewCoordinator(cs, w.Cluster, cfg.Shards)
+		if err != nil {
+			return nil, err
+		}
+		sched = coord
+	}
 	opts := simulator.Options{
 		Cluster:       w.Cluster,
 		CycleInterval: cfg.CycleInterval,
@@ -277,7 +303,11 @@ func Simulate(sys System, w *Workload, cfg SimConfig) (*SimResult, error) {
 		Outcomes: res.Outcomes,
 		Digest:   metrics.OutcomeDigest(res),
 	}
-	if cs, ok := sched.(*core.Scheduler); ok {
+	if coord != nil {
+		out.Stats = coord.Stats()
+		out.ShardStats = coord.ShardStats()
+		out.ShardDigests = metrics.ShardOutcomeDigests(res, coord.NumShards(), coord.DigestShard)
+	} else if cs, ok := sched.(*core.Scheduler); ok {
 		out.Stats = cs.Stats()
 	}
 	return out, nil
