@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint check fuzz verify bench bench-fig1 serverd loadgen smoke faults
+.PHONY: build test race vet lint check fuzz verify bench bench-fig1 serverd loadgen smoke cluster-smoke faults
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,13 @@ loadgen:
 # smoke runs the end-to-end service check (replay + warm restart).
 smoke:
 	./scripts/smoke_service.sh
+
+# cluster-smoke runs the distributed control plane failover gate: a
+# 3-replica serverd group with 4 agentd node groups, leader kill -9ed
+# mid-run, and the survivors' outcome digest compared byte-for-byte against
+# an uninterrupted single-replica run (DESIGN.md §14).
+cluster-smoke:
+	./scripts/cluster_smoke.sh
 
 # faults runs a pinned-seed fault-injection scenario: node churn, job
 # crashes, and stragglers on the google workload, printing the fault panel

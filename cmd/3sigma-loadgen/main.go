@@ -6,7 +6,7 @@
 //	3sigma-loadgen -addr http://localhost:8334 [-env google] [-nodes 64]
 //	               [-partitions 4] [-hours 0.125] [-load 1.0]
 //	               [-jobs-per-hour 400] [-speedup 1] [-seed 1]
-//	               [-timeout 120s] [-wait 0]
+//	               [-timeout 120s] [-wait 0] [-clients 1] [-burst]
 //
 // Jobs are submitted at their workload arrival times compressed by
 // -speedup (which must match the daemon's -timescale for deadlines to be
@@ -15,6 +15,16 @@
 // distinct seeds does not hammer the daemon in lockstep. The generator
 // exits 0 only when every submitted job reaches a terminal phase before
 // -timeout.
+//
+// -addr accepts a comma-separated replica group (DESIGN.md §14). A 307
+// from a follower redirects to the leader and retargets the whole run; a
+// connection failure or 503 rotates to the next replica, so the generator
+// rides out a leader kill -9 without dropping jobs. -clients N submits
+// with N concurrent workers and reports aggregate achieved RPS alongside
+// the admission-latency percentiles. -burst stamps each job's logical
+// submit_at time and submits the whole workload as fast as the daemon
+// accepts it (deterministic-cycle daemons only): admission cycles then
+// depend only on the stamps, never on wall arrival jitter.
 //
 // Three side modes for scripting (each prints one line and exits):
 //
@@ -30,10 +40,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"threesigma/internal/job"
@@ -60,6 +72,64 @@ type jobRequest struct {
 	DeadlineIn    float64 `json:"deadline_in,omitempty"`
 	NonPrefFactor float64 `json:"nonpref_factor,omitempty"`
 	Preferred     []int   `json:"preferred,omitempty"`
+	SubmitAt      float64 `json:"submit_at,omitempty"`
+}
+
+// targets tracks the replica group and which member the generator
+// currently believes is the leader. All mutating requests go to base();
+// a 307 Location retargets the group, and rotate() moves on after a
+// connection failure or 503 so a leader kill mid-run only costs retries.
+type targets struct {
+	mu    sync.Mutex
+	addrs []string
+	cur   int
+}
+
+func newTargets(spec string) *targets {
+	var addrs []string
+	for _, a := range strings.Split(spec, ",") {
+		if a = strings.TrimSuffix(strings.TrimSpace(a), "/"); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		fatalf("-addr is empty")
+	}
+	return &targets{addrs: addrs}
+}
+
+func (t *targets) base() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.addrs[t.cur]
+}
+
+// redirect retargets the group at the leader named in a 307 Location
+// header (a full URL: the leader's base plus the original request path).
+func (t *targets) redirect(loc string) {
+	u, err := url.Parse(loc)
+	if err != nil || u.Host == "" {
+		t.rotate()
+		return
+	}
+	base := u.Scheme + "://" + u.Host
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, a := range t.addrs {
+		if a == base {
+			t.cur = i
+			return
+		}
+	}
+	t.addrs = append(t.addrs, base)
+	t.cur = len(t.addrs) - 1
+}
+
+// rotate moves to the next replica round-robin.
+func (t *targets) rotate() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cur = (t.cur + 1) % len(t.addrs)
 }
 
 type jobStatus struct {
@@ -74,7 +144,7 @@ func fatalf(format string, args ...any) {
 }
 
 func main() {
-	addr := flag.String("addr", "http://localhost:8334", "serverd base URL")
+	addr := flag.String("addr", "http://localhost:8334", "serverd base URL, or a comma-separated replica group")
 	env := flag.String("env", "google", "workload environment: google, hedgefund, mustang")
 	nodes := flag.Int("nodes", 64, "cluster size the workload targets")
 	parts := flag.Int("partitions", 4, "number of machine partitions")
@@ -89,22 +159,33 @@ func main() {
 	predict := flag.String("predict", "", `probe mode: print /v1/predict for "user,name,tasks,priority" and exit`)
 	metrics := flag.Bool("metrics", false, "probe mode: print /v1/metrics and exit")
 	readyz := flag.Bool("readyz", false, "probe mode: print the /readyz HTTP status code (000 when unreachable) and exit")
+	clients := flag.Int("clients", 1, "number of concurrent submission clients")
+	burst := flag.Bool("burst", false, "stamp logical submit_at times and submit as fast as the daemon accepts (server must run -det)")
+	offset := flag.Float64("offset", 0, "virtual seconds added to every -burst submit_at stamp, leaving wall room to finish submitting before the first stamped cycle fires")
 	flag.Parse()
 
-	client := &http.Client{Timeout: 10 * time.Second}
+	// Redirects are handled by hand (targets.redirect) so a follower's 307
+	// both reaches the leader and retargets every later request.
+	client := &http.Client{
+		Timeout: 10 * time.Second,
+		CheckRedirect: func(*http.Request, []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+	tg := newTargets(*addr)
 	if *readyz {
-		probeReady(client, *addr)
+		probeReady(client, tg.base())
 		return
 	}
 	if *wait > 0 {
-		waitHealthy(client, *addr, *wait)
+		waitHealthy(client, tg, *wait)
 	}
 	if *predict != "" {
-		runPredict(client, *addr, *predict)
+		runPredict(client, tg.base(), *predict)
 		return
 	}
 	if *metrics {
-		dumpJSON(client, *addr+"/v1/metrics")
+		dumpJSON(client, tg.base()+"/v1/metrics")
 		return
 	}
 
@@ -124,39 +205,69 @@ func main() {
 		fatalf("generated workload is empty")
 	}
 	if *train && len(w.Train) > 0 {
-		trainDaemon(client, *addr, w)
+		trainDaemon(client, tg, w)
 	}
-	fmt.Printf("replaying %d jobs over %.1f virtual minutes at %gx against %s\n",
-		len(w.Jobs), *hours*60, *speedup, *addr)
+	nClients := *clients
+	if nClients < 1 {
+		nClients = 1
+	}
+	fmt.Printf("replaying %d jobs over %.1f virtual minutes at %gx against %s (%d client(s)%s)\n",
+		len(w.Jobs), *hours*60, *speedup, *addr, nClients,
+		map[bool]string{true: ", burst", false: ""}[*burst])
 
 	deadline := now().Add(*timeout)
 	start := now()
+	var mu sync.Mutex
 	var lats []time.Duration
 	submitted := make([]*job.Job, 0, len(w.Jobs))
 	rejected := 0
-	bo := newBackoff(*seed)
-	for _, j := range w.Jobs {
-		due := start.Add(time.Duration(j.Submit / *speedup * float64(time.Second)))
-		if d := due.Sub(now()); d > 0 {
-			time.Sleep(d)
-		}
-		lat, ok := submitJob(client, *addr, j, deadline, bo)
-		if !ok {
-			rejected++
-			continue
-		}
-		lats = append(lats, lat)
-		submitted = append(submitted, j)
+	var wg sync.WaitGroup
+	for c := 0; c < nClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			bo := newBackoff(*seed + int64(c))
+			var myLats []time.Duration
+			var mySub []*job.Job
+			myRej := 0
+			for i := c; i < len(w.Jobs); i += nClients {
+				j := w.Jobs[i]
+				if !*burst {
+					due := start.Add(time.Duration(j.Submit / *speedup * float64(time.Second)))
+					if d := due.Sub(now()); d > 0 {
+						time.Sleep(d)
+					}
+				}
+				lat, ok := submitJob(client, tg, j, deadline, bo, *burst, *offset)
+				if !ok {
+					myRej++
+					continue
+				}
+				myLats = append(myLats, lat)
+				mySub = append(mySub, j)
+			}
+			mu.Lock()
+			lats = append(lats, myLats...)
+			submitted = append(submitted, mySub...)
+			rejected += myRej
+			mu.Unlock()
+		}(c)
 	}
-	fmt.Printf("submitted %d jobs (%d dropped) in %v\n",
-		len(submitted), rejected, now().Sub(start).Round(time.Millisecond))
+	wg.Wait()
+	wall := now().Sub(start)
+	achieved := 0.0
+	if wall > 0 {
+		achieved = float64(len(submitted)) / wall.Seconds()
+	}
+	fmt.Printf("submitted %d jobs (%d dropped) in %v: %.1f req/s achieved across %d client(s)\n",
+		len(submitted), rejected, wall.Round(time.Millisecond), achieved, nClients)
 
-	completed, dropped, sloMet, sloTotal := pollOutcomes(client, *addr, submitted, deadline)
+	completed, dropped, sloMet, sloTotal := pollOutcomes(client, tg, submitted, deadline)
 
 	fmt.Printf("completed %d/%d (%d cancelled, abandoned, or failed)\n", completed, len(submitted), dropped)
 	if len(lats) > 0 {
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		fmt.Printf("submit latency p50 %v  p90 %v  p99 %v\n",
+		fmt.Printf("admission latency p50 %v  p90 %v  p99 %v\n",
 			pct(lats, 0.50), pct(lats, 0.90), pct(lats, 0.99))
 	}
 	if sloTotal > 0 {
@@ -168,8 +279,9 @@ func main() {
 }
 
 // trainDaemon pushes the workload's pre-training history (the paper's
-// runtime history database) into the daemon's predictor.
-func trainDaemon(client *http.Client, addr string, w *workload.Workload) {
+// runtime history database) into the daemon's predictor, following 307s
+// to the leader and riding out transient replica unavailability.
+func trainDaemon(client *http.Client, tg *targets, w *workload.Workload) {
 	type rec struct {
 		Name     string  `json:"name"`
 		User     string  `json:"user"`
@@ -186,22 +298,40 @@ func trainDaemon(client *http.Client, addr string, w *workload.Workload) {
 		})
 	}
 	body, _ := json.Marshal(payload)
-	resp, err := client.Post(addr+"/v1/train", "application/json", bytes.NewReader(body))
-	if err != nil {
-		fatalf("train: %v", err)
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(tg.base()+"/v1/train", "application/json", bytes.NewReader(body))
+		if err != nil {
+			if attempt >= 20 {
+				fatalf("train: %v", err)
+			}
+			tg.rotate()
+			time.Sleep(200 * time.Millisecond)
+			continue
+		}
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			fmt.Printf("pre-trained daemon with %d history records\n", len(payload.Jobs))
+			return
+		case http.StatusTemporaryRedirect:
+			tg.redirect(resp.Header.Get("Location"))
+		case http.StatusServiceUnavailable:
+			if attempt >= 20 {
+				fatalf("train: %d %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+			}
+			tg.rotate()
+			time.Sleep(200 * time.Millisecond)
+		default:
+			fatalf("train: %d %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+		}
 	}
-	msg, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != 200 {
-		fatalf("train: %d %s", resp.StatusCode, strings.TrimSpace(string(msg)))
-	}
-	fmt.Printf("pre-trained daemon with %d history records\n", len(payload.Jobs))
 }
 
-func waitHealthy(client *http.Client, addr string, wait time.Duration) {
+func waitHealthy(client *http.Client, tg *targets, wait time.Duration) {
 	deadline := now().Add(wait)
 	for {
-		resp, err := client.Get(addr + "/healthz")
+		resp, err := client.Get(tg.base() + "/healthz")
 		if err == nil {
 			resp.Body.Close()
 			if resp.StatusCode == 200 {
@@ -209,8 +339,9 @@ func waitHealthy(client *http.Client, addr string, wait time.Duration) {
 			}
 		}
 		if now().After(deadline) {
-			fatalf("daemon at %s not healthy within %v", addr, wait)
+			fatalf("daemon at %s not healthy within %v", tg.base(), wait)
 		}
+		tg.rotate()
 		time.Sleep(100 * time.Millisecond)
 	}
 }
@@ -261,9 +392,11 @@ func (b *backoff) next(hint time.Duration) time.Duration {
 func (b *backoff) reset() { b.prev = 0 }
 
 // submitJob POSTs one job, honoring 429s with jittered backoff around the
-// server's Retry-After until deadline. The returned latency spans the first
-// attempt through acceptance.
-func submitJob(client *http.Client, addr string, j *job.Job, deadline time.Time, bo *backoff) (time.Duration, bool) {
+// server's Retry-After until deadline. 307s retarget the replica group at
+// the leader; connection failures and 503s rotate to the next replica, so
+// a mid-run leader kill costs retries rather than the run. The returned
+// latency spans the first attempt through acceptance.
+func submitJob(client *http.Client, tg *targets, j *job.Job, deadline time.Time, bo *backoff, burst bool, offset float64) (time.Duration, bool) {
 	req := jobRequest{
 		ID:            int64(j.ID),
 		Name:          j.Name,
@@ -279,12 +412,22 @@ func submitJob(client *http.Client, addr string, j *job.Job, deadline time.Time,
 		req.Class = "SLO"
 		req.DeadlineIn = j.Deadline - j.Submit
 	}
+	if burst {
+		req.SubmitAt = j.Submit + offset
+	}
 	body, _ := json.Marshal(req)
 	t0 := now()
+	resent := false // a POST died mid-flight; its fate on the server is unknown
 	for {
-		resp, err := client.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+		resp, err := client.Post(tg.base()+"/v1/jobs", "application/json", bytes.NewReader(body))
 		if err != nil {
-			fatalf("submit job %d: %v", j.ID, err)
+			if now().After(deadline) {
+				fatalf("submit job %d: %v", j.ID, err)
+			}
+			resent = true
+			tg.rotate()
+			time.Sleep(100 * time.Millisecond)
+			continue
 		}
 		msg, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
@@ -292,6 +435,26 @@ func submitJob(client *http.Client, addr string, j *job.Job, deadline time.Time,
 		case http.StatusAccepted:
 			bo.reset()
 			return now().Sub(t0), true
+		case http.StatusConflict:
+			// Job IDs are unique per run, so a 409 after a connection
+			// failure means the lost attempt actually landed (the leader
+			// replicated it before dying): the submission succeeded.
+			if resent {
+				bo.reset()
+				return now().Sub(t0), true
+			}
+			fatalf("submit job %d: %d %s", j.ID, resp.StatusCode, strings.TrimSpace(string(msg)))
+		case http.StatusTemporaryRedirect:
+			if now().After(deadline) {
+				return 0, false
+			}
+			tg.redirect(resp.Header.Get("Location"))
+		case http.StatusServiceUnavailable:
+			if now().After(deadline) {
+				return 0, false
+			}
+			tg.rotate()
+			time.Sleep(100 * time.Millisecond)
 		case http.StatusTooManyRequests:
 			hint := time.Second
 			if s := resp.Header.Get("Retry-After"); s != "" {
@@ -313,7 +476,7 @@ func submitJob(client *http.Client, addr string, j *job.Job, deadline time.Time,
 // pollOutcomes tracks submitted jobs until every one is terminal
 // (completed, cancelled, abandoned, or failed out of its retry budget) or
 // the deadline passes.
-func pollOutcomes(client *http.Client, addr string, jobs []*job.Job, deadline time.Time) (completed, dropped, sloMet, sloTotal int) {
+func pollOutcomes(client *http.Client, tg *targets, jobs []*job.Job, deadline time.Time) (completed, dropped, sloMet, sloTotal int) {
 	pendingDeadline := make(map[int64]float64) // id -> deadline_in (SLO only)
 	open := make(map[int64]bool, len(jobs))
 	for _, j := range jobs {
@@ -325,9 +488,18 @@ func pollOutcomes(client *http.Client, addr string, jobs []*job.Job, deadline ti
 	}
 	for len(open) > 0 && now().Before(deadline) {
 		for id := range open {
-			resp, err := client.Get(fmt.Sprintf("%s/v1/jobs/%d", addr, id))
+			resp, err := client.Get(fmt.Sprintf("%s/v1/jobs/%d", tg.base(), id))
 			if err != nil {
-				fatalf("status job %d: %v", id, err)
+				// Replica down (possibly killed mid-failover): rotate and
+				// pick the poll back up next sweep.
+				tg.rotate()
+				break
+			}
+			if resp.StatusCode == http.StatusTemporaryRedirect {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				tg.redirect(resp.Header.Get("Location"))
+				break
 			}
 			var st jobStatus
 			json.NewDecoder(resp.Body).Decode(&st)

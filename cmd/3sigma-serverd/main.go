@@ -7,11 +7,21 @@
 //	3sigma-serverd [-addr :8334] [-nodes 64] [-partitions 4]
 //	               [-cycle 10] [-timescale 1] [-queue-cap 256]
 //	               [-checkpoint path] [-checkpoint-every 30s]
+//	               [-det] [-replog path] [-replica 0] [-peers 0=url,1=url,...]
+//	               [-agents url=p0:p1,...] [-lease 2s] [-dead-rounds 3]
 //
 // SIGTERM or SIGINT drains the daemon: in-flight HTTP requests and the
 // current scheduling cycle finish, a final predictor checkpoint is flushed,
 // and the process exits 0. Restarting with the same -checkpoint path
 // restores the predictor exactly as it was killed.
+//
+// The distributed control plane (DESIGN.md §14) switches on with -det:
+// -replog appends every replay-relevant input and cycle decision to a
+// hash-chained log (replayed on restart for a warm, bit-identical resume);
+// -replica/-peers forms a replica group with lease-based leader election and
+// synchronous input replication (kill -9 the leader and a warm standby takes
+// over within a lease); -agents delegates task execution to remote
+// node-group agent daemons (cmd/3sigma-agentd).
 package main
 
 import (
@@ -23,17 +33,45 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"threesigma/internal/agent"
 	"threesigma/internal/baselines"
 	"threesigma/internal/core"
 	"threesigma/internal/faults"
 	"threesigma/internal/predictor"
+	"threesigma/internal/replog"
 	"threesigma/internal/service"
 	"threesigma/internal/shard"
 	"threesigma/internal/simulator"
 )
+
+// parsePeers parses "0=http://h0:8334,1=http://h1:8334" into a replica map.
+func parsePeers(spec string) (map[int]string, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	peers := make(map[int]string)
+	for _, part := range strings.Split(spec, ",") {
+		id, url, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || url == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want id=url)", part)
+		}
+		n, err := strconv.Atoi(id)
+		if err != nil {
+			return nil, fmt.Errorf("bad -peers replica id %q: %v", id, err)
+		}
+		if _, dup := peers[n]; dup {
+			return nil, fmt.Errorf("duplicate -peers replica id %d", n)
+		}
+		peers[n] = strings.TrimSuffix(url, "/")
+	}
+	return peers, nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8334", "HTTP listen address")
@@ -49,6 +87,13 @@ func main() {
 	chaos := flag.String("chaos", "", "chaos injection spec: preset (light, heavy) or k=v list, e.g. seed=7,mtbf=1800,mttr=300,crash=0.05 (virtual-time schedule; see internal/faults)")
 	drainGrace := flag.Duration("drain-grace", time.Second, "time between withdrawing readiness (/readyz 503) and closing the listener on SIGTERM")
 	shards := flag.Int("shards", 1, "number of scheduling domains; >1 runs per-shard MILP solves under the cross-shard coordinator (DESIGN.md §13)")
+	det := flag.Bool("det", false, "deterministic-cycle mode: cycle k at logical time k*cycle, submissions carry submit_at stamps (required for -replog/-peers/-agents)")
+	replogPath := flag.String("replog", "", "decision log path (with -det); replayed on restart for a warm bit-identical resume")
+	replica := flag.Int("replica", 0, "this replica's ID within -peers")
+	peersSpec := flag.String("peers", "", "replica group spec id=url,... (e.g. 0=http://h0:8334,1=http://h1:8334); empty: single replica")
+	agentsSpec := flag.String("agents", "", "agent spec url=p0:p1,... delegating task execution to 3sigma-agentd daemons; empty: in-process emulation")
+	lease := flag.Duration("lease", 2*time.Second, "leader lease interval (failover detection bound)")
+	deadRounds := flag.Int("dead-rounds", 3, "consecutive failed reconcile rounds before an agent's partitions are failed")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "3sigma-serverd: ", log.LstdFlags)
@@ -91,17 +136,44 @@ func main() {
 		}
 		schedImpl = coord
 	}
+	var dlog *replog.Log
+	if *replogPath != "" {
+		dlog, err = replog.Open(*replogPath)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		defer dlog.Close()
+	}
+	peers, err := parsePeers(*peersSpec)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	var agents []*agent.Client
+	if *agentsSpec != "" {
+		agents, err = agent.ParseSpec(*agentsSpec)
+		if err != nil {
+			logger.Fatal(err)
+		}
+	}
 	svc, err = service.New(service.Config{
-		Cluster:         cluster,
-		Scheduler:       schedImpl,
-		Predictor:       p,
-		CycleInterval:   *cycle,
-		TimeScale:       *timescale,
-		QueueCap:        *queueCap,
-		CheckpointPath:  *ckpt,
-		CheckpointEvery: *ckptEvery,
-		Logf:            logger.Printf,
-		Faults:          faultCfg,
+		Cluster:           cluster,
+		Scheduler:         schedImpl,
+		Predictor:         p,
+		CycleInterval:     *cycle,
+		TimeScale:         *timescale,
+		QueueCap:          *queueCap,
+		CheckpointPath:    *ckpt,
+		CheckpointEvery:   *ckptEvery,
+		Logf:              logger.Printf,
+		Faults:            faultCfg,
+		DetCycles:         *det,
+		Log:               dlog,
+		ReplicaID:         *replica,
+		Peers:             peers,
+		LeaseInterval:     *lease,
+		SubmitSyncTimeout: 2 * *lease,
+		Agents:            agents,
+		AgentDeadRounds:   *deadRounds,
 	})
 	if err != nil {
 		logger.Fatal(err)

@@ -1,0 +1,175 @@
+package agent
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// ReconcileRequest is the POST /v1/reconcile body: one scheduler round.
+type ReconcileRequest struct {
+	Epoch  uint64           `json:"epoch"`
+	Now    float64          `json:"now"`
+	Ack    uint64           `json:"ack,omitempty"`
+	Evicts []EvictDirective `json:"evicts,omitempty"`
+	Starts []StartDirective `json:"starts,omitempty"`
+	Reset  bool             `json:"reset,omitempty"`
+}
+
+// ReconcileResponse reports the agent's actual state back to the scheduler.
+type ReconcileResponse struct {
+	Agent   string      `json:"agent"`
+	Epoch   uint64      `json:"epoch"`
+	Events  []Event     `json:"events,omitempty"`
+	Running []TaskState `json:"running,omitempty"`
+}
+
+type errResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// Handler returns the agent's HTTP API:
+//
+//	POST /v1/reconcile — one epoch-fenced scheduler round (ack, evict,
+//	                     start, advance time, report deltas + live tasks)
+//	GET  /v1/status    — observability snapshot
+//	GET  /healthz      — liveness
+func (a *Agent) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/reconcile", a.handleReconcile)
+	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, a.Status())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "agent": a.id})
+	})
+	return mux
+}
+
+func (a *Agent) handleReconcile(w http.ResponseWriter, r *http.Request) {
+	var req ReconcileRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errResponse{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	if req.Reset {
+		if err := a.Reset(req.Epoch); err != nil {
+			writeStaleOr500(w, err)
+			return
+		}
+	}
+	events, running, err := a.Reconcile(req.Epoch, req.Now, req.Ack, req.Evicts, req.Starts)
+	if err != nil {
+		writeStaleOr500(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ReconcileResponse{
+		Agent: a.id, Epoch: a.Status().Epoch, Events: events, Running: running,
+	})
+}
+
+// writeStaleOr500 maps epoch fencing to 409 Conflict — the deposed leader
+// must stand down, not retry — and anything else to 500.
+func writeStaleOr500(w http.ResponseWriter, err error) {
+	if _, ok := err.(*ErrStaleEpoch); ok {
+		writeJSON(w, http.StatusConflict, errResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusInternalServerError, errResponse{Error: err.Error()})
+}
+
+// Client is the scheduler-side handle on one remote agent.
+type Client struct {
+	// Addr is the agent's base URL (e.g. http://127.0.0.1:8401).
+	Addr string
+	// Partitions lists the global partition indices the agent owns.
+	Partitions []int
+	// HTTP is the transport; a default with a short timeout is used when
+	// nil (reconcile rounds sit inside the scheduling cycle, so a hung
+	// agent must not stall the control plane for long).
+	HTTP *http.Client
+}
+
+func (c *Client) client() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 2 * time.Second}
+}
+
+// Reconcile runs one round against the remote agent. A *ErrStaleEpoch is
+// returned verbatim when the agent fenced us off.
+func (c *Client) Reconcile(req ReconcileRequest) (*ReconcileResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.client().Post(strings.TrimRight(c.Addr, "/")+"/v1/reconcile",
+		"application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var out ReconcileResponse
+		if err := json.Unmarshal(raw, &out); err != nil {
+			return nil, fmt.Errorf("agent %s: bad reconcile response: %w", c.Addr, err)
+		}
+		return &out, nil
+	case http.StatusConflict:
+		var e errResponse
+		json.Unmarshal(raw, &e)
+		return nil, &ErrStaleEpoch{} // fenced; detail in the agent's log
+	default:
+		return nil, fmt.Errorf("agent %s: reconcile: %d %s", c.Addr, resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+}
+
+// ParseSpec parses an agent fleet spec of the form
+//
+//	addr=partition[:partition...][,addr=partitions...]
+//
+// e.g. "http://127.0.0.1:8401=0:1,http://127.0.0.1:8402=2:3" — each entry
+// one agent and the global partitions it owns.
+func ParseSpec(spec string) ([]*Client, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var out []*Client
+	seen := map[int]bool{}
+	for _, ent := range strings.Split(spec, ",") {
+		addr, parts, ok := strings.Cut(strings.TrimSpace(ent), "=")
+		if !ok || addr == "" {
+			return nil, fmt.Errorf("agent: bad fleet entry %q (want addr=p0:p1:...)", ent)
+		}
+		var owned []int
+		for _, ps := range strings.Split(parts, ":") {
+			var p int
+			if _, err := fmt.Sscanf(ps, "%d", &p); err != nil || p < 0 {
+				return nil, fmt.Errorf("agent: bad partition %q in %q", ps, ent)
+			}
+			if seen[p] {
+				return nil, fmt.Errorf("agent: partition %d assigned to two agents", p)
+			}
+			seen[p] = true
+			owned = append(owned, p)
+		}
+		if len(owned) == 0 {
+			return nil, fmt.Errorf("agent: entry %q owns no partitions", ent)
+		}
+		out = append(out, &Client{Addr: addr, Partitions: owned})
+	}
+	return out, nil
+}

@@ -217,9 +217,9 @@ func (m *Module) pkgPath(dir string) string {
 
 // rawPkg is the pre-check shape of one directory's files.
 type rawPkg struct {
-	dir                 string
+	dir                  string
 	base, inTest, exTest []*File
-	name                string
+	name                 string
 }
 
 // parseDir parses one directory's .go files into base / in-package-test /

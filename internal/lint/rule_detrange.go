@@ -15,6 +15,10 @@ var deterministicPkgs = map[string]bool{
 	"simulator": true,
 	"faults":    true,
 	"predictor": true,
+	// The control plane replays cycles bitwise-identically on replicas:
+	// iteration order there is as outcome-bearing as in the solver.
+	"agent":  true,
+	"replog": true,
 }
 
 // runDetRange reports ranging over a map inside a deterministic package,

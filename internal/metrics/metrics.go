@@ -311,6 +311,32 @@ func OutcomeDigest(res *simulator.Result) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// JobsDigest hashes per-job fates alone, in OutcomeDigest's line format but
+// without the run trailer. It is the digest the distributed control plane
+// compares across deployment shapes (single process vs replicated vs
+// agent-backed, with or without a mid-run failover): cycle counts and
+// end-of-run bookkeeping depend on how long the daemons idled, while the
+// jobs' fates must be bitwise-identical.
+func JobsDigest(outs []*simulator.Outcome) string {
+	h := sha256.New()
+	f := func(x float64) string { return strconv.FormatFloat(x, 'x', -1, 64) }
+	b := func(v bool) string {
+		if v {
+			return "1"
+		}
+		return "0"
+	}
+	for _, o := range outs {
+		fmt.Fprintf(h, "%d|%s%s%s%s|%s|%s|%s|%s|%d|%s|%d|%s\n",
+			o.Job.ID, b(o.Started), b(o.Completed), b(o.Cancelled), b(o.Failed),
+			f(o.FirstStart), f(o.CompletionTime), f(o.ActualRuntime),
+			b(o.OnPreferred), o.Preemptions, f(o.WastedWork),
+			o.Evictions, f(o.LostToFailures))
+	}
+	fmt.Fprintf(h, "jobs=%d\n", len(outs))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // ShardOutcomeDigests hashes a run's outcome split across n digest shards:
 // shardOf attributes every job to a shard in [0, n) (the coordinator's
 // DigestShard — a pure function of the job, so attribution is identical on

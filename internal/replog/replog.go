@@ -1,0 +1,398 @@
+// Package replog is the control plane's replicated decision log
+// (DESIGN.md §14): an append-only sequence of hash-chained records holding
+// every scheduler input that matters for deterministic replay — admissions,
+// train feeds, operator node ops, cycle decisions with their agent state
+// deltas, predictor checkpoints, and leader elections.
+//
+// On disk a log is a stream of length-prefixed JSON records (4-byte
+// big-endian length, then the record's JSON bytes), each carrying the
+// sha256 of its predecessor plus its own sha256 over (prev || body), so a
+// record cannot be altered, dropped, or reordered without breaking every
+// hash that follows. Appends are fsync'd before they are acknowledged; a
+// torn tail left by a crash mid-write is detected and truncated on open.
+//
+// The leader serverd owns the authoritative log; followers mirror it
+// byte-for-byte (the chain makes divergence detectable at the first bad
+// record) and apply records to their warm-standby state machines. A record
+// is identified by Seq (dense, 1-based) and fenced by Epoch: followers
+// reject appends whose epoch regresses below the highest they have seen,
+// which is what makes a deposed leader's writes harmless.
+package replog
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Record types. The apply semantics live in internal/service; replog only
+// cares that every record is attributable and chained.
+const (
+	// TypeAdmit carries one submitted job (an external input; replicated
+	// synchronously before the submission is acknowledged to the client).
+	TypeAdmit = "admit"
+	// TypeTrain carries a batch of predictor history records fed through
+	// /v1/train (external input).
+	TypeTrain = "train"
+	// TypeCancel carries a job cancellation (external input).
+	TypeCancel = "cancel"
+	// TypeNodeOp carries an operator node-lifecycle action
+	// (fail/recover/drain/resize; external input).
+	TypeNodeOp = "nodeop"
+	// TypeCycle carries one scheduling cycle: logical time, admitted job
+	// IDs, applied completions/crashes (the agent state delta), chaos
+	// events, decisions (preempts, starts with run IDs and due times), and
+	// abandonments. Cycle records are derived state — a lost tail cycle is
+	// recomputed identically by the next leader.
+	TypeCycle = "cycle"
+	// TypeCheckpoint marks a predictor checkpoint: the sha256 of the
+	// predictor state at this point in the log. Replay from the matching
+	// checkpoint file may start here instead of genesis.
+	TypeCheckpoint = "ckpt"
+	// TypeElect records a leader election: the winning replica and the
+	// bumped epoch. Every record that follows carries the new epoch.
+	TypeElect = "elect"
+)
+
+// Record is one entry of the decision log.
+type Record struct {
+	// Seq is the record's 1-based position; the log is dense (no gaps).
+	Seq uint64 `json:"seq"`
+	// Epoch is the leader epoch under which the record was written.
+	Epoch uint64 `json:"epoch"`
+	// Type is one of the Type* constants.
+	Type string `json:"type"`
+	// Cycle is the scheduling cycle the record belongs to (0 for inputs
+	// logged between cycles; they apply at the next cycle boundary).
+	Cycle int64 `json:"cycle,omitempty"`
+	// Data is the type-specific payload.
+	Data json.RawMessage `json:"data,omitempty"`
+	// Prev is the hex sha256 of the previous record (genesisHash for the
+	// first record).
+	Prev string `json:"prev"`
+	// Hash is the hex sha256 over Prev and the record's own body; it seals
+	// the chain up to and including this record.
+	Hash string `json:"hash"`
+}
+
+// genesisHash anchors the chain: the first record's Prev.
+var genesisHash = hex.EncodeToString(make([]byte, sha256.Size))
+
+// bodyHash computes the record's chained hash from its identifying fields.
+// The hash deliberately covers the canonical field serialization rather
+// than the marshalled JSON bytes, so re-encoding a record (e.g. after a
+// replication hop) cannot change its identity.
+func bodyHash(prev string, seq, epoch uint64, typ string, cycle int64, data []byte) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%d|%d|%s|%d|", prev, seq, epoch, typ, cycle)
+	h.Write(data)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Verify checks the record's hash against prev. It returns nil when the
+// record extends the chain ending in prev.
+func (r *Record) Verify(prev string) error {
+	if r.Prev != prev {
+		return fmt.Errorf("replog: record %d prev hash mismatch (chain has %.8s, record says %.8s)", r.Seq, prev, r.Prev)
+	}
+	if want := bodyHash(r.Prev, r.Seq, r.Epoch, r.Type, r.Cycle, r.Data); r.Hash != want {
+		return fmt.Errorf("replog: record %d body hash mismatch", r.Seq)
+	}
+	return nil
+}
+
+// Log is a file-backed decision log. Safe for concurrent use.
+type Log struct {
+	mu   sync.Mutex
+	f    *os.File // guarded by mu; nil for an in-memory log
+	recs []Record // guarded by mu; the full chain, recs[i].Seq == i+1
+	head string   // guarded by mu; hash of the last record (genesisHash when empty)
+}
+
+// Open opens (or creates) the log at path, verifying the existing chain.
+// A torn final record — a crash mid-append — is truncated away; any other
+// corruption is an error. An empty path opens an in-memory log (tests,
+// replica-less runs).
+func Open(path string) (*Log, error) {
+	l := &Log{head: genesisHash}
+	if path == "" {
+		return l, nil
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	good, err := l.loadLocked(f) // fresh Log: no other goroutine can hold it yet
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Drop a torn tail so the next append extends a clean chain.
+	if fi, serr := f.Stat(); serr == nil && fi.Size() > good {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("replog: truncate torn tail of %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	//lint:allow guardedfield Open owns the fresh Log exclusively until it returns
+	l.f = f
+	return l, nil
+}
+
+// loadLocked reads and verifies records from f, returning the byte offset of the
+// end of the last complete, chain-valid record. A partial trailing record
+// (short length prefix, short body, or JSON cut mid-stream) is treated as a
+// torn tail; a record that parses but fails chain verification is
+// corruption and errors out.
+func (l *Log) loadLocked(f *os.File) (good int64, err error) {
+	rd := bufio.NewReader(f)
+	for {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(rd, lenBuf[:]); err != nil {
+			return good, nil // clean EOF or torn length prefix
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n == 0 || n > maxRecordBytes {
+			return good, nil // garbage length: treat as torn tail
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(rd, body); err != nil {
+			return good, nil // torn body
+		}
+		var rec Record
+		if err := json.Unmarshal(body, &rec); err != nil {
+			return good, nil // torn/garbled JSON tail
+		}
+		if rec.Seq != uint64(len(l.recs))+1 {
+			return 0, fmt.Errorf("replog: record %d out of sequence (want %d)", rec.Seq, len(l.recs)+1)
+		}
+		if err := rec.Verify(l.head); err != nil {
+			return 0, err
+		}
+		if len(l.recs) > 0 && rec.Epoch < l.recs[len(l.recs)-1].Epoch {
+			return 0, fmt.Errorf("replog: record %d epoch regressed (%d after %d)", rec.Seq, rec.Epoch, l.recs[len(l.recs)-1].Epoch)
+		}
+		l.recs = append(l.recs, rec)
+		l.head = rec.Hash
+		good += int64(4 + n)
+	}
+}
+
+// maxRecordBytes bounds one record; a length prefix beyond it is treated as
+// a torn tail rather than an allocation request.
+const maxRecordBytes = 16 << 20
+
+// Close closes the backing file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+// Len returns the sequence number of the last record (0 when empty).
+func (l *Log) Len() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return uint64(len(l.recs))
+}
+
+// Head returns the hash of the last record (the genesis hash when empty).
+func (l *Log) Head() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.head
+}
+
+// LastEpoch returns the epoch of the last record (0 when empty).
+func (l *Log) LastEpoch() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.recs) == 0 {
+		return 0
+	}
+	return l.recs[len(l.recs)-1].Epoch
+}
+
+// Append chains, persists (write + fsync), and returns a new record. The
+// record is durable when Append returns.
+func (l *Log) Append(epoch uint64, typ string, cycle int64, data any) (Record, error) {
+	recs, err := l.AppendBatch(epoch, typ, cycle, []any{data})
+	if err != nil {
+		return Record{}, err
+	}
+	return recs[0], nil
+}
+
+// AppendBatch chains and persists a run of same-type records with a single
+// write and fsync (group commit). A large batch — the /v1/train history
+// feed appends thousands of records in one request — costs one disk flush
+// instead of one per record, which is the difference between a sub-second
+// and a multi-second append on fsync-bound storage. All records are durable
+// when AppendBatch returns; a crash mid-write leaves a torn tail that Open
+// truncates back to the last complete record.
+func (l *Log) AppendBatch(epoch uint64, typ string, cycle int64, payloads []any) ([]Record, error) {
+	raws := make([]json.RawMessage, len(payloads))
+	for i, p := range payloads {
+		raw, err := json.Marshal(p)
+		if err != nil {
+			return nil, fmt.Errorf("replog: marshal %s payload: %w", typ, err)
+		}
+		raws[i] = raw
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	recs := make([]Record, 0, len(raws))
+	head := l.head
+	seq := uint64(len(l.recs))
+	for _, raw := range raws {
+		seq++
+		rec := Record{Seq: seq, Epoch: epoch, Type: typ, Cycle: cycle, Data: raw, Prev: head}
+		rec.Hash = bodyHash(rec.Prev, rec.Seq, rec.Epoch, rec.Type, rec.Cycle, rec.Data)
+		head = rec.Hash
+		recs = append(recs, rec)
+	}
+	if err := l.persistAllLocked(recs); err != nil {
+		return nil, err
+	}
+	l.recs = append(l.recs, recs...)
+	l.head = head
+	return recs, nil
+}
+
+// AppendRecord verifies and persists a record replicated from a leader. It
+// must be exactly the next sequence number and extend the local chain; an
+// epoch below the last record's is rejected (fencing a deposed leader).
+func (l *Log) AppendRecord(rec Record) error {
+	_, err := l.AppendRecords([]Record{rec})
+	return err
+}
+
+// AppendRecords verifies and persists consecutive records replicated from a
+// leader with one group-commit fsync. Verification walks the batch in order
+// against the local chain; the valid prefix is persisted and committed even
+// when a later record fails, and the count of appended records is returned
+// alongside the first error (a GapError when the batch does not start at
+// the next sequence number).
+func (l *Log) AppendRecords(recs []Record) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	head := l.head
+	seq := uint64(len(l.recs))
+	var lastEpoch uint64
+	if len(l.recs) > 0 {
+		lastEpoch = l.recs[len(l.recs)-1].Epoch
+	}
+	valid := 0
+	var verr error
+	for _, rec := range recs {
+		if rec.Seq != seq+1 {
+			verr = &GapError{Want: seq + 1, Got: rec.Seq}
+			break
+		}
+		if err := rec.Verify(head); err != nil {
+			verr = err
+			break
+		}
+		if rec.Epoch < lastEpoch {
+			verr = fmt.Errorf("replog: record %d epoch regressed (%d after %d)", rec.Seq, rec.Epoch, lastEpoch)
+			break
+		}
+		seq++
+		head = rec.Hash
+		lastEpoch = rec.Epoch
+		valid++
+	}
+	good := recs[:valid]
+	if err := l.persistAllLocked(good); err != nil {
+		return 0, err
+	}
+	l.recs = append(l.recs, good...)
+	l.head = head
+	return valid, verr
+}
+
+// GapError reports an out-of-sequence AppendRecord: the receiver is missing
+// records and should catch up from Want.
+type GapError struct{ Want, Got uint64 }
+
+func (e *GapError) Error() string {
+	return fmt.Sprintf("replog: out-of-sequence record %d (next is %d)", e.Got, e.Want)
+}
+
+// persistAllLocked frames and writes the records in one write syscall and
+// flushes them with one fsync — the group commit underneath Append,
+// AppendBatch, and AppendRecords.
+func (l *Log) persistAllLocked(recs []Record) error {
+	if l.f == nil || len(recs) == 0 {
+		return nil
+	}
+	var buf bytes.Buffer
+	for i := range recs {
+		body, err := json.Marshal(&recs[i])
+		if err != nil {
+			return err
+		}
+		var lenBuf [4]byte
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(body)))
+		buf.Write(lenBuf[:])
+		buf.Write(body)
+	}
+	first, last := recs[0].Seq, recs[len(recs)-1].Seq
+	if _, err := l.f.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("replog: append records %d..%d: %w", first, last, err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("replog: fsync records %d..%d: %w", first, last, err)
+	}
+	return nil
+}
+
+// Since returns a copy of the records with Seq > after, capped at limit
+// (0: no cap). This is the pull/catch-up read used by replication.
+func (l *Log) Since(after uint64, limit int) []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if after >= uint64(len(l.recs)) {
+		return nil
+	}
+	out := l.recs[after:]
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return append([]Record(nil), out...)
+}
+
+// Records returns a copy of the full chain.
+func (l *Log) Records() []Record {
+	return l.Since(0, 0)
+}
+
+// LastCheckpoint returns the most recent TypeCheckpoint record, or ok=false
+// when the log holds none. Replay may start from the state it names instead
+// of genesis.
+func (l *Log) LastCheckpoint() (Record, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := len(l.recs) - 1; i >= 0; i-- {
+		if l.recs[i].Type == TypeCheckpoint {
+			return l.recs[i], true
+		}
+	}
+	return Record{}, false
+}

@@ -1,0 +1,510 @@
+// Leader election and log replication (DESIGN.md §14).
+//
+// Election is lease-based and deterministic: every replica polls its peers'
+// control status at lease/4; a follower that has heard from no leader for a
+// full lease takes over iff it is the best candidate among the replicas it
+// can see — most caught-up log first, lowest replica ID on ties. Takeover
+// bumps the epoch past every epoch the replica has seen and appends a
+// TypeElect record, so agents and followers fence out the deposed leader.
+//
+// Replication is push-based: the leader runs one sender goroutine per peer,
+// streaming log records in batches over POST /v1/replog/append. Senders are
+// woken by notifyFollowers after every append and heartbeat at lease/2 so a
+// quiet leader still refreshes its lease. A follower acks its log length;
+// gaps rewind the sender, and a push from a stale epoch is rejected with
+// the current one so a deposed leader standing in a network partition
+// learns its fate from the first peer it reaches.
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"threesigma/internal/replog"
+)
+
+// followerConn is the leader's replication state for one peer. The sender
+// goroutine owns the send cursor; acked/lastOK are shared with
+// waitReplicated and Metrics under fmu.
+type followerConn struct {
+	id    int
+	addr  string
+	httpc *http.Client
+	// notify wakes the sender after an append (capacity 1: a wake-up is
+	// level-triggered, coalescing bursts).
+	notify chan struct{}
+
+	fmu    sync.Mutex
+	acked  uint64    // guarded by fmu; highest seq the peer confirmed
+	lastOK time.Time // guarded by fmu; Clock time of the last successful push
+}
+
+func newFollowerConn(id int, addr string, timeout time.Duration) *followerConn {
+	return &followerConn{
+		id:     id,
+		addr:   addr,
+		httpc:  &http.Client{Timeout: timeout},
+		notify: make(chan struct{}, 1),
+	}
+}
+
+// notifyFollowers wakes every sender goroutine (non-blocking; senders
+// coalesce). Safe with or without s.mu held.
+func (s *Service) notifyFollowers() {
+	s.mu.Lock()
+	conns := s.followers
+	s.mu.Unlock()
+	for _, fc := range conns {
+		select {
+		case fc.notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// waitReplicated blocks until every live follower has acknowledged the log
+// through seq, the replica is deposed, or SubmitSyncTimeout elapses (counted
+// in ControlCounters.ReplLagTimeouts). Called without s.mu. Liveness is a
+// lease: a follower that has not acked anything for a full LeaseInterval is
+// presumed down and not waited for — its log catches up when it returns.
+func (s *Service) waitReplicated(seq uint64) {
+	deadline := s.cfg.Clock.Now().Add(s.cfg.SubmitSyncTimeout)
+	for {
+		s.mu.Lock()
+		leading := s.role == RoleLeader
+		conns := s.followers
+		s.mu.Unlock()
+		if !leading {
+			return
+		}
+		lagging := false
+		now := s.cfg.Clock.Now()
+		for _, fc := range conns {
+			fc.fmu.Lock()
+			live := !fc.lastOK.IsZero() && now.Sub(fc.lastOK) <= s.cfg.LeaseInterval
+			behind := fc.acked < seq
+			fc.fmu.Unlock()
+			if live && behind {
+				lagging = true
+				break
+			}
+		}
+		if !lagging {
+			return
+		}
+		if s.cfg.Clock.Now().After(deadline) {
+			s.mu.Lock()
+			s.ctl.ReplLagTimeouts++
+			s.mu.Unlock()
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// minFollowerAckLocked is the lowest seq any follower has confirmed (0 with
+// no followers or before the first ack) — the leader's replication horizon.
+func (s *Service) minFollowerAckLocked() uint64 {
+	var min uint64
+	for i, fc := range s.followers {
+		fc.fmu.Lock()
+		a := fc.acked
+		fc.fmu.Unlock()
+		if i == 0 || a < min {
+			min = a
+		}
+	}
+	return min
+}
+
+// takeoverLocked assumes leadership: the new epoch exceeds every epoch this
+// replica has seen (its own, its log's, and maxSeen from peer polls), and a
+// TypeElect record pins the transition into the chain. Callers hold s.mu.
+func (s *Service) takeoverLocked(maxSeen uint64) {
+	epoch := s.leaderEpoch
+	if s.log != nil && s.log.LastEpoch() > epoch {
+		epoch = s.log.LastEpoch()
+	}
+	if maxSeen > epoch {
+		epoch = maxSeen
+	}
+	s.leaderEpoch = epoch + 1
+	s.leaderID = s.cfg.ReplicaID
+	s.role = RoleLeader
+	s.ctl.Elections++
+	if s.log != nil {
+		if _, err := s.log.Append(s.leaderEpoch, replog.TypeElect, s.cycles,
+			&electPayload{Replica: s.cfg.ReplicaID, Cycle: s.cycles}); err != nil {
+			s.cfg.Logf("append elect record: %v", err)
+		}
+	}
+	s.startSendersLocked()
+	s.cfg.Logf("replica %d leading at epoch %d (cycle %d, log seq %d)",
+		s.cfg.ReplicaID, s.leaderEpoch, s.cycles, s.logLenLocked())
+}
+
+func (s *Service) logLenLocked() uint64 {
+	if s.log == nil {
+		return 0
+	}
+	return s.log.Len()
+}
+
+// startSendersLocked spawns one replication sender per peer. A fresh conn
+// set is built per takeover; senders from a previous term notice the role
+// change (or the stop channel) and exit.
+func (s *Service) startSendersLocked() {
+	s.followers = nil
+	for id, addr := range s.cfg.Peers {
+		if id == s.cfg.ReplicaID {
+			continue
+		}
+		fc := newFollowerConn(id, addr, s.cfg.LeaseInterval)
+		s.followers = append(s.followers, fc)
+		go s.runSender(fc, s.leaderEpoch)
+	}
+}
+
+// Replication wire types (POST /v1/replog/append).
+type replAppendReq struct {
+	From    int             `json:"from"`
+	Epoch   uint64          `json:"epoch"`
+	Records []replog.Record `json:"records,omitempty"`
+}
+
+type replAppendResp struct {
+	Acked uint64 `json:"acked"`
+	// Want is set on a gap rejection: the seq the follower needs next.
+	Want uint64 `json:"want,omitempty"`
+	// Epoch is set on a conflict rejection: the epoch the follower serves.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Busy is set when the follower is mid-transition and wants a retry.
+	Busy bool `json:"busy,omitempty"`
+}
+
+// runSender streams the log to one follower for the duration of a term.
+// Pushes are batched (256 records), woken by notifyFollowers, and padded
+// with empty heartbeats at lease/2 so the lease survives quiet stretches.
+func (s *Service) runSender(fc *followerConn, epoch uint64) {
+	hb := time.NewTicker(s.cfg.LeaseInterval / 2)
+	defer hb.Stop()
+	var sent uint64
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-fc.notify:
+		case <-hb.C:
+		}
+		s.mu.Lock()
+		stale := s.role != RoleLeader || s.leaderEpoch != epoch
+		s.mu.Unlock()
+		if stale {
+			return
+		}
+		for {
+			batch := s.log.Since(sent, 256)
+			resp, err := s.pushBatch(fc, epoch, batch)
+			if err != nil {
+				break // peer unreachable; heartbeat retries
+			}
+			switch {
+			case resp.Epoch > epoch:
+				// The follower serves a newer term: this leadership is over.
+				s.deposeIfStale(resp.Epoch, -1)
+				return
+			case resp.Busy:
+				// Follower mid-cycle-apply or mid-election; back off to the
+				// heartbeat.
+			case resp.Want > 0:
+				if resp.Want >= 1 {
+					sent = resp.Want - 1
+				}
+				continue // rewind and retry immediately
+			default:
+				sent = resp.Acked
+				fc.fmu.Lock()
+				if resp.Acked > fc.acked {
+					fc.acked = resp.Acked
+				}
+				fc.lastOK = s.cfg.Clock.Now()
+				fc.fmu.Unlock()
+				if uint64(len(batch)) == 256 {
+					continue // more log behind this batch
+				}
+			}
+			break
+		}
+	}
+}
+
+func (s *Service) pushBatch(fc *followerConn, epoch uint64, batch []replog.Record) (*replAppendResp, error) {
+	body, err := json.Marshal(&replAppendReq{From: s.cfg.ReplicaID, Epoch: epoch, Records: batch})
+	if err != nil {
+		return nil, err
+	}
+	httpResp, err := fc.httpc.Post(fc.addr+"/v1/replog/append", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer httpResp.Body.Close()
+	var resp replAppendResp
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// deposeIfStale steps down if epoch beats ours. from is the replica that
+// proved the newer term (-1 unknown).
+func (s *Service) deposeIfStale(epoch uint64, from int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.deposeIfStaleLocked(epoch, from)
+}
+
+func (s *Service) deposeIfStaleLocked(epoch uint64, from int) {
+	if epoch <= s.leaderEpoch {
+		return
+	}
+	if s.role == RoleLeader {
+		s.cfg.Logf("replica %d deposed: saw epoch %d > %d", s.cfg.ReplicaID, epoch, s.leaderEpoch)
+	}
+	s.role = RoleFollower
+	s.leaderEpoch = epoch
+	if from >= 0 {
+		s.leaderID = from
+	}
+	s.lastLeader = s.cfg.Clock.Now()
+	s.followers = nil // senders notice the role change and exit
+}
+
+// ctlStatus is the GET /v1/control/status wire type, the election's
+// peer-visibility primitive.
+type ctlStatus struct {
+	Replica int    `json:"replica"`
+	Role    string `json:"role"`
+	Epoch   uint64 `json:"epoch"`
+	Seq     uint64 `json:"seq"`
+	Cycle   int64  `json:"cycle"`
+	Head    string `json:"head,omitempty"`
+}
+
+// electionLoop is every replica's failure detector: poll peers at lease/4,
+// refresh the leader lease when one is visible, and stand for election when
+// the lease lapses and this replica is the best candidate it can see.
+func (s *Service) electionLoop() {
+	defer close(s.electDone)
+	httpc := &http.Client{Timeout: s.cfg.LeaseInterval / 4}
+	ticker := time.NewTicker(s.cfg.LeaseInterval / 4)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			s.electionTick(httpc)
+		}
+	}
+}
+
+func (s *Service) electionTick(httpc *http.Client) {
+	// Poll peers off the lock (network).
+	type peerView struct {
+		id int
+		st ctlStatus
+	}
+	var views []peerView
+	for id, addr := range s.cfg.Peers {
+		if id == s.cfg.ReplicaID {
+			continue
+		}
+		resp, err := httpc.Get(addr + "/v1/control/status")
+		if err != nil {
+			continue
+		}
+		var st ctlStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		views = append(views, peerView{id: id, st: st})
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var maxEpoch uint64
+	for _, v := range views {
+		if v.st.Epoch > maxEpoch {
+			maxEpoch = v.st.Epoch
+		}
+		if v.st.Role == string(RoleLeader) && v.st.Epoch >= s.leaderEpoch {
+			if s.role == RoleLeader && v.st.Epoch > s.leaderEpoch && !s.cycleBusy {
+				s.deposeIfStaleLocked(v.st.Epoch, v.id)
+			}
+			if s.role == RoleFollower {
+				s.lastLeader = s.cfg.Clock.Now()
+				s.leaderID = v.id
+				if v.st.Epoch > s.leaderEpoch {
+					s.leaderEpoch = v.st.Epoch
+				}
+			}
+		}
+	}
+	if s.role != RoleFollower || s.stopped {
+		return
+	}
+	if s.cfg.Clock.Now().Sub(s.lastLeader) <= s.cfg.LeaseInterval {
+		return
+	}
+	// Lease lapsed: stand iff no visible peer is a better candidate —
+	// longer log wins (it holds acknowledged inputs this replica may lack),
+	// lowest replica ID breaks ties. Deterministic: every live replica
+	// ranks the same set the same way.
+	mySeq := s.logLenLocked()
+	for _, v := range views {
+		if v.st.Seq > mySeq || (v.st.Seq == mySeq && v.id < s.cfg.ReplicaID) {
+			return
+		}
+	}
+	s.takeoverLocked(maxEpoch)
+}
+
+// handleControlStatus serves GET /v1/control/status.
+func (s *Service) handleControlStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	st := ctlStatus{
+		Replica: s.cfg.ReplicaID,
+		Role:    string(s.role),
+		Epoch:   s.leaderEpoch,
+		Seq:     s.logLenLocked(),
+		Cycle:   s.cycles,
+	}
+	if s.log != nil {
+		st.Head = s.log.Head()
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleReplogAppend serves POST /v1/replog/append: the leader's push
+// channel. Records already in the log are acknowledged idempotently after a
+// hash check; new records append (gaps rewind the sender) and apply to the
+// in-memory replica. An append from a stale epoch returns 409 with the
+// current one; one from a newer epoch deposes a stale leader on the spot.
+func (s *Service) handleReplogAppend(w http.ResponseWriter, r *http.Request) {
+	var req replAppendReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, &SubmitError{Code: 400, Msg: "bad JSON: " + err.Error()})
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		writeJSON(w, http.StatusConflict, replAppendResp{Epoch: s.leaderEpoch})
+		return
+	}
+	if req.Epoch < s.leaderEpoch {
+		writeJSON(w, http.StatusConflict, replAppendResp{Epoch: s.leaderEpoch})
+		return
+	}
+	if s.role == RoleLeader {
+		if s.cycleBusy {
+			// Mid-cycle: state is between the top and the decision apply;
+			// adopting a new leader's records now would double-apply the
+			// cycle top. The sender retries after the cycle lands.
+			writeJSON(w, http.StatusServiceUnavailable, replAppendResp{Busy: true})
+			return
+		}
+		s.deposeIfStaleLocked(req.Epoch, req.From)
+		if s.role == RoleLeader {
+			writeJSON(w, http.StatusConflict, replAppendResp{Epoch: s.leaderEpoch})
+			return
+		}
+	}
+	s.lastLeader = s.cfg.Clock.Now()
+	s.leaderID = req.From
+	if req.Epoch > s.leaderEpoch {
+		s.leaderEpoch = req.Epoch
+	}
+	// A redelivered prefix (sender rewind) is acknowledged idempotently
+	// after a hash check; everything past the local chain appends and
+	// fsyncs as one group commit, then applies to the in-memory replica.
+	skip := 0
+	for _, rec := range req.Records {
+		if rec.Seq > s.log.Len() {
+			break
+		}
+		have := s.log.Since(rec.Seq-1, 1)
+		if len(have) != 1 || have[0].Hash != rec.Hash {
+			s.ctl.Diverged++
+			s.cfg.Logf("DIVERGED: push seq %d conflicts with local record", rec.Seq)
+			writeJSON(w, http.StatusConflict, replAppendResp{Epoch: s.leaderEpoch, Acked: s.log.Len()})
+			return
+		}
+		skip++
+	}
+	fresh := req.Records[skip:]
+	n, err := s.log.AppendRecords(fresh)
+	for _, rec := range fresh[:n] {
+		if aerr := s.applyRecordLocked(rec); aerr != nil {
+			// The record is durable but unapplicable — a divergence, not a
+			// transport error. Flag it loudly; the ack still advances so the
+			// leader does not loop on it.
+			s.ctl.Diverged++
+			s.cfg.Logf("DIVERGED: apply seq %d: %v", rec.Seq, aerr)
+		}
+	}
+	if err != nil {
+		if ge, ok := err.(*replog.GapError); ok {
+			writeJSON(w, http.StatusConflict, replAppendResp{Want: ge.Want, Acked: s.log.Len()})
+			return
+		}
+		writeErr(w, fmt.Errorf("append records: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, replAppendResp{Acked: s.log.Len()})
+}
+
+// handleReplogGet serves GET /v1/replog: chain position, plus records on
+// request (?from=N&limit=M) for debugging and catch-up tooling.
+func (s *Service) handleReplogGet(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	if s.log == nil {
+		s.mu.Unlock()
+		writeErr(w, &SubmitError{Code: 404, Msg: "no decision log configured"})
+		return
+	}
+	out := map[string]any{
+		"len":        s.log.Len(),
+		"head":       s.log.Head(),
+		"last_epoch": s.log.LastEpoch(),
+	}
+	q := r.URL.Query()
+	if q.Get("from") != "" || q.Get("limit") != "" {
+		from := parseUint(q.Get("from"), 0)
+		limit := int(parseUint(q.Get("limit"), 64))
+		if limit <= 0 || limit > 1024 {
+			limit = 64
+		}
+		out["records"] = s.log.Since(from, limit)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func parseUint(s string, def uint64) uint64 {
+	if s == "" {
+		return def
+	}
+	var v uint64
+	if _, err := fmt.Sscanf(s, "%d", &v); err != nil {
+		return def
+	}
+	return v
+}

@@ -1,0 +1,311 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"threesigma/internal/baselines"
+	"threesigma/internal/core"
+	"threesigma/internal/predictor"
+	"threesigma/internal/replog"
+)
+
+// detConfig builds a deterministic-cycle config around a fresh 3σSched
+// scheduler + predictor pair: the control-plane digests (outcome digest,
+// predictor SHA) are only meaningful when every replica re-derives the
+// same scheduler state.
+func detConfig() Config {
+	p := predictor.New(predictor.Config{})
+	cfg := fastConfig(baselines.ThreeSigma(p, core.Config{CycleInterval: 1}))
+	cfg.Predictor = p
+	cfg.DetCycles = true
+	return cfg
+}
+
+func waitUntil(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// lateHandler lets an httptest.Server be created (fixing its URL) before
+// the service that will serve it exists: Config.Peers must name every
+// replica's URL at construction time.
+type lateHandler struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (l *lateHandler) set(h http.Handler) {
+	l.mu.Lock()
+	l.h = h
+	l.mu.Unlock()
+}
+
+func (l *lateHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	l.mu.Lock()
+	h := l.h
+	l.mu.Unlock()
+	if h == nil {
+		http.Error(w, "replica not up", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// TestWarmRestartFromLogBitIdentical is the acceptance check for the
+// decision log: a drained daemon (the SIGTERM path: BeginDrain, then Stop)
+// is rebuilt from its log by a brand-new process with a cold scheduler and
+// predictor, and every replay-derived digest must match bitwise.
+func TestWarmRestartFromLogBitIdentical(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "decision.log")
+	l1, err := replog.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := detConfig()
+	cfg.Log = l1
+	svc1 := mustService(t, cfg)
+	svc1.Start()
+	ts := httptest.NewServer(svc1.Handler())
+	for i := 1; i <= 4; i++ {
+		resp, body := postJSON(t, ts, "/v1/jobs", jobRequest{
+			ID: int64(i), Name: "train", User: "alice", Tasks: 4,
+			Runtime: float64(1 + i), SubmitAt: 0.5,
+		})
+		if resp.StatusCode != 202 {
+			t.Fatalf("submit %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+	for i := 1; i <= 4; i++ {
+		waitPhase(t, ts, i, PhaseCompleted)
+	}
+	ts.Close()
+	svc1.BeginDrain()
+	if err := svc1.Stop(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	m1 := svc1.Metrics()
+	if m1.OutcomeDigest == "" || m1.PredictorSHA == "" || m1.LogLen == 0 {
+		t.Fatalf("drained metrics missing digests: %+v", m1)
+	}
+	if err := l1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": reopen the log into a cold service. No checkpoint file is
+	// involved — the log alone must reconstruct the predictor and outcomes.
+	l2, err := replog.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	cfg2 := detConfig()
+	cfg2.Log = l2
+	svc2 := mustService(t, cfg2)
+	m2 := svc2.Metrics()
+	if m2.OutcomeDigest != m1.OutcomeDigest {
+		t.Fatalf("outcome digest diverged after replay: %q != %q", m2.OutcomeDigest, m1.OutcomeDigest)
+	}
+	if m2.PredictorSHA != m1.PredictorSHA {
+		t.Fatalf("predictor SHA diverged after replay: %q != %q", m2.PredictorSHA, m1.PredictorSHA)
+	}
+	if m2.Cycles != m1.Cycles || m2.Counters.Completed != m1.Counters.Completed {
+		t.Fatalf("replayed cycles/completions %d/%d, want %d/%d",
+			m2.Cycles, m2.Counters.Completed, m1.Cycles, m1.Counters.Completed)
+	}
+
+	// The restarted daemon keeps scheduling from where the log ends.
+	svc2.Start()
+	defer svc2.Stop(10 * time.Second)
+	ts2 := httptest.NewServer(svc2.Handler())
+	defer ts2.Close()
+	resp, body := postJSON(t, ts2, "/v1/jobs", jobRequest{
+		ID: 10, Name: "train", User: "alice", Tasks: 4, Runtime: 2, SubmitAt: 0.5,
+	})
+	if resp.StatusCode != 202 {
+		t.Fatalf("post-restart submit: %d %s", resp.StatusCode, body)
+	}
+	waitPhase(t, ts2, 10, PhaseCompleted)
+}
+
+// replicaPair wires two det-mode services into a replica group over
+// httptest servers and returns them started.
+func replicaPair(t *testing.T) (svcs [2]*Service, tss [2]*httptest.Server) {
+	t.Helper()
+	dir := t.TempDir()
+	var late [2]*lateHandler
+	for i := range late {
+		late[i] = &lateHandler{}
+		tss[i] = httptest.NewServer(late[i])
+	}
+	peers := map[int]string{0: tss[0].URL, 1: tss[1].URL}
+	for i := range svcs {
+		l, err := replog.Open(filepath.Join(dir, "r"+string(rune('0'+i))+".log"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { l.Close() })
+		cfg := detConfig()
+		cfg.Log = l
+		cfg.ReplicaID = i
+		cfg.Peers = peers
+		cfg.LeaseInterval = 250 * time.Millisecond
+		cfg.SubmitSyncTimeout = time.Second
+		svcs[i] = mustService(t, cfg)
+		late[i].set(svcs[i].Handler())
+	}
+	for i := range svcs {
+		svcs[i].Start()
+	}
+	return svcs, tss
+}
+
+// TestFollowerMirrorsLeader checks the replication path end to end: the
+// lowest replica ID wins the election, the follower redirects submissions
+// to it with a 307, answers /readyz 503 while following, and converges to
+// the leader's outcome digest and predictor SHA from log records alone.
+func TestFollowerMirrorsLeader(t *testing.T) {
+	svcs, tss := replicaPair(t)
+	defer func() {
+		svcs[1].Stop(5 * time.Second)
+		svcs[0].Stop(5 * time.Second)
+		tss[0].Close()
+		tss[1].Close()
+	}()
+
+	waitUntil(t, 5*time.Second, "replica 0 to win the election", func() bool {
+		r0, _, _ := svcs[0].Role()
+		r1, _, lid := svcs[1].Role()
+		return r0 == RoleLeader && r1 == RoleFollower && lid == 0
+	})
+
+	// The follower withdraws readiness and names the leader.
+	noRedirect := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := noRedirect.Get(tss[1].URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ready struct {
+		Role     string `json:"role"`
+		LeaderID int    `json:"leader_id"`
+	}
+	json.NewDecoder(resp.Body).Decode(&ready)
+	resp.Body.Close()
+	if resp.StatusCode != 503 || ready.Role != "follower" || ready.LeaderID != 0 {
+		t.Fatalf("follower readyz = %d %+v, want 503/follower/leader 0", resp.StatusCode, ready)
+	}
+
+	// A submission to the follower 307s to the leader's URL.
+	b, _ := json.Marshal(jobRequest{ID: 1, Name: "train", User: "alice", Tasks: 4, Runtime: 2, SubmitAt: 0.5})
+	resp, err = noRedirect.Post(tss[1].URL+"/v1/jobs", "application/json", strings.NewReader(string(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 307 || !strings.HasPrefix(resp.Header.Get("Location"), tss[0].URL) {
+		t.Fatalf("follower submit = %d Location %q, want 307 to %s",
+			resp.StatusCode, resp.Header.Get("Location"), tss[0].URL)
+	}
+
+	for i := 1; i <= 3; i++ {
+		resp, body := postJSON(t, tss[0], "/v1/jobs", jobRequest{
+			ID: int64(i), Name: "train", User: "alice", Tasks: 4,
+			Runtime: float64(1 + i), SubmitAt: 0.5,
+		})
+		if resp.StatusCode != 202 {
+			t.Fatalf("submit %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+	for i := 1; i <= 3; i++ {
+		waitPhase(t, tss[0], i, PhaseCompleted)
+	}
+	lm := svcs[0].Metrics()
+	if lm.OutcomeDigest == "" {
+		t.Fatal("leader has no outcome digest")
+	}
+	waitUntil(t, 5*time.Second, "follower to converge to the leader's digests", func() bool {
+		fm := svcs[1].Metrics()
+		return fm.OutcomeDigest == lm.OutcomeDigest && fm.PredictorSHA == lm.PredictorSHA
+	})
+	if fm := svcs[1].Metrics(); fm.Control.Diverged != 0 {
+		t.Fatalf("follower flagged %d divergences: %+v", fm.Control.Diverged, fm.Control)
+	}
+}
+
+// TestFailoverPromotesStandby kills the leader (listener closed, loop
+// stopped — the follower only observes silence) and requires the warm
+// standby to take over on a bumped epoch and schedule new work.
+func TestFailoverPromotesStandby(t *testing.T) {
+	svcs, tss := replicaPair(t)
+	defer func() {
+		svcs[1].Stop(5 * time.Second)
+		tss[1].Close()
+	}()
+
+	waitUntil(t, 5*time.Second, "replica 0 to win the election", func() bool {
+		r0, _, _ := svcs[0].Role()
+		return r0 == RoleLeader
+	})
+	_, epoch0, _ := svcs[0].Role()
+	for i := 1; i <= 2; i++ {
+		resp, body := postJSON(t, tss[0], "/v1/jobs", jobRequest{
+			ID: int64(i), Name: "train", User: "alice", Tasks: 4, Runtime: 2, SubmitAt: 0.5,
+		})
+		if resp.StatusCode != 202 {
+			t.Fatalf("submit %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+	for i := 1; i <= 2; i++ {
+		waitPhase(t, tss[0], i, PhaseCompleted)
+	}
+	preKill := svcs[0].Metrics()
+	waitUntil(t, 5*time.Second, "standby to mirror the leader before the kill", func() bool {
+		return svcs[1].Metrics().OutcomeDigest == preKill.OutcomeDigest
+	})
+
+	// Kill the leader: its listener vanishes and its loop halts.
+	tss[0].Close()
+	if err := svcs[0].Stop(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	waitUntil(t, 5*time.Second, "standby to take over", func() bool {
+		r, _, _ := svcs[1].Role()
+		return r == RoleLeader
+	})
+	_, epoch1, _ := svcs[1].Role()
+	if epoch1 <= epoch0 {
+		t.Fatalf("takeover epoch %d, want > %d", epoch1, epoch0)
+	}
+	m := svcs[1].Metrics()
+	if m.Control.Elections == 0 {
+		t.Fatalf("standby shows no election: %+v", m.Control)
+	}
+	if m.OutcomeDigest != preKill.OutcomeDigest {
+		t.Fatalf("standby digest %q != pre-kill leader digest %q", m.OutcomeDigest, preKill.OutcomeDigest)
+	}
+
+	// The new leader schedules fresh work end to end.
+	resp, body := postJSON(t, tss[1], "/v1/jobs", jobRequest{
+		ID: 5, Name: "train", User: "alice", Tasks: 4, Runtime: 2, SubmitAt: 0.5,
+	})
+	if resp.StatusCode != 202 {
+		t.Fatalf("post-failover submit: %d %s", resp.StatusCode, body)
+	}
+	waitPhase(t, tss[1], 5, PhaseCompleted)
+}

@@ -29,6 +29,12 @@ type jobRequest struct {
 	DeadlineIn    float64 `json:"deadline_in,omitempty"` // SLO: seconds after submit
 	NonPrefFactor float64 `json:"nonpref_factor,omitempty"`
 	Preferred     []int   `json:"preferred,omitempty"`
+	// SubmitAt pins the job's logical submission time (virtual seconds). In
+	// deterministic-cycle mode a pre-stamped workload can then be burst in
+	// up front: which cycle admits each job depends only on its stamp, never
+	// on wall-clock arrival jitter — the property the failover digest gate
+	// relies on. Ignored (must be 0) outside deterministic mode.
+	SubmitAt float64 `json:"submit_at,omitempty"`
 }
 
 type jobResponse struct {
@@ -51,7 +57,12 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, err error) {
+func writeErr(w http.ResponseWriter, err error) { writeErrFor(w, nil, err) }
+
+// writeErrFor renders a SubmitError. A 307 is a not-the-leader redirect:
+// Msg carries the leader's base URL, and when the request is known the
+// original path+query is appended so clients can follow it verbatim.
+func writeErrFor(w http.ResponseWriter, r *http.Request, err error) {
 	if se, ok := err.(*SubmitError); ok {
 		if se.RetryAfter > 0 {
 			secs := int(se.RetryAfter.Seconds())
@@ -59,6 +70,15 @@ func writeErr(w http.ResponseWriter, err error) {
 				secs = 1
 			}
 			w.Header().Set("Retry-After", strconv.Itoa(secs))
+		}
+		if se.Code == http.StatusTemporaryRedirect {
+			loc := se.Msg
+			if r != nil {
+				loc += r.URL.RequestURI()
+			}
+			w.Header().Set("Location", loc)
+			writeJSON(w, se.Code, errResponse{Error: "not the leader; retry at " + loc})
+			return
 		}
 		writeJSON(w, se.Code, errResponse{Error: se.Msg})
 		return
@@ -81,6 +101,11 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	mux.HandleFunc("POST /v1/train", s.handleTrain)
+	// Control plane (DESIGN.md §14): replica status, the leader's log push
+	// channel, and read access to the decision log.
+	mux.HandleFunc("GET /v1/control/status", s.handleControlStatus)
+	mux.HandleFunc("POST /v1/replog/append", s.handleReplogAppend)
+	mux.HandleFunc("GET /v1/replog", s.handleReplogGet)
 	return mux
 }
 
@@ -92,12 +117,20 @@ func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 // drain begins (SIGTERM) or before Start. Liveness (/healthz) stays 200
 // through a drain, so load balancers stop routing without the process being
 // declared dead mid-drain.
+// In a replica group only the leader is ready: followers answer 503 with
+// their role so load balancers route submissions to the leader.
 func (s *Service) handleReady(w http.ResponseWriter, r *http.Request) {
+	role, epoch, leader := s.Role()
 	if !s.Ready() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false})
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"ready": false, "role": string(role), "leader_epoch": epoch, "leader_id": leader,
+		})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"ready": true, "virtual_now": s.VirtualNow()})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ready": true, "role": string(role), "leader_epoch": epoch,
+		"virtual_now": s.VirtualNow(),
+	})
 }
 
 // nodeOpRequest is the body of the POST /v1/nodes/{fail,recover,drain}
@@ -116,7 +149,7 @@ func (s *Service) handleNodeOp(op func(partition, n int) (NodeOpResult, error)) 
 		}
 		res, err := op(req.Partition, req.Nodes)
 		if err != nil {
-			writeErr(w, err)
+			writeErrFor(w, r, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, res)
@@ -135,7 +168,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.Submit(j); err != nil {
-		writeErr(w, err)
+		writeErrFor(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, jobResponse{ID: j.ID, Phase: string(PhaseQueued), VirtualNow: j.Submit})
@@ -169,6 +202,17 @@ func (s *Service) jobFromRequest(req *jobRequest) (*job.Job, error) {
 		id = job.ID(nextServerID.Add(1))
 	}
 	now := s.VirtualNow()
+	if req.SubmitAt != 0 {
+		if !s.cfg.DetCycles {
+			return nil, &SubmitError{Code: 400, Msg: "submit_at requires deterministic-cycle mode"}
+		}
+		if req.SubmitAt < 0 {
+			return nil, &SubmitError{Code: 400, Msg: "submit_at must be non-negative"}
+		}
+		// An explicit stamp decouples logical submission from wall arrival:
+		// jobs stamped in the future are held until their cycle comes.
+		now = req.SubmitAt
+	}
 	j := &job.Job{
 		ID:            id,
 		Name:          req.Name,
@@ -220,7 +264,7 @@ func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.Cancel(id); err != nil {
-		writeErr(w, err)
+		writeErrFor(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, jobResponse{ID: id, Phase: string(PhaseCancelled), VirtualNow: s.VirtualNow()})
@@ -239,7 +283,7 @@ func (s *Service) handleResize(w http.ResponseWriter, r *http.Request) {
 	}
 	c, err := s.Resize(req.Partition, req.Delta)
 	if err != nil {
-		writeErr(w, err)
+		writeErrFor(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -284,18 +328,17 @@ func (s *Service) handleTrain(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, &SubmitError{Code: 400, Msg: "bad JSON: " + err.Error()})
 		return
 	}
-	trained := 0
+	recs := make([]TrainRecord, 0, len(req.Jobs))
 	for _, rec := range req.Jobs {
-		ok := s.Train(&job.Job{
-			Name: rec.Name, User: rec.User, Tasks: rec.Tasks, Priority: rec.Priority,
-		}, rec.Runtime)
-		if !ok && s.cfg.Predictor == nil {
-			writeErr(w, &SubmitError{Code: 404, Msg: "no predictor configured"})
-			return
-		}
-		if ok {
-			trained++
-		}
+		recs = append(recs, TrainRecord{
+			Job:     &job.Job{Name: rec.Name, User: rec.User, Tasks: rec.Tasks, Priority: rec.Priority},
+			Runtime: rec.Runtime,
+		})
+	}
+	trained, err := s.TrainBatch(recs)
+	if err != nil {
+		writeErrFor(w, r, err)
+		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"trained": trained})
 }

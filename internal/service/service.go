@@ -13,19 +13,36 @@
 // checkpointed periodically and on shutdown, and restored on startup, so a
 // restarted daemon predicts exactly as the one that was killed
 // (warm restart).
+//
+// With Config.DetCycles the daemon runs in deterministic-cycle mode
+// (DESIGN.md §14): cycle k executes at logical time k·CycleInterval
+// regardless of wall noise, submissions carry explicit submit_at stamps and
+// are admitted in (Submit, ID) order once their logical time arrives, and
+// cancels/operator actions defer to cycle boundaries. Every replay-relevant
+// input and decision then flows through an append-only hash-chained log
+// (internal/replog) that is synchronously replicated to standby replicas and
+// replayed on restart, so a warm standby that takes over after a leader
+// kill -9 resumes with a bitwise-identical outcome digest. Task execution
+// can further be delegated to remote node-group agents (internal/agent): the
+// service becomes a pure reconciler that diffs desired against actual state
+// and issues idempotent epoch-fenced directives.
 package service
 
 import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"time"
 
+	"threesigma/internal/agent"
 	"threesigma/internal/core"
 	"threesigma/internal/faults"
 	"threesigma/internal/job"
+	"threesigma/internal/metrics"
 	"threesigma/internal/predictor"
+	"threesigma/internal/replog"
 	"threesigma/internal/simulator"
 )
 
@@ -72,6 +89,49 @@ type Config struct {
 	// straggler slowdowns. Operators can also fail/recover/drain nodes
 	// directly via the /v1/nodes endpoints regardless of this setting.
 	Faults *faults.Config
+
+	// --- distributed control plane (DESIGN.md §14) ---
+
+	// DetCycles switches the daemon into deterministic-cycle mode: cycle k
+	// runs at logical time k·CycleInterval (the ticker still paces cycles on
+	// the wall, but the logical clock is cycle-indexed, so a pause — such as
+	// a failover — costs wall time and zero virtual time). Required whenever
+	// Log, Peers, or Agents are configured.
+	DetCycles bool
+
+	// Log, when non-nil, records every replay-relevant input and cycle
+	// decision in an append-only hash-chained log. On New, a non-empty log
+	// is replayed into the engine/scheduler/predictor before the service
+	// starts (warm restart); the predictor checkpoint file is then ignored
+	// on restore, since the log is authoritative.
+	Log *replog.Log
+
+	// ReplicaID identifies this replica in Peers; Peers maps every replica
+	// of the group (including this one) to its base URL. With Peers set the
+	// service starts as a follower and runs lease-based leader election:
+	// the lowest live replica ID leads, bumping the epoch on takeover.
+	ReplicaID int
+	Peers     map[int]string
+
+	// LeaseInterval bounds failover detection: a follower that has not
+	// heard from a leader (log push or status poll) for a full lease starts
+	// an election (default 2s).
+	LeaseInterval time.Duration
+
+	// SubmitSyncTimeout bounds how long an input append waits for all live
+	// followers to acknowledge replication before proceeding anyway
+	// (counted in Metrics.ReplLagTimeouts; default 2s).
+	SubmitSyncTimeout time.Duration
+
+	// Agents, when non-empty, delegates task execution to remote node-group
+	// agents instead of the in-process completion heap. The agents'
+	// partitions must exactly cover the cluster's.
+	Agents []*agent.Client
+
+	// AgentDeadRounds is how many consecutive failed reconcile rounds
+	// declare an agent dead (its partitions fail, evicting its tasks into
+	// the retry path; default 3).
+	AgentDeadRounds int
 }
 
 func (c *Config) fill() error {
@@ -99,8 +159,56 @@ func (c *Config) fill() error {
 	if c.Clock == nil {
 		c.Clock = simulator.WallClock{}
 	}
+	if c.LeaseInterval <= 0 {
+		c.LeaseInterval = 2 * time.Second
+	}
+	if c.SubmitSyncTimeout <= 0 {
+		c.SubmitSyncTimeout = 2 * time.Second
+	}
+	if c.AgentDeadRounds <= 0 {
+		c.AgentDeadRounds = 3
+	}
+	if (c.Log != nil || len(c.Peers) > 0 || len(c.Agents) > 0) && !c.DetCycles {
+		return fmt.Errorf("service: Log/Peers/Agents require DetCycles (the replicated control plane only replays deterministic cycles)")
+	}
+	if len(c.Peers) > 0 {
+		if c.Log == nil {
+			return fmt.Errorf("service: Peers require a replicated Log")
+		}
+		if _, ok := c.Peers[c.ReplicaID]; !ok {
+			return fmt.Errorf("service: ReplicaID %d missing from Peers", c.ReplicaID)
+		}
+	}
+	if len(c.Agents) > 0 {
+		covered := map[int]bool{}
+		for _, a := range c.Agents {
+			for _, p := range a.Partitions {
+				if covered[p] {
+					return fmt.Errorf("service: partition %d owned by two agents", p)
+				}
+				covered[p] = true
+			}
+		}
+		for p := range c.Cluster.Partitions {
+			if !covered[p] {
+				return fmt.Errorf("service: partition %d not owned by any agent", p)
+			}
+		}
+		if len(covered) != len(c.Cluster.Partitions) {
+			return fmt.Errorf("service: agents own %d partitions, cluster has %d", len(covered), len(c.Cluster.Partitions))
+		}
+	}
 	return nil
 }
+
+// Role is a replica's position in the control-plane group.
+type Role string
+
+// Replica roles. A single-replica service (no Peers) is always the leader.
+const (
+	RoleLeader   Role = "leader"
+	RoleFollower Role = "follower"
+)
 
 // statser is implemented by core.Scheduler; greedy baselines are exempt.
 type statser interface{ Stats() core.Stats }
@@ -179,10 +287,72 @@ type Service struct {
 	faultIdx int            // next unapplied schedule event
 	attempts map[job.ID]int // starts per job, for per-attempt crash draws
 
-	started  bool
-	stopped  bool // stop channel closed (Stop called)
-	stop     chan struct{}
-	loopDone chan struct{}
+	// Distributed control plane (DESIGN.md §14).
+	log         *replog.Log
+	schedClock  *simulator.VirtualClock // det mode; Set under mu at each cycle top
+	role        Role                    // guarded by mu
+	leaderEpoch uint64                  // guarded by mu; current leader epoch (ours when leading)
+	leaderID    int                     // guarded by mu; last known leader replica (-1 unknown)
+	lastLeader  time.Time               // guarded by mu; Clock time of last leader contact
+	cycleNow    float64                 // guarded by mu; logical time of the in-flight/last cycle
+	pendTrains  []trainEntry            // guarded by mu; det-mode inputs awaiting a cycle boundary
+	pendCancels []cancelEntry           // guarded by mu
+	pendOps     []opEntry               // guarded by mu
+	recAbandons []job.ID                // guarded by mu; abandons applied during the in-flight solve
+	desired     map[job.ID]*desiredRun  // guarded by mu; agent mode: attempts that should be running
+	agents      []*agentState           // slice immutable; element state guarded by mu
+	followers   []*followerConn         // guarded by mu (appended on takeover); conns have own locks
+	ctl         ControlCounters         // guarded by mu
+	cycleBusy   bool                    // guarded by mu; a leader cycle is between its top and its log append
+
+	started   bool
+	stopped   bool // stop channel closed (Stop called)
+	stop      chan struct{}
+	loopDone  chan struct{}
+	electDone chan struct{}
+}
+
+// trainEntry is one deferred predictor observation (det mode), tagged with
+// its log seq so a follower applies exactly the entries the leader drained.
+type trainEntry struct {
+	seq     uint64
+	j       *job.Job
+	runtime float64
+}
+
+// cancelEntry is one deferred cancellation (det mode).
+type cancelEntry struct {
+	seq uint64
+	id  job.ID
+}
+
+// opEntry is one deferred operator action (det mode).
+type opEntry struct {
+	seq uint64
+	op  opPayload
+}
+
+// desiredRun is the reconciler's desired state for one live attempt (agent
+// mode): what some agent should be running right now.
+type desiredRun struct {
+	runID   int64
+	alloc   simulator.Alloc
+	due     float64
+	crashAt float64
+}
+
+// ControlCounters are the control plane's cumulative counters.
+type ControlCounters struct {
+	Elections       int64 `json:"elections"`         // leaderships assumed by this replica
+	ReplLagTimeouts int64 `json:"repl_lag_timeouts"` // input appends that outwaited a follower ack
+	Diverged        int64 `json:"diverged"`          // chain/epoch/checkpoint mismatches observed
+	RecordsApplied  int64 `json:"records_applied"`   // log records applied as a follower (or replayed)
+	DirectivesSent  int64 `json:"directives_sent"`   // start+evict directives delivered to agents
+	EventsApplied   int64 `json:"events_applied"`    // agent lifecycle events applied
+	Reissued        int64 `json:"reissued"`          // starts re-issued after a desired/actual diff
+	OrphansEvicted  int64 `json:"orphans_evicted"`   // agent tasks evicted as unknown to the scheduler
+	AgentsFailed    int64 `json:"agents_failed"`     // agents declared dead
+	AgentsRecovered int64 `json:"agents_recovered"`  // dead agents re-adopted (reset + recover)
 }
 
 // New builds a Service. If a checkpoint exists at Config.CheckpointPath it
@@ -197,8 +367,12 @@ func New(cfg Config) (*Service, error) {
 		queued:    make(map[job.ID]*job.Job),
 		gone:      make(map[job.ID]bool),
 		abandoned: make(map[job.ID]bool),
+		log:       cfg.Log,
+		leaderID:  -1,
+		desired:   make(map[job.ID]*desiredRun),
 		stop:      make(chan struct{}),
 		loopDone:  make(chan struct{}),
+		electDone: make(chan struct{}),
 	}
 	if cfg.Faults != nil {
 		s.inj = faults.New(*cfg.Faults, cfg.Cluster.Partitions, 0)
@@ -207,7 +381,36 @@ func New(cfg Config) (*Service, error) {
 		cfg.Logf("chaos injector armed: %d node-lifecycle events over %.0fs virtual",
 			len(s.inj.Events()), s.inj.Config().Horizon)
 	}
-	if cfg.Predictor != nil && cfg.CheckpointPath != "" {
+	if cfg.DetCycles {
+		// Pin the scheduler onto the cycle-indexed logical clock so solver
+		// budgets measure zero inside a cycle: the solve explores the same
+		// tree on a loaded box, an idle one, and a replaying standby.
+		s.schedClock = simulator.NewVirtualClock()
+		if ca, ok := cfg.Scheduler.(simulator.ClockAware); ok {
+			ca.SetClock(s.schedClock)
+		}
+	}
+	for _, c := range cfg.Agents {
+		//lint:allow guardedfield New owns the fresh Service exclusively until it returns
+		s.agents = append(s.agents, &agentState{
+			c:            c,
+			outboxStarts: make(map[job.ID]agent.StartDirective),
+			outboxEvicts: make(map[job.ID]agent.EvictDirective),
+		})
+	}
+	replayed := false
+	if s.log != nil && s.log.Len() > 0 {
+		n, err := s.bootstrapReplay()
+		if err != nil {
+			return nil, fmt.Errorf("service: replay decision log: %w", err)
+		}
+		replayed = n > 0
+		//lint:allow guardedfield New owns the fresh Service exclusively until it returns
+		cyc := s.cycles
+		cfg.Logf("replayed %d log records: cycle %d, epoch %d, %d outcomes",
+			n, cyc, s.log.LastEpoch(), len(s.eng.Outcomes()))
+	}
+	if cfg.Predictor != nil && cfg.CheckpointPath != "" && !replayed {
 		found, err := loadCheckpoint(cfg.Predictor, cfg.CheckpointPath)
 		if err != nil {
 			return nil, fmt.Errorf("service: restore checkpoint: %w", err)
@@ -220,7 +423,9 @@ func New(cfg Config) (*Service, error) {
 	return s, nil
 }
 
-// Start launches the scheduling loop. It may be called once.
+// Start launches the scheduling loop. It may be called once. A replica with
+// Peers starts as a follower and joins leader election; otherwise the
+// service leads immediately (bumping the log epoch when a log is attached).
 func (s *Service) Start() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -229,6 +434,14 @@ func (s *Service) Start() {
 	}
 	s.started = true
 	s.epoch = s.cfg.Clock.Now()
+	if len(s.cfg.Peers) > 0 {
+		s.role = RoleFollower
+		s.lastLeader = s.cfg.Clock.Now()
+		go s.electionLoop()
+	} else {
+		close(s.electDone)
+		s.takeoverLocked(0)
+	}
 	go s.loop()
 }
 
@@ -246,13 +459,29 @@ func (s *Service) BeginDrain() {
 	}
 }
 
-// Ready reports whether the service accepts new work: started and not
-// draining. This is the /readyz signal; liveness (/healthz) stays true
-// through a drain.
+// Ready reports whether the service accepts new work: started, not
+// draining, and — in a replica group — currently the leader (followers
+// answer /readyz with 503 so load balancers route submissions to the
+// leader). Liveness (/healthz) stays true through a drain and on followers.
 func (s *Service) Ready() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.started && !s.draining
+	return s.started && !s.draining && s.role == RoleLeader
+}
+
+// Role returns the replica's current role, leader epoch, and last known
+// leader replica ID (-1 when unknown).
+func (s *Service) Role() (Role, uint64, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.role, s.leaderEpoch, s.leaderID
+}
+
+// IsLeader reports whether this replica currently leads.
+func (s *Service) IsLeader() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.role == RoleLeader
 }
 
 // Stop drains the service: new submissions are refused, the in-flight
@@ -273,10 +502,12 @@ func (s *Service) Stop(timeout time.Duration) error {
 	}
 	if timeout <= 0 {
 		<-s.loopDone
+		<-s.electDone
 		return nil
 	}
 	select {
 	case <-s.loopDone:
+		<-s.electDone
 		return nil
 	//lint:allow wallclock the drain timeout bounds real shutdown latency; it must fire on the wall even if the virtual clock stands still
 	case <-time.After(timeout):
@@ -284,9 +515,14 @@ func (s *Service) Stop(timeout time.Duration) error {
 	}
 }
 
-// vnow returns the current virtual time in seconds. Callers hold s.mu or
-// tolerate small skew (the wall clock is monotonic).
-func (s *Service) vnow() float64 {
+// vnowLocked returns the current virtual time in seconds (callers hold s.mu).
+// tolerate small skew (the wall clock is monotonic). In deterministic-cycle
+// mode virtual time is cycle-indexed — it advances only when a cycle runs —
+// so a wall-clock pause (a failover, a slow solve) costs zero virtual time.
+func (s *Service) vnowLocked() float64 {
+	if s.cfg.DetCycles {
+		return s.cycleNow
+	}
 	return s.cfg.Clock.Since(s.epoch).Seconds() * s.cfg.TimeScale
 }
 
@@ -305,14 +541,20 @@ func (s *Service) loop() {
 		case <-s.stop:
 			// One final cycle applies whatever is already admitted, then
 			// the predictor state is flushed so a restart resumes warm.
-			s.runCycle()
-			s.checkpoint()
+			// Followers skip both: their state is the leader's replica.
+			if s.IsLeader() {
+				s.runCycle()
+				s.checkpoint()
+			}
 			s.mu.Lock()
 			comp, canc, cyc := s.counters.Completed, s.counters.Cancelled, s.cycles
 			s.mu.Unlock()
 			s.cfg.Logf("drained: %d completed, %d cancelled, %d cycles", comp, canc, cyc)
 			return
 		case <-ticker.C:
+			if !s.IsLeader() {
+				continue // follower: state advances via replicated records
+			}
 			s.runCycle()
 			if s.cfg.Predictor != nil && s.cfg.CheckpointPath != "" &&
 				s.cfg.Clock.Since(lastCkpt) >= s.cfg.CheckpointEvery {
@@ -323,17 +565,137 @@ func (s *Service) loop() {
 	}
 }
 
-// runCycle is one scheduling round: admit queued jobs, emulate due
-// completions, clear cancelled jobs' scheduler state, run the scheduler on
-// a snapshot (lock released during the solve), and apply its decision.
-// All scheduler methods are invoked from this goroutine only.
+// runCycle is one scheduling round on the leader: reconcile remote agents
+// (when configured), admit queued jobs, apply due completions, clear
+// cancelled jobs' scheduler state, run the scheduler on a snapshot (lock
+// released during the solve), apply its decision, append the cycle record to
+// the decision log, and deliver fresh directives. All scheduler methods are
+// invoked from this goroutine only (while leading; a follower applies
+// records from the replication handler, and the roles hand over under mu).
 func (s *Service) runCycle() {
-	s.mu.Lock()
-	now := s.vnow()
+	// Agent reconcile rounds run before the cycle body, off the lock: they
+	// collect lifecycle events (completions/crashes at exact logical times)
+	// and flush any directives a previous round failed to deliver.
+	var comps []compEv
+	var agentOps []agentOpEv
+	if len(s.agents) > 0 {
+		comps, agentOps = s.reconcileAgents()
+	}
 
-	// Admit the queue in arrival order.
-	admit := s.queue
-	s.queue = nil
+	s.mu.Lock()
+	if s.role != RoleLeader {
+		s.mu.Unlock() // deposed between the tick and here
+		return
+	}
+	// cycleBusy fences depositions while state sits between the cycle top
+	// and the cycle record: a replication push or status poll that proves a
+	// newer epoch backs off until the cycle lands (see handleReplogAppend).
+	s.cycleBusy = true
+	now := s.nextNowLocked()
+	if len(s.agents) == 0 {
+		comps = s.popDueLocked(now)
+	}
+	var inputsThrough uint64
+	if s.log != nil {
+		inputsThrough = s.log.Len()
+	}
+	s.cycleTopLocked(now, comps, agentOps, inputsThrough)
+
+	st := s.eng.Snapshot(now)
+	s.mu.Unlock()
+
+	// The solve runs unlocked: handlers may cancel or resize concurrently
+	// (immediately in wall mode, queued to the next boundary in det mode),
+	// and Engine.Start revalidates every decision against current state
+	// (stale ones are counted as skipped, as in the simulator).
+	dec := s.cfg.Scheduler.Cycle(st)
+
+	s.mu.Lock()
+	s.applyDecisionLocked(now, dec.Preempt, dec.Start)
+	abandons := s.recAbandons
+	s.recAbandons = nil
+	s.cycles++
+	if s.log != nil {
+		_, err := s.log.Append(s.leaderEpoch, replog.TypeCycle, s.cycles, &cyclePayload{
+			Now:           now,
+			InputsThrough: inputsThrough,
+			Comps:         comps,
+			AgentOps:      agentOps,
+			Abandons:      abandons,
+			Preempts:      dec.Preempt,
+			Starts:        dec.Start,
+			EngineEpoch:   s.eng.Epoch(),
+		})
+		if err != nil {
+			s.cfg.Logf("append cycle record: %v", err)
+		}
+	}
+	s.cycleBusy = false
+	s.mu.Unlock()
+	s.notifyFollowers()
+
+	// Deliver directives born this cycle right away so remote execution has
+	// the same cycle latency as the in-process emulation (a completion is
+	// observed one cycle after it is due in both).
+	if len(s.agents) > 0 {
+		s.deliverDirectives(now)
+	}
+}
+
+// nextNowLocked advances to the next cycle's virtual time. Deterministic
+// mode counts cycles; wall mode reads the scaled wall clock.
+func (s *Service) nextNowLocked() float64 {
+	if s.cfg.DetCycles {
+		s.cycleNow = float64(s.cycles+1) * s.cfg.CycleInterval
+		s.schedClock.Set(s.cycleNow)
+		return s.cycleNow
+	}
+	return s.vnowLocked()
+}
+
+// popDueLocked drains emulated completions due by now, in deterministic
+// (time, id) heap order.
+func (s *Service) popDueLocked(now float64) []compEv {
+	var out []compEv
+	for len(s.comps) > 0 && s.comps[0].at <= now {
+		c := heap.Pop(&s.comps).(completion)
+		out = append(out, compEv{ID: c.id, RunID: c.runID, At: c.at, Crash: c.crash})
+	}
+	return out
+}
+
+// cycleTopLocked is the first half of a cycle, shared verbatim between the
+// leader and a follower applying the leader's cycle record: deferred inputs
+// (det mode), admission, completions, the chaos schedule, agent-liveness
+// node ops, and the JobRemoved sweep — in this exact order, so both replicas
+// drive the engine and scheduler through an identical mutation sequence.
+func (s *Service) cycleTopLocked(now float64, comps []compEv, agentOps []agentOpEv, through uint64) {
+	if s.cfg.DetCycles {
+		s.drainInputsLocked(now, through)
+	}
+
+	// Admission: arrival order on the wall path; (Submit, ID) order with
+	// future submissions held back on the deterministic path, so the cycle
+	// at which a job enters the scheduler depends only on its stamp.
+	var admit []*job.Job
+	if s.cfg.DetCycles {
+		sort.SliceStable(s.queue, func(i, k int) bool {
+			//lint:allow floateq exact tie-break: equal-bits submit stamps fall through to the ID order
+			if s.queue[i].Submit != s.queue[k].Submit {
+				return s.queue[i].Submit < s.queue[k].Submit
+			}
+			return s.queue[i].ID < s.queue[k].ID
+		})
+		n := 0
+		for n < len(s.queue) && s.queue[n].Submit <= now {
+			n++
+		}
+		admit = s.queue[:n]
+		s.queue = append([]*job.Job(nil), s.queue[n:]...)
+	} else {
+		admit = s.queue
+		s.queue = nil
+	}
 	for _, j := range admit {
 		delete(s.queued, j.ID)
 		if err := s.eng.Submit(j); err != nil {
@@ -345,34 +707,35 @@ func (s *Service) runCycle() {
 		s.cfg.Scheduler.JobSubmitted(j, now)
 	}
 
-	// Emulated execution: complete every run whose virtual finish time has
-	// passed. Stale entries (preempted or cancelled runs) pop and drop;
-	// crash entries kill the attempt through the engine's failure path.
-	for len(s.comps) > 0 && s.comps[0].at <= now {
-		c := heap.Pop(&s.comps).(completion)
-		if c.crash {
-			requeued, ok := s.eng.CrashRun(c.id, c.runID, c.at)
+	// Execution events: emulated heap pops or remote agent reports. Stale
+	// entries (preempted or cancelled runs) drop; crash entries kill the
+	// attempt through the engine's failure path.
+	for _, c := range comps {
+		if c.Crash {
+			requeued, ok := s.eng.CrashRun(c.ID, c.RunID, c.At)
 			if !ok {
 				continue
 			}
+			s.dropDesiredLocked(c.ID, false)
 			s.counters.Evicted++
 			if !requeued {
 				s.counters.FailedOut++
-				s.removed = append(s.removed, c.id)
+				s.removed = append(s.removed, c.ID)
 			}
 			continue
 		}
-		j, base, ok := s.eng.Complete(c.id, c.runID, c.at)
+		j, base, ok := s.eng.Complete(c.ID, c.RunID, c.At)
 		if !ok {
 			continue
 		}
+		s.dropDesiredLocked(c.ID, false)
 		s.counters.Completed++
-		s.cfg.Scheduler.JobCompleted(j, base, c.at)
+		s.cfg.Scheduler.JobCompleted(j, base, c.At)
 	}
 
 	// Replay the chaos schedule up to virtual now: node failures evict
 	// running jobs (retry-budget exhaustion is terminal) and recoveries
-	// return capacity before the snapshot below is taken.
+	// return capacity before the snapshot is taken.
 	if s.inj != nil {
 		evs := s.inj.Events()
 		for s.faultIdx < len(evs) && evs[s.faultIdx].Time <= now {
@@ -381,6 +744,7 @@ func (s *Service) runCycle() {
 			switch ev.Kind {
 			case faults.NodeFail:
 				n, evicted, exhausted, _ := s.eng.FailNodes(ev.Partition, ev.Nodes, now)
+				s.evictDesiredLocked(evicted, exhausted)
 				s.counters.Evicted += int64(len(evicted) + len(exhausted))
 				s.counters.FailedOut += int64(len(exhausted))
 				s.removed = append(s.removed, exhausted...)
@@ -396,6 +760,24 @@ func (s *Service) runCycle() {
 		}
 	}
 
+	// Agent-liveness transitions (dead agent = its partitions fail; a
+	// returning agent restores them), recorded in the cycle record so
+	// followers mirror what is otherwise a wall-timing observation.
+	for _, op := range agentOps {
+		if op.Fail {
+			n, evicted, exhausted, _ := s.eng.FailNodes(op.Partition, op.Nodes, now)
+			s.evictDesiredLocked(evicted, exhausted)
+			s.counters.Evicted += int64(len(evicted) + len(exhausted))
+			s.counters.FailedOut += int64(len(exhausted))
+			s.removed = append(s.removed, exhausted...)
+			s.cfg.Logf("agent down: partition %d lost %d nodes (%d requeued, %d failed out)",
+				op.Partition, n, len(evicted), len(exhausted))
+		} else {
+			n, _ := s.eng.RecoverNodes(op.Partition, op.Nodes, now)
+			s.cfg.Logf("agent back: partition %d recovered %d nodes", op.Partition, n)
+		}
+	}
+
 	// Scheduler-side cleanup for jobs cancelled since the last cycle.
 	if rm, ok := s.cfg.Scheduler.(remover); ok {
 		for _, id := range s.removed {
@@ -403,20 +785,19 @@ func (s *Service) runCycle() {
 		}
 	}
 	s.removed = s.removed[:0]
+}
 
-	st := s.eng.Snapshot(now)
-	s.mu.Unlock()
-
-	// The solve runs unlocked: handlers may cancel or resize concurrently,
-	// and Engine.Start revalidates every decision against current state
-	// (stale ones are counted as skipped, as in the simulator).
-	dec := s.cfg.Scheduler.Cycle(st)
-
-	s.mu.Lock()
-	for _, id := range dec.Preempt {
-		s.eng.Preempt(id, now)
+// applyDecisionLocked applies a cycle decision to the engine, shared between
+// the leader (fresh from the solver) and a follower (from the cycle record).
+// Starts schedule their completion: onto the emulated heap, or into the
+// desired-state map plus per-agent outboxes in agent mode.
+func (s *Service) applyDecisionLocked(now float64, preempts []job.ID, starts []simulator.StartAction) {
+	for _, id := range preempts {
+		if s.eng.Preempt(id, now) {
+			s.dropDesiredLocked(id, true)
+		}
 	}
-	for _, a := range dec.Start {
+	for _, a := range starts {
 		run, ok := s.eng.Start(a, now)
 		if !ok {
 			continue
@@ -426,18 +807,26 @@ func (s *Service) runCycle() {
 			rt *= s.inj.Slowdown(run.Job.ID)
 		}
 		rt = math.Max(rt, 0.001)
+		crashAt := 0.0
 		if s.inj != nil {
 			att := s.attempts[run.Job.ID]
 			s.attempts[run.Job.ID] = att + 1
 			if frac, crashes := s.inj.CrashPoint(run.Job.ID, att); crashes {
-				heap.Push(&s.comps, completion{at: now + frac*rt, id: run.Job.ID, runID: run.RunID, crash: true})
-				continue
+				crashAt = now + frac*rt
 			}
+		}
+		if len(s.agents) > 0 {
+			d := &desiredRun{runID: run.RunID, alloc: a.Alloc.Clone(), due: now + rt, crashAt: crashAt}
+			s.desired[run.Job.ID] = d
+			s.queueStartLocked(run.Job.ID, d)
+			continue
+		}
+		if crashAt > 0 {
+			heap.Push(&s.comps, completion{at: crashAt, id: run.Job.ID, runID: run.RunID, crash: true})
+			continue
 		}
 		heap.Push(&s.comps, completion{at: now + rt, id: run.Job.ID, runID: run.RunID})
 	}
-	s.cycles++
-	s.mu.Unlock()
 }
 
 func (s *Service) checkpoint() {
@@ -450,7 +839,20 @@ func (s *Service) checkpoint() {
 	}
 	s.mu.Lock()
 	s.ckpts++
+	// Record the checkpoint's predictor hash: followers recompute theirs on
+	// apply and flag any divergence, which pins standby warmness in CI.
+	if s.log != nil {
+		_, err := s.log.Append(s.leaderEpoch, replog.TypeCheckpoint, s.cycles, &ckptPayload{
+			Cycle:        s.cycles,
+			PredictorSHA: predictorSHA(s.cfg.Predictor),
+			Groups:       s.cfg.Predictor.GroupCount(),
+		})
+		if err != nil {
+			s.cfg.Logf("append checkpoint record: %v", err)
+		}
+	}
 	s.mu.Unlock()
+	s.notifyFollowers()
 }
 
 // SubmitError is a rejection with an HTTP-ready status code.
@@ -462,35 +864,74 @@ type SubmitError struct {
 
 func (e *SubmitError) Error() string { return e.Msg }
 
-// Submit validates and enqueues a job for admission at the next cycle.
+// Submit validates and enqueues a job for admission at the next cycle. On a
+// replicated leader the admission is appended to the decision log and
+// synchronously replicated to live followers before returning, so an
+// accepted job survives a leader kill -9.
 func (s *Service) Submit(j *job.Job) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	if err := s.notLeaderLocked(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
 	if s.draining {
+		s.mu.Unlock()
 		return &SubmitError{Code: 503, Msg: "service is draining"}
 	}
 	if total := s.eng.Cluster().TotalNodes(); j.Tasks <= 0 || j.Tasks > total {
 		s.counters.Invalid++
+		s.mu.Unlock()
 		return &SubmitError{Code: 400,
 			Msg: fmt.Sprintf("job requests %d nodes on a %d-node cluster", j.Tasks, total)}
 	}
 	if j.Runtime <= 0 {
 		s.counters.Invalid++
+		s.mu.Unlock()
 		return &SubmitError{Code: 400, Msg: "job runtime must be positive"}
 	}
 	if _, dup := s.queued[j.ID]; dup || s.gone[j.ID] || s.eng.Outcome(j.ID) != nil {
 		s.counters.Invalid++
+		s.mu.Unlock()
 		return &SubmitError{Code: 409, Msg: fmt.Sprintf("job id %d already submitted", j.ID)}
 	}
 	if len(s.queue) >= s.cfg.QueueCap {
 		s.counters.Rejected++
+		s.mu.Unlock()
 		return &SubmitError{Code: 429, RetryAfter: s.cycleWall(),
 			Msg: fmt.Sprintf("admission queue full (%d)", s.cfg.QueueCap)}
+	}
+	var seq uint64
+	if s.log != nil {
+		rec, err := s.log.Append(s.leaderEpoch, replog.TypeAdmit, s.cycles, &admitPayload{Job: j})
+		if err != nil {
+			s.mu.Unlock()
+			return &SubmitError{Code: 500, Msg: fmt.Sprintf("append admission: %v", err)}
+		}
+		seq = rec.Seq
 	}
 	s.queue = append(s.queue, j)
 	s.queued[j.ID] = j
 	s.counters.Accepted++
+	s.mu.Unlock()
+	if seq > 0 {
+		s.notifyFollowers()
+		s.waitReplicated(seq)
+	}
 	return nil
+}
+
+// notLeaderLocked rejects mutations on a follower: clients are redirected to
+// the current leader (307 at the HTTP layer) or told to retry when no leader
+// is known yet.
+func (s *Service) notLeaderLocked() error {
+	if len(s.cfg.Peers) == 0 || s.role == RoleLeader {
+		return nil
+	}
+	if addr := s.cfg.Peers[s.leaderID]; s.leaderID >= 0 && addr != "" {
+		return &SubmitError{Code: 307, Msg: addr}
+	}
+	return &SubmitError{Code: 503, RetryAfter: s.cfg.LeaseInterval,
+		Msg: "replica is a follower and no leader is known yet"}
 }
 
 // JobPhase is a job's lifecycle position as reported by the status API.
@@ -571,10 +1012,19 @@ func (s *Service) Status(id job.ID) (JobStatus, bool) {
 // Cancel removes a job: queued jobs are dropped before admission, pending
 // jobs leave the queue, running jobs are killed and their nodes freed. The
 // scheduler's per-job state is cleared on the next cycle. Completed or
-// unknown jobs return a SubmitError (409 / 404).
+// unknown jobs return a SubmitError (409 / 404). In deterministic-cycle
+// mode the cancellation is validated now but applied at the next cycle
+// boundary (and, when replicated, logged first), so every replica removes
+// the job at the same logical instant.
 func (s *Service) Cancel(id job.ID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.notLeaderLocked(); err != nil {
+		return err
+	}
+	if s.cfg.DetCycles {
+		return s.deferCancelLocked(id)
+	}
 	if _, ok := s.queued[id]; ok {
 		delete(s.queued, id)
 		for i, j := range s.queue {
@@ -594,7 +1044,7 @@ func (s *Service) Cancel(id job.ID) error {
 		if o.Cancelled {
 			return &SubmitError{Code: 409, Msg: fmt.Sprintf("job %d already cancelled", id)}
 		}
-		if _, ok := s.eng.Cancel(id, s.vnow()); ok {
+		if _, ok := s.eng.Cancel(id, s.vnowLocked()); ok {
 			s.removed = append(s.removed, id)
 			s.counters.Cancelled++
 			return nil
@@ -618,35 +1068,123 @@ func (s *Service) Abandon(id job.ID) {
 	if o == nil || o.Completed || o.Cancelled || s.abandoned[id] || !s.eng.IsPending(id) {
 		return
 	}
-	if _, ok := s.eng.Cancel(id, s.vnow()); ok {
+	if _, ok := s.eng.Cancel(id, s.vnowLocked()); ok {
 		s.abandoned[id] = true
 		s.counters.Abandoned++
 		// The scheduler swept the job's planning state when it abandoned it,
 		// but still holds the abandoned-ID marker; queue a JobRemoved so the
 		// next cycle clears that too and the marker set cannot grow forever.
 		s.removed = append(s.removed, id)
+		// Abandons fire from inside the solve, which followers do not run:
+		// collect them for the cycle record so the replica mirrors them.
+		if s.log != nil {
+			s.recAbandons = append(s.recAbandons, id)
+		}
 	}
 }
 
 // Train feeds one completed historical job into the predictor (the paper's
 // pre-training step, exposed so a fresh daemon can be warmed from a trace).
 // It reports false when no predictor is configured.
+// In deterministic-cycle mode the observation defers to the next cycle
+// boundary (logged and replicated first) so it is ordered against the
+// scheduler's estimate reads identically on every replica.
 func (s *Service) Train(j *job.Job, runtime float64) bool {
-	if s.cfg.Predictor == nil || runtime <= 0 {
-		return false
+	n, err := s.TrainBatch([]TrainRecord{{Job: j, Runtime: runtime}})
+	return err == nil && n == 1
+}
+
+// TrainRecord is one predictor observation fed through TrainBatch.
+type TrainRecord struct {
+	Job     *job.Job
+	Runtime float64
+}
+
+// TrainBatch feeds a batch of history observations to the predictor. In det
+// mode the whole batch is appended to the decision log as one group commit
+// (a single fsync) and replicated with a single wait on the last record —
+// the /v1/train warm-up feed carries thousands of observations, and a
+// per-record fsync + replication round trip would stall it for seconds.
+// Returns the number of observations taken; the error is the follower
+// rejection (307/503) when this replica is not the leader.
+func (s *Service) TrainBatch(recs []TrainRecord) (int, error) {
+	if s.cfg.Predictor == nil {
+		return 0, &SubmitError{Code: 404, Msg: "no predictor configured"}
 	}
-	s.cfg.Predictor.Observe(j, runtime)
+	valid := recs[:0:0]
+	for _, r := range recs {
+		if r.Job != nil && r.Runtime > 0 {
+			valid = append(valid, r)
+		}
+	}
+	if !s.cfg.DetCycles {
+		for _, r := range valid {
+			s.cfg.Predictor.Observe(r.Job, r.Runtime)
+		}
+		s.mu.Lock()
+		s.counters.Trained += int64(len(valid))
+		s.mu.Unlock()
+		return len(valid), nil
+	}
+	if len(valid) == 0 {
+		return 0, nil
+	}
 	s.mu.Lock()
-	s.counters.Trained++
+	if err := s.notLeaderLocked(); err != nil {
+		s.mu.Unlock()
+		return 0, err
+	}
+	var lastSeq uint64
+	if s.log != nil {
+		payloads := make([]any, len(valid))
+		for i, r := range valid {
+			payloads[i] = &trainPayload{
+				Name: r.Job.Name, User: r.Job.User, Tasks: r.Job.Tasks,
+				Priority: r.Job.Priority, Runtime: r.Runtime,
+			}
+		}
+		lrecs, err := s.log.AppendBatch(s.leaderEpoch, replog.TypeTrain, s.cycles, payloads)
+		if err != nil {
+			s.cfg.Logf("append train records: %v", err)
+			s.mu.Unlock()
+			return 0, &SubmitError{Code: 500, Msg: fmt.Sprintf("append train records: %v", err)}
+		}
+		for i, r := range valid {
+			s.pendTrains = append(s.pendTrains, trainEntry{seq: lrecs[i].Seq, j: r.Job, runtime: r.Runtime})
+		}
+		lastSeq = lrecs[len(lrecs)-1].Seq
+	} else {
+		for _, r := range valid {
+			s.pendTrains = append(s.pendTrains, trainEntry{j: r.Job, runtime: r.Runtime})
+		}
+	}
 	s.mu.Unlock()
-	return true
+	if lastSeq > 0 {
+		s.notifyFollowers()
+		s.waitReplicated(lastSeq)
+	}
+	return len(valid), nil
 }
 
 // Resize grows or drains a cluster partition (operator API). Draining only
-// takes free nodes, mirroring the simulator's drain semantics.
+// takes free nodes, mirroring the simulator's drain semantics. In
+// deterministic-cycle mode the resize applies at the next cycle boundary.
 func (s *Service) Resize(partition, delta int) (simulator.Cluster, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.notLeaderLocked(); err != nil {
+		return simulator.Cluster{}, err
+	}
+	if s.cfg.DetCycles {
+		if partition < 0 || partition >= len(s.eng.Cluster().Partitions) {
+			return simulator.Cluster{}, &SubmitError{Code: 400,
+				Msg: fmt.Sprintf("partition %d out of range", partition)}
+		}
+		if err := s.deferOpLocked(opPayload{Kind: opResize, Partition: partition, Delta: delta}); err != nil {
+			return simulator.Cluster{}, err
+		}
+		return s.eng.Cluster(), nil
+	}
 	if err := s.eng.Resize(partition, delta); err != nil {
 		return simulator.Cluster{}, &SubmitError{Code: 400, Msg: err.Error()}
 	}
@@ -672,7 +1210,13 @@ func (s *Service) FailNodes(partition, n int) (NodeOpResult, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	failed, evicted, exhausted, err := s.eng.FailNodes(partition, n, s.vnow())
+	if err := s.notLeaderLocked(); err != nil {
+		return NodeOpResult{}, err
+	}
+	if s.cfg.DetCycles {
+		return s.deferNodeOpLocked(opPayload{Kind: opFail, Partition: partition, N: n})
+	}
+	failed, evicted, exhausted, err := s.eng.FailNodes(partition, n, s.vnowLocked())
 	if err != nil {
 		return NodeOpResult{}, &SubmitError{Code: 400, Msg: err.Error()}
 	}
@@ -694,7 +1238,13 @@ func (s *Service) RecoverNodes(partition, n int) (NodeOpResult, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	rec, err := s.eng.RecoverNodes(partition, n, s.vnow())
+	if err := s.notLeaderLocked(); err != nil {
+		return NodeOpResult{}, err
+	}
+	if s.cfg.DetCycles {
+		return s.deferNodeOpLocked(opPayload{Kind: opRecover, Partition: partition, N: n})
+	}
+	rec, err := s.eng.RecoverNodes(partition, n, s.vnowLocked())
 	if err != nil {
 		return NodeOpResult{}, &SubmitError{Code: 400, Msg: err.Error()}
 	}
@@ -712,7 +1262,13 @@ func (s *Service) DrainNodes(partition, n int) (NodeOpResult, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.eng.DrainNodes(partition, n, s.vnow()); err != nil {
+	if err := s.notLeaderLocked(); err != nil {
+		return NodeOpResult{}, err
+	}
+	if s.cfg.DetCycles {
+		return s.deferNodeOpLocked(opPayload{Kind: opDrain, Partition: partition, N: n})
+	}
+	if err := s.eng.DrainNodes(partition, n, s.vnowLocked()); err != nil {
 		code := 400
 		if partition >= 0 && partition < len(s.eng.Cluster().Partitions) {
 			code = 409 // valid partition, not enough free nodes right now
@@ -750,9 +1306,29 @@ type Metrics struct {
 	FreeNodes       []int    `json:"free_nodes"`
 	DownNodes       []int    `json:"down_nodes"`
 	NodeDownSeconds float64  `json:"node_down_seconds"`
-	Ready           bool     `json:"ready"` // started and not draining
+	Ready           bool     `json:"ready"` // started, not draining, leading
 	Checkpoints     int64    `json:"checkpoints"`
 	PredictorGroups int      `json:"predictor_groups,omitempty"`
+
+	// Control plane (DESIGN.md §14).
+	Role          string          `json:"role"`
+	ReplicaID     int             `json:"replica_id"`
+	LeaderID      int             `json:"leader_id"` // -1 when unknown
+	LeaderEpoch   uint64          `json:"leader_epoch"`
+	LogLen        uint64          `json:"log_len,omitempty"`
+	LogHead       string          `json:"log_head,omitempty"`       // chain head hash (first 12 hex)
+	ReplicatedSeq uint64          `json:"replicated_seq,omitempty"` // min live-follower ack (leader)
+	Control       ControlCounters `json:"control,omitempty"`
+	AgentsLive    int             `json:"agents_live,omitempty"`
+	AgentsDead    int             `json:"agents_dead,omitempty"`
+
+	// OutcomeDigest hashes every finished job's fate (metrics.JobsDigest):
+	// the cross-deployment determinism signal the cluster smoke gate
+	// compares between a failover run and an uninterrupted one.
+	OutcomeDigest string `json:"outcome_digest,omitempty"`
+	// PredictorSHA hashes the predictor's serialized history, pinning
+	// standby warmness.
+	PredictorSHA string `json:"predictor_sha,omitempty"`
 
 	// Scheduler-side counters (zero for greedy baselines).
 	SchedCycles   int           `json:"sched_cycles"`
@@ -810,7 +1386,7 @@ func (s *Service) Metrics() Metrics {
 	defer s.mu.Unlock()
 	m := Metrics{
 		UptimeSeconds:   s.cfg.Clock.Since(s.epoch).Seconds(),
-		VirtualNow:      s.vnow(),
+		VirtualNow:      s.vnowLocked(),
 		TimeScale:       s.cfg.TimeScale,
 		Cycles:          s.cycles,
 		Counters:        s.counters,
@@ -822,9 +1398,9 @@ func (s *Service) Metrics() Metrics {
 		Partitions:      append([]int(nil), s.eng.Cluster().Partitions...),
 		FreeNodes:       s.eng.FreeNodes(),
 		DownNodes:       s.eng.DownNodes(),
-		Ready:           s.started && !s.draining,
+		Ready:           s.started && !s.draining && s.role == RoleLeader,
 		Checkpoints:     s.ckpts,
-		NodeDownSeconds: s.eng.NodeDownSeconds(s.vnow()),
+		NodeDownSeconds: s.eng.NodeDownSeconds(s.vnowLocked()),
 		SchedCycles:     cs.Cycles,
 		SolverNodes:     cs.SolverNodes,
 		SolverLPIters:   cs.SolverLPIters,
@@ -860,7 +1436,28 @@ func (s *Service) Metrics() Metrics {
 	}
 	if s.cfg.Predictor != nil {
 		m.PredictorGroups = s.cfg.Predictor.GroupCount()
+		m.PredictorSHA = predictorSHA(s.cfg.Predictor)
 	}
+	m.Role = string(s.role)
+	m.ReplicaID = s.cfg.ReplicaID
+	m.LeaderID = s.leaderID
+	m.LeaderEpoch = s.leaderEpoch
+	m.Control = s.ctl
+	if s.log != nil {
+		m.LogLen = s.log.Len()
+		if h := s.log.Head(); len(h) >= 12 {
+			m.LogHead = h[:12]
+		}
+		m.ReplicatedSeq = s.minFollowerAckLocked()
+	}
+	for _, as := range s.agents {
+		if as.dead {
+			m.AgentsDead++
+		} else {
+			m.AgentsLive++
+		}
+	}
+	m.OutcomeDigest = metrics.JobsDigest(s.eng.Outcomes())
 	return m
 }
 
@@ -872,5 +1469,5 @@ func (s *Service) VirtualNow() float64 {
 	if !s.started {
 		return 0
 	}
-	return s.vnow()
+	return s.vnowLocked()
 }

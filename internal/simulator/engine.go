@@ -141,6 +141,12 @@ func (e *Engine) IsPending(id job.ID) bool {
 // SkippedStarts returns how many start actions failed validation.
 func (e *Engine) SkippedStarts() int { return e.skipped }
 
+// Epoch returns the engine's mutation counter. Two engines that applied the
+// same mutation sequence hold equal epochs, which is what the replicated
+// control plane cross-checks after every applied cycle record: a follower
+// whose epoch drifts from the leader's logged value has diverged.
+func (e *Engine) Epoch() uint64 { return e.epoch }
+
 // Submit admits a job into the pending queue. It rejects gangs that can
 // never fit the cluster and duplicate job IDs.
 func (e *Engine) Submit(j *job.Job) error {

@@ -8,9 +8,12 @@
 # gate (patched and force-rebuilt runs must agree bitwise, with and without
 # fault injection), a sharded-domain digest gate (-shards 1 vs -shards 8 vs
 # single-worker solves must agree bitwise on an equivalence-partitioned
-# workload), and an end-to-end smoke of the
+# workload), an end-to-end smoke of the
 # online service (serverd + loadgen, including a SIGTERM warm restart and
-# a /readyz drain check). Run from anywhere; operates on the repo root.
+# a /readyz drain check), and the cluster failover gate (3-replica serverd
+# group + 4 agentd node groups, leader kill -9ed mid-run, survivors'
+# outcome digest byte-identical to an uninterrupted single-replica run).
+# Run from anywhere; operates on the repo root.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -114,5 +117,12 @@ cat "$WORK/sh1"
 
 echo "== service e2e smoke =="
 ./scripts/smoke_service.sh
+
+echo "== cluster failover digest gate =="
+# Distributed control plane (DESIGN.md §14): agents own execution, replicas
+# mirror the decision log, and a kill -9ed leader must hand over to a warm
+# standby whose final outcome digest and predictor SHA are byte-identical
+# to an uninterrupted single-replica run of the same workload.
+./scripts/cluster_smoke.sh
 
 echo "CI OK"
