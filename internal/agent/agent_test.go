@@ -200,13 +200,17 @@ func TestHTTPRoundTrip(t *testing.T) {
 	if len(resp.Events) != 1 || resp.Events[0].At != 25 {
 		t.Fatalf("round 2: %+v", resp)
 	}
-	// Fencing surfaces as ErrStaleEpoch through the client.
+	// Fencing surfaces as ErrStaleEpoch through the client — with the
+	// agent's fencing epoch populated, so the deposed leader can step down
+	// to it rather than shrugging off a zero-valued fence.
 	c2 := &Client{Addr: srv.URL}
 	c2.Reconcile(ReconcileRequest{Epoch: 5, Now: 31})
 	if _, err := c.Reconcile(ReconcileRequest{Epoch: 1, Now: 32}); err == nil {
 		t.Fatal("stale epoch not surfaced over HTTP")
-	} else if _, ok := err.(*ErrStaleEpoch); !ok {
+	} else if se, ok := err.(*ErrStaleEpoch); !ok {
 		t.Fatalf("stale epoch error type: %v", err)
+	} else if se.Got != 1 || se.Seen != 5 {
+		t.Fatalf("fence detail lost over HTTP: got=%d seen=%d, want 1/5", se.Got, se.Seen)
 	}
 }
 

@@ -30,6 +30,11 @@ type ReconcileResponse struct {
 
 type errResponse struct {
 	Error string `json:"error"`
+	// Got/Seen mirror ErrStaleEpoch on a 409 so the fenced leader learns
+	// the epoch that outranks it (and can step down to it) instead of
+	// guessing from an opaque error string.
+	Got  uint64 `json:"got,omitempty"`
+	Seen uint64 `json:"seen,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -81,8 +86,8 @@ func (a *Agent) handleReconcile(w http.ResponseWriter, r *http.Request) {
 // writeStaleOr500 maps epoch fencing to 409 Conflict — the deposed leader
 // must stand down, not retry — and anything else to 500.
 func writeStaleOr500(w http.ResponseWriter, err error) {
-	if _, ok := err.(*ErrStaleEpoch); ok {
-		writeJSON(w, http.StatusConflict, errResponse{Error: err.Error()})
+	if se, ok := err.(*ErrStaleEpoch); ok {
+		writeJSON(w, http.StatusConflict, errResponse{Error: err.Error(), Got: se.Got, Seen: se.Seen})
 		return
 	}
 	writeJSON(w, http.StatusInternalServerError, errResponse{Error: err.Error()})
@@ -131,7 +136,10 @@ func (c *Client) Reconcile(req ReconcileRequest) (*ReconcileResponse, error) {
 	case http.StatusConflict:
 		var e errResponse
 		json.Unmarshal(raw, &e)
-		return nil, &ErrStaleEpoch{} // fenced; detail in the agent's log
+		// Carry the agent's fencing epoch through so the caller can step
+		// down to it (Seen stays 0 against an agent predating the field;
+		// the fence itself is still proof the leadership is over).
+		return nil, &ErrStaleEpoch{Got: e.Got, Seen: e.Seen}
 	default:
 		return nil, fmt.Errorf("agent %s: reconcile: %d %s", c.Addr, resp.StatusCode, strings.TrimSpace(string(raw)))
 	}

@@ -20,6 +20,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"time"
@@ -68,10 +69,13 @@ func (s *Service) notifyFollowers() {
 
 // waitReplicated blocks until every live follower has acknowledged the log
 // through seq, the replica is deposed, or SubmitSyncTimeout elapses (counted
-// in ControlCounters.ReplLagTimeouts). Called without s.mu. Liveness is a
-// lease: a follower that has not acked anything for a full LeaseInterval is
-// presumed down and not waited for — its log catches up when it returns.
-func (s *Service) waitReplicated(seq uint64) {
+// in ControlCounters.ReplLagTimeouts). It reports whether the wait ended
+// with every live follower caught up — false means the record is durable
+// only on this replica's log and is lost if it dies before a follower
+// catches up. Called without s.mu. Liveness is a lease: a follower that has
+// not acked anything for a full LeaseInterval is presumed down and not
+// waited for — its log catches up when it returns.
+func (s *Service) waitReplicated(seq uint64) bool {
 	deadline := s.cfg.Clock.Now().Add(s.cfg.SubmitSyncTimeout)
 	for {
 		s.mu.Lock()
@@ -79,7 +83,8 @@ func (s *Service) waitReplicated(seq uint64) {
 		conns := s.followers
 		s.mu.Unlock()
 		if !leading {
-			return
+			// Deposed mid-wait: the record's fate belongs to the new term.
+			return false
 		}
 		lagging := false
 		now := s.cfg.Clock.Now()
@@ -94,13 +99,13 @@ func (s *Service) waitReplicated(seq uint64) {
 			}
 		}
 		if !lagging {
-			return
+			return true
 		}
 		if s.cfg.Clock.Now().After(deadline) {
 			s.mu.Lock()
 			s.ctl.ReplLagTimeouts++
 			s.mu.Unlock()
-			return
+			return false
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
@@ -184,6 +189,9 @@ type replAppendResp struct {
 	Epoch uint64 `json:"epoch,omitempty"`
 	// Busy is set when the follower is mid-transition and wants a retry.
 	Busy bool `json:"busy,omitempty"`
+	// Leader is set on a conflict rejection when the rejecting replica is
+	// itself leading at Epoch — the equal-epoch dueling-leader signal.
+	Leader bool `json:"leader,omitempty"`
 }
 
 // runSender streams the log to one follower for the duration of a term.
@@ -208,9 +216,9 @@ func (s *Service) runSender(fc *followerConn, epoch uint64) {
 		}
 		for {
 			batch := s.log.Since(sent, 256)
-			resp, err := s.pushBatch(fc, epoch, batch)
+			resp, code, err := s.pushBatch(fc, epoch, batch)
 			if err != nil {
-				break // peer unreachable; heartbeat retries
+				break // peer unreachable or non-protocol reply; heartbeat retries
 			}
 			switch {
 			case resp.Epoch > epoch:
@@ -220,11 +228,25 @@ func (s *Service) runSender(fc *followerConn, epoch uint64) {
 			case resp.Busy:
 				// Follower mid-cycle-apply or mid-election; back off to the
 				// heartbeat.
+			case resp.Leader && resp.Epoch == epoch:
+				// Equal-epoch dueling leaders: the lower replica ID keeps the
+				// term (see electionTick). If the peer outranks us, this
+				// leadership is over; otherwise the peer steps down on its
+				// own tick — back off to the heartbeat until it has.
+				if fc.id < s.cfg.ReplicaID {
+					s.stepDown(epoch, fc.id)
+					return
+				}
 			case resp.Want > 0:
 				if resp.Want >= 1 {
 					sent = resp.Want - 1
 				}
 				continue // rewind and retry immediately
+			case code != http.StatusOK:
+				// A conflict without a usable cursor (e.g. the follower
+				// flagged divergence): not an ack — leave the send cursor and
+				// lastOK alone so the peer counts as lagging, and retry on
+				// the heartbeat.
 			default:
 				sent = resp.Acked
 				fc.fmu.Lock()
@@ -242,21 +264,33 @@ func (s *Service) runSender(fc *followerConn, epoch uint64) {
 	}
 }
 
-func (s *Service) pushBatch(fc *followerConn, epoch uint64, batch []replog.Record) (*replAppendResp, error) {
+// pushBatch posts one append and decodes the protocol statuses (200 OK,
+// 409 Conflict, 503 Busy) into a replAppendResp. Anything else — a 500
+// errResponse, a proxy error page — is a transport-grade error: its body
+// must not be mistaken for an all-zero ack that would rewind the send
+// cursor and refresh the peer's liveness lease.
+func (s *Service) pushBatch(fc *followerConn, epoch uint64, batch []replog.Record) (*replAppendResp, int, error) {
 	body, err := json.Marshal(&replAppendReq{From: s.cfg.ReplicaID, Epoch: epoch, Records: batch})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	httpResp, err := fc.httpc.Post(fc.addr+"/v1/replog/append", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer httpResp.Body.Close()
-	var resp replAppendResp
-	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
-		return nil, err
+	switch httpResp.StatusCode {
+	case http.StatusOK, http.StatusConflict, http.StatusServiceUnavailable:
+		var resp replAppendResp
+		if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+			return nil, httpResp.StatusCode, err
+		}
+		return &resp, httpResp.StatusCode, nil
+	default:
+		raw, _ := io.ReadAll(io.LimitReader(httpResp.Body, 4096))
+		return nil, httpResp.StatusCode, fmt.Errorf("replog push: %d %s",
+			httpResp.StatusCode, bytes.TrimSpace(raw))
 	}
-	return &resp, nil
 }
 
 // deposeIfStale steps down if epoch beats ours. from is the replica that
@@ -271,11 +305,33 @@ func (s *Service) deposeIfStaleLocked(epoch uint64, from int) {
 	if epoch <= s.leaderEpoch {
 		return
 	}
+	s.stepDownLocked(epoch, from)
+}
+
+// stepDown is stepDownLocked without s.mu held.
+func (s *Service) stepDown(epoch uint64, from int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stepDownLocked(epoch, from)
+}
+
+// stepDownLocked unconditionally abdicates to follower. Unlike
+// deposeIfStaleLocked it does not require a strictly newer epoch: it is the
+// landing point for fences that prove this leadership must end even when
+// the observed epoch does not exceed ours — an agent 409 (the agent's epoch
+// is strictly above the directive's even if the body carried no detail) and
+// the equal-epoch leader tie-break. epoch is the highest epoch the caller
+// has proof of (0 when unknown); the local epoch never regresses. from is
+// the replica that proved it (-1 unknown).
+func (s *Service) stepDownLocked(epoch uint64, from int) {
 	if s.role == RoleLeader {
-		s.cfg.Logf("replica %d deposed: saw epoch %d > %d", s.cfg.ReplicaID, epoch, s.leaderEpoch)
+		s.cfg.Logf("replica %d deposed at epoch %d: saw epoch %d from %d",
+			s.cfg.ReplicaID, s.leaderEpoch, epoch, from)
 	}
 	s.role = RoleFollower
-	s.leaderEpoch = epoch
+	if epoch > s.leaderEpoch {
+		s.leaderEpoch = epoch
+	}
 	if from >= 0 {
 		s.leaderID = from
 	}
@@ -344,8 +400,15 @@ func (s *Service) electionTick(httpc *http.Client) {
 			maxEpoch = v.st.Epoch
 		}
 		if v.st.Role == string(RoleLeader) && v.st.Epoch >= s.leaderEpoch {
-			if s.role == RoleLeader && v.st.Epoch > s.leaderEpoch && !s.cycleBusy {
-				s.deposeIfStaleLocked(v.st.Epoch, v.id)
+			if s.role == RoleLeader && !s.cycleBusy &&
+				(v.st.Epoch > s.leaderEpoch ||
+					(v.st.Epoch == s.leaderEpoch && v.id < s.cfg.ReplicaID)) {
+				// A newer term always wins. At an equal epoch (two followers
+				// took over at E+1 across a symmetric partition) neither side
+				// ever mints a greater epoch, so the election rule's ID order
+				// breaks the tie: the lower replica ID keeps the term and the
+				// higher one steps down — deterministic, both sides agree.
+				s.stepDownLocked(v.st.Epoch, v.id)
 			}
 			if s.role == RoleFollower {
 				s.lastLeader = s.cfg.Clock.Now()
@@ -422,8 +485,13 @@ func (s *Service) handleReplogAppend(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.deposeIfStaleLocked(req.Epoch, req.From)
+		if s.role == RoleLeader && req.Epoch == s.leaderEpoch && req.From < s.cfg.ReplicaID {
+			// Equal-epoch dueling leaders: the lower replica ID keeps the
+			// term (see electionTick); accept its push as our new leader.
+			s.stepDownLocked(req.Epoch, req.From)
+		}
 		if s.role == RoleLeader {
-			writeJSON(w, http.StatusConflict, replAppendResp{Epoch: s.leaderEpoch})
+			writeJSON(w, http.StatusConflict, replAppendResp{Epoch: s.leaderEpoch, Leader: true})
 			return
 		}
 	}

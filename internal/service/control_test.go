@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"threesigma/internal/agent"
 	"threesigma/internal/baselines"
 	"threesigma/internal/core"
 	"threesigma/internal/predictor"
@@ -308,4 +309,158 @@ func TestFailoverPromotesStandby(t *testing.T) {
 		t.Fatalf("post-failover submit: %d %s", resp.StatusCode, body)
 	}
 	waitPhase(t, tss[1], 5, PhaseCompleted)
+}
+
+// TestAgentFenceDeposesLeader is the zombie-leader regression: a leader
+// whose directives an agent fences (the agent has seen a newer epoch) must
+// step down. Before the fix the client's 409 carried no epoch detail, the
+// conditional depose no-oped on the zero value, and the fenced leader kept
+// appending phantom cycles at its stale epoch forever.
+func TestAgentFenceDeposesLeader(t *testing.T) {
+	a := agent.New("a0", map[int]int{0: 8, 1: 8})
+	as := httptest.NewServer(a.Handler())
+	defer as.Close()
+
+	cfg := detConfig()
+	cfg.Agents = []*agent.Client{{Addr: as.URL, Partitions: []int{0, 1}}}
+	svc := mustService(t, cfg)
+	svc.Start()
+	defer svc.Stop(5 * time.Second)
+	waitUntil(t, 5*time.Second, "the single replica to lead", svc.IsLeader)
+	_, epoch0, _ := svc.Role()
+
+	// A newer leadership elsewhere bumps the agent's fence past ours.
+	fencer := &agent.Client{Addr: as.URL}
+	if _, err := fencer.Reconcile(agent.ReconcileRequest{Epoch: epoch0 + 41}); err != nil {
+		t.Fatal(err)
+	}
+
+	waitUntil(t, 5*time.Second, "the fenced leader to step down", func() bool {
+		role, epoch, _ := svc.Role()
+		return role == RoleFollower && epoch == epoch0+41
+	})
+}
+
+// TestEqualEpochLeadersConverge is the split-brain regression: two replicas
+// leading at the same epoch (the double takeover a symmetric partition
+// allows) must converge — the lower replica ID keeps the term, the higher
+// steps down. Before the fix every depose path demanded a strictly newer
+// epoch, so after the partition healed both led and accepted mutations
+// forever.
+func TestEqualEpochLeadersConverge(t *testing.T) {
+	svcs, tss := replicaPair(t)
+	defer func() {
+		svcs[1].Stop(5 * time.Second)
+		svcs[0].Stop(5 * time.Second)
+		tss[0].Close()
+		tss[1].Close()
+	}()
+
+	waitUntil(t, 5*time.Second, "replica 0 to win the election", func() bool {
+		r0, _, _ := svcs[0].Role()
+		r1, _, _ := svcs[1].Role()
+		return r0 == RoleLeader && r1 == RoleFollower
+	})
+	_, epoch0, _ := svcs[0].Role()
+
+	// Force the dueling leadership a symmetric partition would produce:
+	// replica 1 assumes the same epoch without either side seeing a newer
+	// one.
+	svcs[1].mu.Lock()
+	svcs[1].role = RoleLeader
+	svcs[1].leaderEpoch = epoch0
+	svcs[1].leaderID = 1
+	svcs[1].startSendersLocked()
+	svcs[1].mu.Unlock()
+
+	waitUntil(t, 5*time.Second, "the higher replica ID to step down", func() bool {
+		r0, e0, _ := svcs[0].Role()
+		r1, _, lid1 := svcs[1].Role()
+		return r0 == RoleLeader && e0 == epoch0 && r1 == RoleFollower && lid1 == 0
+	})
+}
+
+// TestErrorPushNotAnAck is the pushBatch regression: a peer answering
+// /v1/replog/append with a 500 error body must be treated as unreachable.
+// Before the fix the errResponse body decoded as an all-zero replAppendResp,
+// which rewound the send cursor and refreshed the peer's liveness lease —
+// and the "live" never-acking peer stalled every Submit for the full
+// SubmitSyncTimeout.
+func TestErrorPushNotAnAck(t *testing.T) {
+	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusInternalServerError, errResponse{Error: "boom"})
+	}))
+	defer broken.Close()
+
+	l, err := replog.Open(filepath.Join(t.TempDir(), "r0.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	late := &lateHandler{}
+	own := httptest.NewServer(late)
+	defer own.Close()
+	cfg := detConfig()
+	cfg.Log = l
+	cfg.ReplicaID = 0
+	cfg.Peers = map[int]string{0: own.URL, 1: broken.URL}
+	cfg.LeaseInterval = 250 * time.Millisecond
+	cfg.SubmitSyncTimeout = 2 * time.Second
+	svc := mustService(t, cfg)
+	late.set(svc.Handler())
+	svc.Start()
+	defer svc.Stop(5 * time.Second)
+	waitUntil(t, 5*time.Second, "replica 0 to take over", svc.IsLeader)
+
+	start := time.Now()
+	resp, body := postJSON(t, own, "/v1/jobs", jobRequest{
+		ID: 1, Name: "train", User: "alice", Tasks: 4, Runtime: 2, SubmitAt: 0.5,
+	})
+	if resp.StatusCode != 202 {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("submit stalled %v behind an error-answering peer (SubmitSyncTimeout %v)",
+			el, cfg.SubmitSyncTimeout)
+	}
+	var jr jobResponse
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatal(err)
+	}
+	if jr.ReplicatedGap {
+		t.Fatalf("peer that never acked counted as a live laggard: %s", body)
+	}
+	if m := svc.Metrics(); m.Control.ReplLagTimeouts != 0 {
+		t.Fatalf("repl_lag_timeouts = %d, want 0", m.Control.ReplLagTimeouts)
+	}
+}
+
+// TestWaitReplicatedReportsGap pins the ack-durability contract: when a
+// live follower has not confirmed the record within SubmitSyncTimeout the
+// wait must say so (the admission is durable only on the leader) instead
+// of acknowledging silently.
+func TestWaitReplicatedReportsGap(t *testing.T) {
+	cfg := detConfig()
+	cfg.SubmitSyncTimeout = 50 * time.Millisecond
+	cfg.LeaseInterval = time.Hour // the stuck follower stays "live" throughout
+	svc := mustService(t, cfg)
+	fc := newFollowerConn(1, "http://127.0.0.1:0", time.Second)
+	fc.lastOK = svc.cfg.Clock.Now()
+	svc.mu.Lock()
+	svc.role = RoleLeader
+	svc.followers = []*followerConn{fc}
+	svc.mu.Unlock()
+
+	if svc.waitReplicated(3) {
+		t.Fatal("timed-out replication wait reported success")
+	}
+	if n := svc.Metrics().Control.ReplLagTimeouts; n != 1 {
+		t.Fatalf("repl_lag_timeouts = %d, want 1", n)
+	}
+	fc.fmu.Lock()
+	fc.acked = 3
+	fc.fmu.Unlock()
+	if !svc.waitReplicated(3) {
+		t.Fatal("caught-up follower reported as a gap")
+	}
 }

@@ -41,6 +41,11 @@ type jobResponse struct {
 	ID         job.ID  `json:"id"`
 	Phase      string  `json:"phase"`
 	VirtualNow float64 `json:"virtual_now"`
+	// ReplicatedGap is set when the admission was accepted but the
+	// synchronous replication wait did not confirm every live follower —
+	// the job is durable only on the leader until replication catches up
+	// (see Service.Submit).
+	ReplicatedGap bool `json:"replicated_gap,omitempty"`
 }
 
 type errResponse struct {
@@ -167,11 +172,14 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	if err := s.Submit(j); err != nil {
+	replicated, err := s.Submit(j)
+	if err != nil {
 		writeErrFor(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, jobResponse{ID: j.ID, Phase: string(PhaseQueued), VirtualNow: j.Submit})
+	writeJSON(w, http.StatusAccepted, jobResponse{
+		ID: j.ID, Phase: string(PhaseQueued), VirtualNow: j.Submit, ReplicatedGap: !replicated,
+	})
 }
 
 // jobFromRequest validates the request shape (schedulability is checked by

@@ -94,7 +94,11 @@ func (s *Service) reconcileAgents() ([]compEv, []agentOpEv) {
 		s.mu.Lock()
 		if err != nil {
 			if se, ok := err.(*agent.ErrStaleEpoch); ok {
-				s.deposeIfStaleLocked(se.Seen, -1)
+				// An agent fence is proof of a newer leadership (the agent's
+				// epoch is strictly above the directive's), so step down even
+				// if se.Seen is stale or unset — a conditional depose would
+				// leave a fenced-off zombie leading forever.
+				s.stepDownLocked(se.Seen, -1)
 				s.mu.Unlock()
 				return nil, nil
 			}
@@ -236,7 +240,8 @@ func (s *Service) deliverDirectives(now float64) {
 		s.mu.Lock()
 		if err != nil {
 			if se, ok := err.(*agent.ErrStaleEpoch); ok {
-				s.deposeIfStaleLocked(se.Seen, -1)
+				// Unconditional: see reconcileAgents.
+				s.stepDownLocked(se.Seen, -1)
 			}
 			// Otherwise keep the outbox; the next phase A retries.
 			s.mu.Unlock()

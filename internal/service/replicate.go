@@ -119,6 +119,18 @@ func predictorSHA(p *predictor.Predictor) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// predictorSHALocked is predictorSHA(s.cfg.Predictor) through a cache that
+// recomputes only after a mutation (train feed, replayed train record)
+// marked it dirty — metrics scrapes between mutations reuse the hash
+// instead of serializing the whole history under s.mu each time.
+func (s *Service) predictorSHALocked() string {
+	if s.predSHA == "" || s.predSHADirty {
+		s.predSHA = predictorSHA(s.cfg.Predictor)
+		s.predSHADirty = false
+	}
+	return s.predSHA
+}
+
 // deferCancelLocked validates a cancellation now and queues it for the next
 // cycle boundary (det mode), appending it to the log first when replicated.
 func (s *Service) deferCancelLocked(id job.ID) error {
@@ -191,6 +203,9 @@ func (s *Service) drainInputsLocked(now float64, through uint64) {
 	for _, e := range trains {
 		s.cfg.Predictor.Observe(e.j, e.runtime)
 		s.counters.Trained++
+	}
+	if len(trains) > 0 {
+		s.predSHADirty = true
 	}
 	cancels := takeThrough(&s.pendCancels, through, func(e cancelEntry) uint64 { return e.seq })
 	for _, e := range cancels {
@@ -333,7 +348,7 @@ func (s *Service) applyRecordLocked(rec replog.Record) error {
 			return fmt.Errorf("checkpoint record %d: %v", rec.Seq, err)
 		}
 		if s.cfg.Predictor != nil && p.PredictorSHA != "" {
-			if got := predictorSHA(s.cfg.Predictor); got != p.PredictorSHA {
+			if got := s.predictorSHALocked(); got != p.PredictorSHA {
 				s.ctl.Diverged++
 				s.cfg.Logf("DIVERGED: predictor sha %.12s != leader %.12s at cycle %d",
 					got, p.PredictorSHA, p.Cycle)

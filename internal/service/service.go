@@ -305,6 +305,13 @@ type Service struct {
 	ctl         ControlCounters         // guarded by mu
 	cycleBusy   bool                    // guarded by mu; a leader cycle is between its top and its log append
 
+	// Cached predictor history hash: sha256 over the full serialized
+	// history is too slow for the per-scrape /v1/metrics path (it grows
+	// with every /v1/train observation), so it recomputes only after a
+	// predictor mutation marks it dirty.
+	predSHA      string // guarded by mu; "" = never computed
+	predSHADirty bool   // guarded by mu; predictor observed since last hash
+
 	started   bool
 	stopped   bool // stop channel closed (Stop called)
 	stop      chan struct{}
@@ -844,7 +851,7 @@ func (s *Service) checkpoint() {
 	if s.log != nil {
 		_, err := s.log.Append(s.leaderEpoch, replog.TypeCheckpoint, s.cycles, &ckptPayload{
 			Cycle:        s.cycles,
-			PredictorSHA: predictorSHA(s.cfg.Predictor),
+			PredictorSHA: s.predictorSHALocked(),
 			Groups:       s.cfg.Predictor.GroupCount(),
 		})
 		if err != nil {
@@ -867,37 +874,48 @@ func (e *SubmitError) Error() string { return e.Msg }
 // Submit validates and enqueues a job for admission at the next cycle. On a
 // replicated leader the admission is appended to the decision log and
 // synchronously replicated to live followers before returning, so an
-// accepted job survives a leader kill -9.
-func (s *Service) Submit(j *job.Job) error {
+// accepted job normally survives a leader kill -9.
+//
+// That durability has a bounded gap: the replication wait gives up after
+// SubmitSyncTimeout (and excludes followers whose liveness lease has
+// lapsed), so an accepted job may exist only on the leader's log. The
+// returned replicated flag reports the distinction — true when every live
+// follower acknowledged the admission (vacuously true without a log or
+// peers), false when the wait timed out or the replica was deposed
+// mid-wait. HTTP clients see a false flag as "replicated_gap": true in the
+// 202 body; durability-sensitive clients should resubmit after a failover
+// (a duplicate ID is rejected with 409, which redelivery treats as
+// delivered).
+func (s *Service) Submit(j *job.Job) (replicated bool, err error) {
 	s.mu.Lock()
 	if err := s.notLeaderLocked(); err != nil {
 		s.mu.Unlock()
-		return err
+		return false, err
 	}
 	if s.draining {
 		s.mu.Unlock()
-		return &SubmitError{Code: 503, Msg: "service is draining"}
+		return false, &SubmitError{Code: 503, Msg: "service is draining"}
 	}
 	if total := s.eng.Cluster().TotalNodes(); j.Tasks <= 0 || j.Tasks > total {
 		s.counters.Invalid++
 		s.mu.Unlock()
-		return &SubmitError{Code: 400,
+		return false, &SubmitError{Code: 400,
 			Msg: fmt.Sprintf("job requests %d nodes on a %d-node cluster", j.Tasks, total)}
 	}
 	if j.Runtime <= 0 {
 		s.counters.Invalid++
 		s.mu.Unlock()
-		return &SubmitError{Code: 400, Msg: "job runtime must be positive"}
+		return false, &SubmitError{Code: 400, Msg: "job runtime must be positive"}
 	}
 	if _, dup := s.queued[j.ID]; dup || s.gone[j.ID] || s.eng.Outcome(j.ID) != nil {
 		s.counters.Invalid++
 		s.mu.Unlock()
-		return &SubmitError{Code: 409, Msg: fmt.Sprintf("job id %d already submitted", j.ID)}
+		return false, &SubmitError{Code: 409, Msg: fmt.Sprintf("job id %d already submitted", j.ID)}
 	}
 	if len(s.queue) >= s.cfg.QueueCap {
 		s.counters.Rejected++
 		s.mu.Unlock()
-		return &SubmitError{Code: 429, RetryAfter: s.cycleWall(),
+		return false, &SubmitError{Code: 429, RetryAfter: s.cycleWall(),
 			Msg: fmt.Sprintf("admission queue full (%d)", s.cfg.QueueCap)}
 	}
 	var seq uint64
@@ -905,7 +923,7 @@ func (s *Service) Submit(j *job.Job) error {
 		rec, err := s.log.Append(s.leaderEpoch, replog.TypeAdmit, s.cycles, &admitPayload{Job: j})
 		if err != nil {
 			s.mu.Unlock()
-			return &SubmitError{Code: 500, Msg: fmt.Sprintf("append admission: %v", err)}
+			return false, &SubmitError{Code: 500, Msg: fmt.Sprintf("append admission: %v", err)}
 		}
 		seq = rec.Seq
 	}
@@ -913,11 +931,12 @@ func (s *Service) Submit(j *job.Job) error {
 	s.queued[j.ID] = j
 	s.counters.Accepted++
 	s.mu.Unlock()
-	if seq > 0 {
+	replicated = true
+	if seq > 0 && len(s.cfg.Peers) > 0 {
 		s.notifyFollowers()
-		s.waitReplicated(seq)
+		replicated = s.waitReplicated(seq)
 	}
-	return nil
+	return replicated, nil
 }
 
 // notLeaderLocked rejects mutations on a follower: clients are redirected to
@@ -1123,6 +1142,9 @@ func (s *Service) TrainBatch(recs []TrainRecord) (int, error) {
 		}
 		s.mu.Lock()
 		s.counters.Trained += int64(len(valid))
+		if len(valid) > 0 {
+			s.predSHADirty = true
+		}
 		s.mu.Unlock()
 		return len(valid), nil
 	}
@@ -1436,7 +1458,7 @@ func (s *Service) Metrics() Metrics {
 	}
 	if s.cfg.Predictor != nil {
 		m.PredictorGroups = s.cfg.Predictor.GroupCount()
-		m.PredictorSHA = predictorSHA(s.cfg.Predictor)
+		m.PredictorSHA = s.predictorSHALocked()
 	}
 	m.Role = string(s.role)
 	m.ReplicaID = s.cfg.ReplicaID
