@@ -58,10 +58,11 @@ loadgen:
 smoke:
 	./scripts/smoke_service.sh
 
-# cluster-smoke runs the distributed control plane failover gate: a
-# 3-replica serverd group with 4 agentd node groups, leader kill -9ed
-# mid-run, and the survivors' outcome digest compared byte-for-byte against
-# an uninterrupted single-replica run (DESIGN.md §14).
+# cluster-smoke runs the distributed control plane durability gate: leader
+# kill -9 failover under quorum acks + log compaction, a follower dead from
+# the start, and a cold restart from a compacted log — every arm's outcome
+# digest compared byte-for-byte against an uninterrupted single-replica run
+# (DESIGN.md §14).
 cluster-smoke:
 	./scripts/cluster_smoke.sh
 

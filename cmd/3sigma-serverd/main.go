@@ -94,6 +94,8 @@ func main() {
 	agentsSpec := flag.String("agents", "", "agent spec url=p0:p1,... delegating task execution to 3sigma-agentd daemons; empty: in-process emulation")
 	lease := flag.Duration("lease", 2*time.Second, "leader lease interval (failover detection bound)")
 	deadRounds := flag.Int("dead-rounds", 3, "consecutive failed reconcile rounds before an agent's partitions are failed")
+	quorum := flag.Int("quorum", 0, "replica logs (leader included) a record needs before it acks as replicated; 0 = majority of -peers")
+	compactEvery := flag.Int64("compact-every", 0, "append a full-state snapshot record and truncate the log below it every N cycles; 0 = never (requires -replog, single-domain 3sigma scheduler)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "3sigma-serverd: ", log.LstdFlags)
@@ -172,6 +174,8 @@ func main() {
 		Peers:             peers,
 		LeaseInterval:     *lease,
 		SubmitSyncTimeout: 2 * *lease,
+		Quorum:            *quorum,
+		CompactEvery:      *compactEvery,
 		Agents:            agents,
 		AgentDeadRounds:   *deadRounds,
 	})

@@ -1,0 +1,76 @@
+package dist
+
+import (
+	"fmt"
+
+	"threesigma/internal/histogram"
+)
+
+// State is a serializable tagged union over the concrete distribution
+// kinds that live in long-term scheduler state (control-plane snapshots,
+// DESIGN.md §14). Scaled and Conditional are deliberately absent: they are
+// transient per-cycle views derived from a stored base distribution, never
+// stored themselves.
+type State struct {
+	Kind string `json:"kind"`
+	// Point.
+	Value float64 `json:"value,omitempty"`
+	// Uniform.
+	Lo float64 `json:"lo,omitempty"`
+	Hi float64 `json:"hi,omitempty"`
+	// Normal (the truncation mass z0 is derived; NewNormal recomputes it
+	// bit-identically from Mu and Sigma).
+	Mu    float64 `json:"mu,omitempty"`
+	Sigma float64 `json:"sigma,omitempty"`
+	// Empirical.
+	Hist *histogram.State `json:"hist,omitempty"`
+}
+
+// Snapshot captures a storable distribution as a State. Transient wrapper
+// kinds (Scaled, Conditional) and unknown implementations error out rather
+// than silently snapshotting something that cannot round-trip.
+func Snapshot(d Distribution) (State, error) {
+	switch v := d.(type) {
+	case Point:
+		return State{Kind: "point", Value: v.Value}, nil
+	case Uniform:
+		return State{Kind: "uniform", Lo: v.Lo, Hi: v.Hi}, nil
+	case Normal:
+		return State{Kind: "normal", Mu: v.Mu, Sigma: v.Sigma}, nil
+	case Empirical:
+		st := State{Kind: "empirical"}
+		if v.H != nil {
+			hs := v.H.Snapshot()
+			st.Hist = &hs
+		}
+		return st, nil
+	default:
+		return State{}, fmt.Errorf("dist: %T is not snapshottable", d)
+	}
+}
+
+// FromState reconstructs the distribution a State describes. The result is
+// bit-identical to the snapshotted original: every kind either stores its
+// full parameterization or (Normal's truncation mass) derives it with the
+// same computation the original constructor used.
+func FromState(st State) (Distribution, error) {
+	switch st.Kind {
+	case "point":
+		return Point{Value: st.Value}, nil
+	case "uniform":
+		return Uniform{Lo: st.Lo, Hi: st.Hi}, nil
+	case "normal":
+		return NewNormal(st.Mu, st.Sigma), nil
+	case "empirical":
+		if st.Hist == nil {
+			return Empirical{}, nil
+		}
+		h, err := histogram.FromState(*st.Hist)
+		if err != nil {
+			return nil, fmt.Errorf("dist: empirical state: %w", err)
+		}
+		return Empirical{H: h}, nil
+	default:
+		return nil, fmt.Errorf("dist: unknown state kind %q", st.Kind)
+	}
+}

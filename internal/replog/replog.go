@@ -2,7 +2,7 @@
 // (DESIGN.md §14): an append-only sequence of hash-chained records holding
 // every scheduler input that matters for deterministic replay — admissions,
 // train feeds, operator node ops, cycle decisions with their agent state
-// deltas, predictor checkpoints, and leader elections.
+// deltas, predictor checkpoints, full-state snapshots, and leader elections.
 //
 // On disk a log is a stream of length-prefixed JSON records (4-byte
 // big-endian length, then the record's JSON bytes), each carrying the
@@ -10,6 +10,13 @@
 // record cannot be altered, dropped, or reordered without breaking every
 // hash that follows. Appends are fsync'd before they are acknowledged; a
 // torn tail left by a crash mid-write is detected and truncated on open.
+//
+// A log may be compacted: records at or below a full-state snapshot record
+// are dropped and replaced by a fixed-size header persisting the base
+// sequence number and the hash the first retained record chains from.
+// Sequence numbers stay dense from the base — recs[i].Seq == Base()+i+1 —
+// so replication cursors and gap detection are unchanged; readers that fall
+// below the base must install the snapshot instead of streaming.
 //
 // The leader serverd owns the authoritative log; followers mirror it
 // byte-for-byte (the chain makes divergence detectable at the first bad
@@ -26,9 +33,11 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 )
 
@@ -56,6 +65,11 @@ const (
 	// predictor state at this point in the log. Replay from the matching
 	// checkpoint file may start here instead of genesis.
 	TypeCheckpoint = "ckpt"
+	// TypeSnapshot carries the full serialized service state (engine,
+	// scheduler, predictor, admission queue, deferred inputs) at this point
+	// in the log. Replay starts at the most recent snapshot instead of
+	// genesis, and the log may be compacted up to it.
+	TypeSnapshot = "snap"
 	// TypeElect records a leader election: the winning replica and the
 	// bumped epoch. Every record that follows carries the new epoch.
 	TypeElect = "elect"
@@ -63,7 +77,8 @@ const (
 
 // Record is one entry of the decision log.
 type Record struct {
-	// Seq is the record's 1-based position; the log is dense (no gaps).
+	// Seq is the record's 1-based position; the log is dense (no gaps)
+	// from the compaction base upward.
 	Seq uint64 `json:"seq"`
 	// Epoch is the leader epoch under which the record was written.
 	Epoch uint64 `json:"epoch"`
@@ -84,6 +99,18 @@ type Record struct {
 
 // genesisHash anchors the chain: the first record's Prev.
 var genesisHash = hex.EncodeToString(make([]byte, sha256.Size))
+
+// Compaction header layout: magic, one version byte, the 8-byte big-endian
+// base sequence (records 1..base are compacted away), and the raw 32-byte
+// hash of record base (the Prev the first retained record chains from).
+// The magic reads as a ~860 MB length prefix — far beyond maxRecordBytes —
+// so it can never collide with a legacy headerless log's first record.
+var headerMagic = []byte("3SRL")
+
+const (
+	headerVersion = 1
+	headerSize    = 4 + 1 + 8 + sha256.Size
+)
 
 // bodyHash computes the record's chained hash from its identifying fields.
 // The hash deliberately covers the canonical field serialization rather
@@ -108,11 +135,26 @@ func (r *Record) Verify(prev string) error {
 	return nil
 }
 
+// logFile is the backing-file surface the log uses; *os.File satisfies it.
+// The seam exists so tests can inject write/fsync failures and exercise the
+// persist rollback path.
+type logFile interface {
+	io.Writer
+	Sync() error
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+	Close() error
+}
+
 // Log is a file-backed decision log. Safe for concurrent use.
 type Log struct {
+	path string // backing file path ("" for an in-memory log)
+
 	mu   sync.Mutex
-	f    *os.File // guarded by mu; nil for an in-memory log
-	recs []Record // guarded by mu; the full chain, recs[i].Seq == i+1
+	f    logFile  // guarded by mu; nil for an in-memory log
+	size int64    // guarded by mu; end offset of the last durable record
+	base uint64   // guarded by mu; highest compacted-away sequence number
+	recs []Record // guarded by mu; retained chain, recs[i].Seq == base+i+1
 	head string   // guarded by mu; hash of the last record (genesisHash when empty)
 }
 
@@ -121,7 +163,7 @@ type Log struct {
 // corruption is an error. An empty path opens an in-memory log (tests,
 // replica-less runs).
 func Open(path string) (*Log, error) {
-	l := &Log{head: genesisHash}
+	l := &Log{path: path, head: genesisHash}
 	if path == "" {
 		return l, nil
 	}
@@ -147,6 +189,8 @@ func Open(path string) (*Log, error) {
 	}
 	//lint:allow guardedfield Open owns the fresh Log exclusively until it returns
 	l.f = f
+	//lint:allow guardedfield Open owns the fresh Log exclusively until it returns
+	l.size = good
 	return l, nil
 }
 
@@ -154,9 +198,24 @@ func Open(path string) (*Log, error) {
 // end of the last complete, chain-valid record. A partial trailing record
 // (short length prefix, short body, or JSON cut mid-stream) is treated as a
 // torn tail; a record that parses but fails chain verification is
-// corruption and errors out.
+// corruption and errors out. A compacted log begins with a fixed-size
+// header naming the base sequence and the hash the chain resumes from.
 func (l *Log) loadLocked(f *os.File) (good int64, err error) {
 	rd := bufio.NewReader(f)
+	if magic, perr := rd.Peek(len(headerMagic)); perr == nil && bytes.Equal(magic, headerMagic) {
+		var hdr [headerSize]byte
+		if _, err := io.ReadFull(rd, hdr[:]); err != nil {
+			// Headers are only ever written via atomic rename; a short
+			// one is corruption, not a torn tail.
+			return 0, fmt.Errorf("replog: short compaction header: %w", err)
+		}
+		if hdr[4] != headerVersion {
+			return 0, fmt.Errorf("replog: unsupported compaction header version %d", hdr[4])
+		}
+		l.base = binary.BigEndian.Uint64(hdr[5:13])
+		l.head = hex.EncodeToString(hdr[13:headerSize])
+		good = headerSize
+	}
 	for {
 		var lenBuf [4]byte
 		if _, err := io.ReadFull(rd, lenBuf[:]); err != nil {
@@ -174,8 +233,8 @@ func (l *Log) loadLocked(f *os.File) (good int64, err error) {
 		if err := json.Unmarshal(body, &rec); err != nil {
 			return good, nil // torn/garbled JSON tail
 		}
-		if rec.Seq != uint64(len(l.recs))+1 {
-			return 0, fmt.Errorf("replog: record %d out of sequence (want %d)", rec.Seq, len(l.recs)+1)
+		if rec.Seq != l.base+uint64(len(l.recs))+1 {
+			return 0, fmt.Errorf("replog: record %d out of sequence (want %d)", rec.Seq, l.base+uint64(len(l.recs))+1)
 		}
 		if err := rec.Verify(l.head); err != nil {
 			return 0, err
@@ -190,7 +249,8 @@ func (l *Log) loadLocked(f *os.File) (good int64, err error) {
 }
 
 // maxRecordBytes bounds one record; a length prefix beyond it is treated as
-// a torn tail rather than an allocation request.
+// a torn tail rather than an allocation request, and appends refuse to
+// persist a record the loader could not read back.
 const maxRecordBytes = 16 << 20
 
 // Close closes the backing file.
@@ -206,10 +266,22 @@ func (l *Log) Close() error {
 }
 
 // Len returns the sequence number of the last record (0 when empty).
+// Compacted records count: Len is the log's logical length, not the number
+// of records held in memory.
 func (l *Log) Len() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return uint64(len(l.recs))
+	return l.base + uint64(len(l.recs))
+}
+
+// Base returns the highest compacted-away sequence number (0 for an
+// uncompacted log). Records with Seq <= Base are no longer readable; a
+// replica whose cursor falls at or below the base must install the
+// snapshot record at Base+1 instead of streaming.
+func (l *Log) Base() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base
 }
 
 // Head returns the hash of the last record (the genesis hash when empty).
@@ -259,7 +331,7 @@ func (l *Log) AppendBatch(epoch uint64, typ string, cycle int64, payloads []any)
 	defer l.mu.Unlock()
 	recs := make([]Record, 0, len(raws))
 	head := l.head
-	seq := uint64(len(l.recs))
+	seq := l.base + uint64(len(l.recs))
 	for _, raw := range raws {
 		seq++
 		rec := Record{Seq: seq, Epoch: epoch, Type: typ, Cycle: cycle, Data: raw, Prev: head}
@@ -293,7 +365,7 @@ func (l *Log) AppendRecords(recs []Record) (int, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	head := l.head
-	seq := uint64(len(l.recs))
+	seq := l.base + uint64(len(l.recs))
 	var lastEpoch uint64
 	if len(l.recs) > 0 {
 		lastEpoch = l.recs[len(l.recs)-1].Epoch
@@ -335,64 +407,248 @@ func (e *GapError) Error() string {
 	return fmt.Sprintf("replog: out-of-sequence record %d (next is %d)", e.Got, e.Want)
 }
 
-// persistAllLocked frames and writes the records in one write syscall and
-// flushes them with one fsync — the group commit underneath Append,
-// AppendBatch, and AppendRecords.
-func (l *Log) persistAllLocked(recs []Record) error {
-	if l.f == nil || len(recs) == 0 {
-		return nil
-	}
+// frameRecords serializes records into the on-disk framing (length prefix +
+// JSON body), refusing any record the loader would treat as a torn tail.
+func frameRecords(recs []Record) (*bytes.Buffer, error) {
 	var buf bytes.Buffer
 	for i := range recs {
 		body, err := json.Marshal(&recs[i])
 		if err != nil {
-			return err
+			return nil, err
+		}
+		if len(body) > maxRecordBytes {
+			return nil, fmt.Errorf("replog: record %d is %d bytes, beyond the %d-byte record bound", recs[i].Seq, len(body), maxRecordBytes)
 		}
 		var lenBuf [4]byte
 		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(body)))
 		buf.Write(lenBuf[:])
 		buf.Write(body)
 	}
+	return &buf, nil
+}
+
+// persistAllLocked frames and writes the records in one write syscall and
+// flushes them with one fsync — the group commit underneath Append,
+// AppendBatch, and AppendRecords. On a short write or fsync failure the
+// file is truncated back to the pre-batch offset: without the rollback the
+// stray bytes would sit between two committed records, and the next
+// successful append would interleave with them — the file then fails chain
+// verification on reopen instead of presenting a clean torn tail.
+func (l *Log) persistAllLocked(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	buf, err := frameRecords(recs)
+	if err != nil {
+		return err
+	}
+	if l.f == nil {
+		return nil
+	}
 	first, last := recs[0].Seq, recs[len(recs)-1].Seq
 	if _, err := l.f.Write(buf.Bytes()); err != nil {
-		return fmt.Errorf("replog: append records %d..%d: %w", first, last, err)
+		return errors.Join(fmt.Errorf("replog: append records %d..%d: %w", first, last, err), l.rollbackLocked())
 	}
 	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("replog: fsync records %d..%d: %w", first, last, err)
+		return errors.Join(fmt.Errorf("replog: fsync records %d..%d: %w", first, last, err), l.rollbackLocked())
+	}
+	l.size += int64(buf.Len())
+	return nil
+}
+
+// rollbackLocked discards any bytes past the last committed record after a
+// failed persist, restoring both the file length and the write offset.
+func (l *Log) rollbackLocked() error {
+	if err := l.f.Truncate(l.size); err != nil {
+		return fmt.Errorf("replog: rollback truncate to %d: %w", l.size, err)
+	}
+	if _, err := l.f.Seek(l.size, io.SeekStart); err != nil {
+		return fmt.Errorf("replog: rollback seek to %d: %w", l.size, err)
 	}
 	return nil
 }
 
-// Since returns a copy of the records with Seq > after, capped at limit
-// (0: no cap). This is the pull/catch-up read used by replication.
+// copyRecords deep-copies records, including each Data payload. Callers of
+// Since/Records hand records to replication senders and JSON encoders on
+// other goroutines; sharing the RawMessage backing array with the live log
+// would let one side observe the other's mutations.
+func copyRecords(src []Record) []Record {
+	out := make([]Record, len(src))
+	copy(out, src)
+	for i := range out {
+		if len(out[i].Data) > 0 {
+			out[i].Data = append(json.RawMessage(nil), out[i].Data...)
+		}
+	}
+	return out
+}
+
+// Since returns a deep copy of the records with Seq > after, capped at
+// limit (0: no cap). This is the pull/catch-up read used by replication.
+// When after falls below the compaction base the missing records no longer
+// exist and Since returns nil: the caller must compare its cursor against
+// Base and install the snapshot instead.
 func (l *Log) Since(after uint64, limit int) []Record {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if after >= uint64(len(l.recs)) {
+	if after < l.base || after >= l.base+uint64(len(l.recs)) {
 		return nil
 	}
-	out := l.recs[after:]
+	out := l.recs[after-l.base:]
 	if limit > 0 && len(out) > limit {
 		out = out[:limit]
 	}
-	return append([]Record(nil), out...)
+	return copyRecords(out)
 }
 
-// Records returns a copy of the full chain.
+// Records returns a deep copy of the retained chain (everything above the
+// compaction base).
 func (l *Log) Records() []Record {
-	return l.Since(0, 0)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return copyRecords(l.recs)
 }
 
 // LastCheckpoint returns the most recent TypeCheckpoint record, or ok=false
 // when the log holds none. Replay may start from the state it names instead
 // of genesis.
 func (l *Log) LastCheckpoint() (Record, bool) {
+	return l.lastOfType(TypeCheckpoint)
+}
+
+// LastSnapshot returns the most recent TypeSnapshot record, or ok=false
+// when the log holds none. It is the record served to far-behind replicas
+// over GET /v1/replog/snapshot and the point bootstrap replay starts from.
+func (l *Log) LastSnapshot() (Record, bool) {
+	return l.lastOfType(TypeSnapshot)
+}
+
+func (l *Log) lastOfType(typ string) (Record, bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	for i := len(l.recs) - 1; i >= 0; i-- {
-		if l.recs[i].Type == TypeCheckpoint {
-			return l.recs[i], true
+		if l.recs[i].Type == typ {
+			rec := l.recs[i]
+			rec.Data = append(json.RawMessage(nil), rec.Data...)
+			return rec, true
 		}
 	}
 	return Record{}, false
+}
+
+// Compact drops every record below keepSeq, which must name a TypeSnapshot
+// record (the state the dropped prefix is subsumed by). The file is
+// rewritten atomically — header plus retained records into a temp file,
+// fsync, rename — so a crash mid-compaction leaves the old log intact.
+// After Compact the log's base is keepSeq-1 and Len is unchanged.
+func (l *Log) Compact(keepSeq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	end := l.base + uint64(len(l.recs))
+	if keepSeq <= l.base+1 {
+		return nil // nothing below keepSeq left to drop
+	}
+	if keepSeq > end {
+		return fmt.Errorf("replog: compact to %d beyond log end %d", keepSeq, end)
+	}
+	anchor := l.recs[keepSeq-1-l.base]
+	if anchor.Type != TypeSnapshot {
+		return fmt.Errorf("replog: compact anchor %d is %q, want %q", keepSeq, anchor.Type, TypeSnapshot)
+	}
+	retained := append([]Record(nil), l.recs[keepSeq-1-l.base:]...)
+	if err := l.rewriteLocked(keepSeq-1, anchor.Prev, retained); err != nil {
+		return err
+	}
+	l.base = keepSeq - 1
+	l.recs = retained
+	return nil
+}
+
+// InstallSnapshot resets the log to hold exactly the given snapshot record,
+// as fetched from a leader whose compaction base has moved past this
+// replica's cursor. Everything the log held before is discarded; the chain
+// resumes at the snapshot, whose body hash is verified before anything is
+// written. Installation only ever moves the log forward.
+func (l *Log) InstallSnapshot(rec Record) error {
+	if rec.Type != TypeSnapshot {
+		return fmt.Errorf("replog: install %q record, want %q", rec.Type, TypeSnapshot)
+	}
+	if rec.Seq == 0 {
+		return fmt.Errorf("replog: install snapshot with zero sequence")
+	}
+	if want := bodyHash(rec.Prev, rec.Seq, rec.Epoch, rec.Type, rec.Cycle, rec.Data); rec.Hash != want {
+		return fmt.Errorf("replog: snapshot record %d body hash mismatch", rec.Seq)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if end := l.base + uint64(len(l.recs)); rec.Seq <= end {
+		return fmt.Errorf("replog: snapshot %d does not advance log of length %d", rec.Seq, end)
+	}
+	recs := []Record{rec}
+	if err := l.rewriteLocked(rec.Seq-1, rec.Prev, recs); err != nil {
+		return err
+	}
+	l.base = rec.Seq - 1
+	l.recs = recs
+	l.head = rec.Hash
+	return nil
+}
+
+// rewriteLocked atomically replaces the backing file with a compaction
+// header (base, resume hash) followed by the given records, then swings the
+// open handle to the new file. In-memory logs skip the file work.
+func (l *Log) rewriteLocked(base uint64, prevHash string, recs []Record) error {
+	if l.f == nil {
+		return nil
+	}
+	prev, err := hex.DecodeString(prevHash)
+	if err != nil || len(prev) != sha256.Size {
+		return fmt.Errorf("replog: rewrite with malformed resume hash %.8s", prevHash)
+	}
+	var hdr [headerSize]byte
+	copy(hdr[:4], headerMagic)
+	hdr[4] = headerVersion
+	binary.BigEndian.PutUint64(hdr[5:13], base)
+	copy(hdr[13:headerSize], prev)
+	buf, err := frameRecords(recs)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(l.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(l.path)+".compact*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(hdr[:]); err != nil {
+		tmp.Close()
+		return err
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), l.path); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(l.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("replog: reopen after rewrite: %w", err)
+	}
+	newSize := int64(headerSize) + int64(buf.Len())
+	if _, err := f.Seek(newSize, io.SeekStart); err != nil {
+		f.Close()
+		return err
+	}
+	l.f.Close()
+	l.f = f
+	l.size = newSize
+	return nil
 }

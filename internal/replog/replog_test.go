@@ -2,6 +2,7 @@ package replog
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -217,5 +218,269 @@ func TestSinceAndLastCheckpoint(t *testing.T) {
 	rec, ok := l.LastCheckpoint()
 	if !ok || rec.Seq != ck.Seq {
 		t.Fatalf("LastCheckpoint = %+v ok=%v", rec, ok)
+	}
+}
+
+// failingFile wraps the log's backing file and fails after writing a
+// partial prefix of one batch, simulating a full disk or I/O error
+// mid-group-commit.
+type failingFile struct {
+	logFile
+	failWrites bool
+	failSyncs  bool
+	partial    int // bytes of each write that land before the error
+}
+
+func (f *failingFile) Write(p []byte) (int, error) {
+	if !f.failWrites {
+		return f.logFile.Write(p)
+	}
+	n := f.partial
+	if n > len(p) {
+		n = len(p)
+	}
+	if n > 0 {
+		if _, err := f.logFile.Write(p[:n]); err != nil {
+			return 0, err
+		}
+	}
+	return n, errInjected
+}
+
+func (f *failingFile) Sync() error {
+	if f.failSyncs {
+		return errInjected
+	}
+	return f.logFile.Sync()
+}
+
+var errInjected = errors.New("injected I/O failure")
+
+// TestPersistFailureRollsBack is the durability-divergence regression: a
+// failed group commit must truncate the file back to the pre-batch offset.
+// Before the fix the partial frame stayed on disk between two committed
+// records, so the next successful append interleaved with the garbage and
+// the file failed chain verification on reopen — the in-memory log and the
+// disk log silently diverged until the restart that found out.
+func TestPersistFailureRollsBack(t *testing.T) {
+	for _, mode := range []string{"write", "sync"} {
+		t.Run(mode, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "decision.log")
+			l, err := Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r1 := mustAppend(t, l, 1, TypeAdmit, 0, map[string]int{"id": 1})
+
+			l.mu.Lock()
+			ff := &failingFile{logFile: l.f, partial: 20}
+			if mode == "write" {
+				ff.failWrites = true
+			} else {
+				ff.failSyncs = true
+			}
+			l.f = ff
+			l.mu.Unlock()
+
+			if _, err := l.Append(1, TypeCycle, 1, map[string]string{"pad": strings.Repeat("y", 100)}); err == nil {
+				t.Fatal("append through a failing file reported success")
+			}
+			if l.Len() != 1 || l.Head() != r1.Hash {
+				t.Fatalf("failed append mutated the chain: len=%d", l.Len())
+			}
+
+			// Heal the file and append again: the committed bytes must form
+			// one clean chain with no garbage interleaved.
+			l.mu.Lock()
+			l.f = ff.logFile
+			l.mu.Unlock()
+			r2 := mustAppend(t, l, 1, TypeCycle, 1, map[string]int{"k": 1})
+			if r2.Seq != 2 || r2.Prev != r1.Hash {
+				t.Fatalf("post-heal append broke the chain: %+v", r2)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			l2, err := Open(path)
+			if err != nil {
+				t.Fatalf("reopen after rolled-back failure: %v", err)
+			}
+			defer l2.Close()
+			if l2.Len() != 2 || l2.Head() != r2.Hash {
+				t.Fatalf("reopened log lost the post-failure append: len=%d head=%.8s want len=2 head=%.8s",
+					l2.Len(), l2.Head(), r2.Hash)
+			}
+		})
+	}
+}
+
+// TestCompactRoundTrip covers the compaction format end to end: compact at
+// a snapshot record, keep appending, reopen, and the dense-from-base chain
+// must verify with Len/Base/Head preserved and the dropped prefix gone.
+func TestCompactRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "decision.log")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, l, 1, TypeAdmit, 0, map[string]int{"id": 1})
+	mustAppend(t, l, 1, TypeCycle, 1, nil)
+	snap := mustAppend(t, l, 1, TypeSnapshot, 1, map[string]string{"state": "everything"})
+	r4 := mustAppend(t, l, 1, TypeCycle, 2, nil)
+
+	// Compacting at a non-snapshot record is refused.
+	if err := l.Compact(r4.Seq); err == nil {
+		t.Fatal("compacted at a cycle record")
+	}
+	if err := l.Compact(snap.Seq); err != nil {
+		t.Fatal(err)
+	}
+	if l.Base() != snap.Seq-1 || l.Len() != 4 || l.Head() != r4.Hash {
+		t.Fatalf("post-compact: base=%d len=%d, want base=%d len=4", l.Base(), l.Len(), snap.Seq-1)
+	}
+	// Compacting again at the same point is a no-op.
+	if err := l.Compact(snap.Seq); err != nil {
+		t.Fatal(err)
+	}
+	// The dropped prefix is unreadable; the retained suffix reads normally.
+	if got := l.Since(0, 0); got != nil {
+		t.Fatalf("Since(0) on compacted log = %+v, want nil", got)
+	}
+	if got := l.Since(snap.Seq-1, 0); len(got) != 2 || got[0].Seq != snap.Seq {
+		t.Fatalf("Since(base) = %+v", got)
+	}
+	r5 := mustAppend(t, l, 1, TypeCycle, 3, nil)
+	if r5.Seq != 5 || r5.Prev != r4.Hash {
+		t.Fatalf("post-compact append: %+v", r5)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen compacted log: %v", err)
+	}
+	defer l2.Close()
+	if l2.Base() != snap.Seq-1 || l2.Len() != 5 || l2.Head() != r5.Hash {
+		t.Fatalf("reopened compacted log: base=%d len=%d head=%.8s, want %d/5/%.8s",
+			l2.Base(), l2.Len(), l2.Head(), snap.Seq-1, r5.Hash)
+	}
+	got, ok := l2.LastSnapshot()
+	if !ok || got.Seq != snap.Seq || got.Hash != snap.Hash {
+		t.Fatalf("LastSnapshot after reopen = %+v ok=%v", got, ok)
+	}
+	// And the torn-tail discipline survives compaction: chop the tail and
+	// the log reopens at the snapshot chain minus the torn record.
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	l3, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen compacted log with torn tail: %v", err)
+	}
+	defer l3.Close()
+	if l3.Len() != 4 || l3.Base() != snap.Seq-1 {
+		t.Fatalf("torn compacted log: len=%d base=%d, want 4/%d", l3.Len(), l3.Base(), snap.Seq-1)
+	}
+}
+
+// TestInstallSnapshot covers the far-behind-standby path: a log (empty or
+// holding a stale prefix) resets to hold exactly the fetched snapshot and
+// then accepts the leader's suffix records.
+func TestInstallSnapshot(t *testing.T) {
+	leader, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		mustAppend(t, leader, 1, TypeCycle, int64(i), nil)
+	}
+	snap := mustAppend(t, leader, 1, TypeSnapshot, 3, map[string]string{"state": "full"})
+	after := mustAppend(t, leader, 1, TypeCycle, 4, nil)
+
+	standby, err := Open(filepath.Join(t.TempDir(), "standby.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, standby, 1, TypeCycle, 0, nil) // stale prefix, overtaken long ago
+
+	// A non-snapshot record and a tampered snapshot are refused.
+	if err := standby.InstallSnapshot(after); err == nil {
+		t.Fatal("installed a cycle record as a snapshot")
+	}
+	bad := snap
+	bad.Cycle = 99
+	if err := standby.InstallSnapshot(bad); err == nil {
+		t.Fatal("installed a tampered snapshot")
+	}
+
+	if err := standby.InstallSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if standby.Len() != snap.Seq || standby.Base() != snap.Seq-1 || standby.Head() != snap.Hash {
+		t.Fatalf("post-install: len=%d base=%d", standby.Len(), standby.Base())
+	}
+	// A re-install of the same (or an older) snapshot does not regress.
+	if err := standby.InstallSnapshot(snap); err == nil {
+		t.Fatal("re-installed a non-advancing snapshot")
+	}
+	if err := standby.AppendRecord(after); err != nil {
+		t.Fatalf("suffix after install: %v", err)
+	}
+	if standby.Head() != leader.Head() {
+		t.Fatal("installed chain diverged from leader")
+	}
+	standby.Close()
+}
+
+// TestSinceDeepCopies is the aliasing regression: records returned by
+// Since/Records/LastSnapshot carry their own Data bytes. Before the fix the
+// RawMessage aliased the log's live backing array, so a caller (the
+// replication sender encoding on another goroutine) could observe payload
+// bytes mutated underneath it.
+func TestSinceDeepCopies(t *testing.T) {
+	l, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, l, 1, TypeAdmit, 0, map[string]int{"id": 7})
+	mustAppend(t, l, 1, TypeSnapshot, 0, map[string]int{"s": 1})
+
+	for _, tc := range []struct {
+		name string
+		recs []Record
+	}{
+		{"Since", l.Since(0, 0)},
+		{"Records", l.Records()},
+	} {
+		name, recs := tc.name, tc.recs
+		if len(recs) != 2 {
+			t.Fatalf("%s returned %d records", name, len(recs))
+		}
+		orig := string(recs[0].Data)
+		for i := range recs[0].Data {
+			recs[0].Data[i] = 'x'
+		}
+		if got := string(l.Records()[0].Data); got != orig {
+			t.Fatalf("mutating a %s result corrupted the log: %q", name, got)
+		}
+	}
+	snap, ok := l.LastSnapshot()
+	if !ok {
+		t.Fatal("no snapshot")
+	}
+	orig := string(snap.Data)
+	for i := range snap.Data {
+		snap.Data[i] = 'x'
+	}
+	if again, _ := l.LastSnapshot(); string(again.Data) != orig {
+		t.Fatalf("mutating a LastSnapshot result corrupted the log: %q", again.Data)
 	}
 }

@@ -67,15 +67,18 @@ func (s *Service) notifyFollowers() {
 	}
 }
 
-// waitReplicated blocks until every live follower has acknowledged the log
-// through seq, the replica is deposed, or SubmitSyncTimeout elapses (counted
-// in ControlCounters.ReplLagTimeouts). It reports whether the wait ended
-// with every live follower caught up — false means the record is durable
-// only on this replica's log and is lost if it dies before a follower
-// catches up. Called without s.mu. Liveness is a lease: a follower that has
-// not acked anything for a full LeaseInterval is presumed down and not
-// waited for — its log catches up when it returns.
+// waitReplicated blocks until the record at seq is quorum-durable — fsync'd
+// on at least Config.Quorum replica logs, the leader's own included — the
+// replica is deposed, or SubmitSyncTimeout elapses (counted in
+// ControlCounters.ReplLagTimeouts). It reports whether quorum was reached:
+// false means the record survives only a minority of the group and is lost
+// if that minority dies before another replica catches up. Called without
+// s.mu. Liveness is a lease: a follower that has not acked anything for a
+// full LeaseInterval is presumed down; once every follower still short of
+// seq is presumed down the wait resolves immediately instead of burning the
+// timeout — a dead minority must not add latency to every submit.
 func (s *Service) waitReplicated(seq uint64) bool {
+	need := s.cfg.Quorum
 	deadline := s.cfg.Clock.Now().Add(s.cfg.SubmitSyncTimeout)
 	for {
 		s.mu.Lock()
@@ -86,20 +89,29 @@ func (s *Service) waitReplicated(seq uint64) bool {
 			// Deposed mid-wait: the record's fate belongs to the new term.
 			return false
 		}
-		lagging := false
+		count := 1 // the leader's own fsync'd log
+		waitable := false
 		now := s.cfg.Clock.Now()
 		for _, fc := range conns {
 			fc.fmu.Lock()
+			acked := fc.acked
 			live := !fc.lastOK.IsZero() && now.Sub(fc.lastOK) <= s.cfg.LeaseInterval
-			behind := fc.acked < seq
 			fc.fmu.Unlock()
-			if live && behind {
-				lagging = true
-				break
+			if acked >= seq {
+				count++
+				continue
+			}
+			if live {
+				waitable = true
 			}
 		}
-		if !lagging {
+		if count >= need {
 			return true
+		}
+		if !waitable {
+			// Every follower that could still push the count to quorum is
+			// lease-lapsed: waiting cannot help. Not a timeout — a report.
+			return false
 		}
 		if s.cfg.Clock.Now().After(deadline) {
 			s.mu.Lock()
@@ -169,6 +181,11 @@ func (s *Service) startSendersLocked() {
 			continue
 		}
 		fc := newFollowerConn(id, addr, s.cfg.LeaseInterval)
+		// Seed the liveness lease optimistically: a fresh conn has pushed
+		// nothing yet, and a zero lastOK would let waitReplicated write the
+		// peer off before its first ack could land. A genuinely dead peer
+		// costs one LeaseInterval of waiting before the lease lapses.
+		fc.lastOK = s.cfg.Clock.Now()
 		s.followers = append(s.followers, fc)
 		go s.runSender(fc, s.leaderEpoch)
 	}
@@ -176,8 +193,12 @@ func (s *Service) startSendersLocked() {
 
 // Replication wire types (POST /v1/replog/append).
 type replAppendReq struct {
-	From    int             `json:"from"`
-	Epoch   uint64          `json:"epoch"`
+	From  int    `json:"from"`
+	Epoch uint64 `json:"epoch"`
+	// Base is the leader's compaction base: records at or below it exist
+	// only inside the snapshot. A follower whose log ends at or below Base
+	// cannot catch up record-by-record and fetches the snapshot instead.
+	Base    uint64          `json:"base,omitempty"`
 	Records []replog.Record `json:"records,omitempty"`
 }
 
@@ -270,7 +291,8 @@ func (s *Service) runSender(fc *followerConn, epoch uint64) {
 // must not be mistaken for an all-zero ack that would rewind the send
 // cursor and refresh the peer's liveness lease.
 func (s *Service) pushBatch(fc *followerConn, epoch uint64, batch []replog.Record) (*replAppendResp, int, error) {
-	body, err := json.Marshal(&replAppendReq{From: s.cfg.ReplicaID, Epoch: epoch, Records: batch})
+	body, err := json.Marshal(&replAppendReq{From: s.cfg.ReplicaID, Epoch: epoch,
+		Base: s.log.Base(), Records: batch})
 	if err != nil {
 		return nil, 0, err
 	}
@@ -425,10 +447,19 @@ func (s *Service) electionTick(httpc *http.Client) {
 	if s.cfg.Clock.Now().Sub(s.lastLeader) <= s.cfg.LeaseInterval {
 		return
 	}
-	// Lease lapsed: stand iff no visible peer is a better candidate —
-	// longer log wins (it holds acknowledged inputs this replica may lack),
-	// lowest replica ID breaks ties. Deterministic: every live replica
-	// ranks the same set the same way.
+	// Lease lapsed: stand only from inside a visible quorum. Any two
+	// quorums intersect, so a candidate that can see Quorum replicas
+	// (itself included) is guaranteed to see at least one log holding every
+	// quorum-acknowledged record — and the longest-log rule below then
+	// keeps it from winning with less. A minority partition fails this
+	// check and can never elect, so it can never ack new writes either.
+	if 1+len(views) < s.cfg.Quorum {
+		return
+	}
+	// Stand iff no visible peer is a better candidate — longer log wins
+	// (it holds acknowledged inputs this replica may lack), lowest replica
+	// ID breaks ties. Deterministic: every live replica ranks the same set
+	// the same way.
 	mySeq := s.logLenLocked()
 	for _, v := range views {
 		if v.st.Seq > mySeq || (v.st.Seq == mySeq && v.id < s.cfg.ReplicaID) {
@@ -500,13 +531,28 @@ func (s *Service) handleReplogAppend(w http.ResponseWriter, r *http.Request) {
 	if req.Epoch > s.leaderEpoch {
 		s.leaderEpoch = req.Epoch
 	}
+	if req.Base > s.log.Len() {
+		// The leader compacted past everything this replica holds: the
+		// records it needs next no longer exist individually. Fetch the
+		// snapshot in the background (one fetch at a time) and answer Busy
+		// until it is installed; the suffix then streams normally.
+		s.maybeFetchSnapshotLocked(req.From)
+		writeJSON(w, http.StatusServiceUnavailable, replAppendResp{Busy: true})
+		return
+	}
 	// A redelivered prefix (sender rewind) is acknowledged idempotently
 	// after a hash check; everything past the local chain appends and
 	// fsyncs as one group commit, then applies to the in-memory replica.
+	// Records at or below this replica's own compaction base are subsumed
+	// by its snapshot — acknowledged without a hash to check against.
 	skip := 0
 	for _, rec := range req.Records {
 		if rec.Seq > s.log.Len() {
 			break
+		}
+		if rec.Seq <= s.log.Base() {
+			skip++
+			continue
 		}
 		have := s.log.Since(rec.Seq-1, 1)
 		if len(have) != 1 || have[0].Hash != rec.Hash {

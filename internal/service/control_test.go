@@ -165,6 +165,11 @@ func replicaPair(t *testing.T) (svcs [2]*Service, tss [2]*httptest.Server) {
 		cfg.Peers = peers
 		cfg.LeaseInterval = 250 * time.Millisecond
 		cfg.SubmitSyncTimeout = time.Second
+		// Availability over durability: with a majority quorum (2 of 2) a
+		// lone survivor could neither elect itself nor ack, and the pair
+		// tests exercise exactly that failover. Quorum durability has its
+		// own three-replica tests.
+		cfg.Quorum = 1
 		svcs[i] = mustService(t, cfg)
 		late[i].set(svcs[i].Handler())
 	}
@@ -385,7 +390,9 @@ func TestEqualEpochLeadersConverge(t *testing.T) {
 // Before the fix the errResponse body decoded as an all-zero replAppendResp,
 // which rewound the send cursor and refreshed the peer's liveness lease —
 // and the "live" never-acking peer stalled every Submit for the full
-// SubmitSyncTimeout.
+// SubmitSyncTimeout. Under quorum acks (2 of 2 here) the submit must
+// instead resolve as soon as the peer's seeded lease lapses: accepted,
+// replicated_gap set, no timeout burned.
 func TestErrorPushNotAnAck(t *testing.T) {
 	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, errResponse{Error: "boom"})
@@ -427,11 +434,11 @@ func TestErrorPushNotAnAck(t *testing.T) {
 	if err := json.Unmarshal(body, &jr); err != nil {
 		t.Fatal(err)
 	}
-	if jr.ReplicatedGap {
-		t.Fatalf("peer that never acked counted as a live laggard: %s", body)
+	if !jr.ReplicatedGap {
+		t.Fatalf("quorum of 2 reported met with a peer that never acked: %s", body)
 	}
 	if m := svc.Metrics(); m.Control.ReplLagTimeouts != 0 {
-		t.Fatalf("repl_lag_timeouts = %d, want 0", m.Control.ReplLagTimeouts)
+		t.Fatalf("repl_lag_timeouts = %d, want 0 (dead-minority waits resolve early)", m.Control.ReplLagTimeouts)
 	}
 }
 
@@ -443,6 +450,7 @@ func TestWaitReplicatedReportsGap(t *testing.T) {
 	cfg := detConfig()
 	cfg.SubmitSyncTimeout = 50 * time.Millisecond
 	cfg.LeaseInterval = time.Hour // the stuck follower stays "live" throughout
+	cfg.Quorum = 2                // leader alone (1) must not satisfy the wait
 	svc := mustService(t, cfg)
 	fc := newFollowerConn(1, "http://127.0.0.1:0", time.Second)
 	fc.lastOK = svc.cfg.Clock.Now()

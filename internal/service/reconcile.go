@@ -27,6 +27,17 @@ type agentState struct {
 	dead         bool                            // guarded by mu; declared dead (partitions failed) until it returns
 }
 
+// resetAgentOutboxesLocked clears every agent's undelivered directives.
+// After a snapshot install the desired map is authoritative and the next
+// leader cycle's desired/actual diff re-issues exactly what is missing;
+// stale pre-snapshot directives would race that diff.
+func (s *Service) resetAgentOutboxesLocked() {
+	for _, as := range s.agents {
+		as.outboxStarts = make(map[job.ID]agent.StartDirective)
+		as.outboxEvicts = make(map[job.ID]agent.EvictDirective)
+	}
+}
+
 // owns reports whether the agent owns partition p.
 func (as *agentState) owns(p int) bool {
 	for _, q := range as.c.Partitions {

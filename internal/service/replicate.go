@@ -309,8 +309,18 @@ func (s *Service) applyRecordLocked(rec replog.Record) error {
 	switch rec.Type {
 	case replog.TypeAdmit:
 		var p admitPayload
-		if err := json.Unmarshal(rec.Data, &p); err != nil || p.Job == nil {
-			return fmt.Errorf("admit record %d: %v", rec.Seq, err)
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			return fmt.Errorf("admit record %d: decode: %v", rec.Seq, err)
+		}
+		if p.Job == nil {
+			return fmt.Errorf("admit record %d: payload carries no job", rec.Seq)
+		}
+		// Idempotent on job ID: a snapshot-installed standby can see the
+		// tail of its catch-up stream overlap jobs the snapshot already
+		// carried (queued, admitted, or cancelled pre-admission). A replayed
+		// duplicate must not double-enqueue or double-count.
+		if _, dup := s.queued[p.Job.ID]; dup || s.gone[p.Job.ID] || s.eng.Outcome(p.Job.ID) != nil {
+			break
 		}
 		s.queue = append(s.queue, p.Job)
 		s.queued[p.Job.ID] = p.Job
@@ -360,6 +370,22 @@ func (s *Service) applyRecordLocked(rec replog.Record) error {
 			return fmt.Errorf("cycle record %d: %v", rec.Seq, err)
 		}
 		s.applyCycleLocked(rec, &p)
+	case replog.TypeSnapshot:
+		// An in-sync follower does not install the snapshot — its live
+		// state already is the snapshot. It sanity-checks the engine epoch
+		// against the leader's export and compacts its own log at the same
+		// point, so retention converges across the group. (Bootstrap replay
+		// and standby catch-up install snapshots explicitly, never here.)
+		var p snapPayload
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			return fmt.Errorf("snapshot record %d: %v", rec.Seq, err)
+		}
+		if p.Engine != nil && p.Engine.Epoch != s.eng.Epoch() {
+			s.ctl.Diverged++
+			s.cfg.Logf("DIVERGED: engine epoch %d != snapshot %d at seq %d",
+				s.eng.Epoch(), p.Engine.Epoch, rec.Seq)
+		}
+		s.compactToLocked(rec.Seq)
 	default:
 		return fmt.Errorf("unknown record type %q at seq %d", rec.Type, rec.Seq)
 	}
@@ -393,14 +419,29 @@ func (s *Service) applyCycleLocked(rec replog.Record, p *cyclePayload) {
 }
 
 // bootstrapReplay rebuilds service state from the local log on startup
-// (warm restart): every record is re-applied in order, reconstructing the
-// engine, scheduler, predictor, queues, and counters the killed process
-// held at its last fsync.
+// (warm restart): state resets to the most recent snapshot record if one is
+// retained, then every record past it is re-applied in order,
+// reconstructing the engine, scheduler, predictor, queues, and counters the
+// killed process held at its last fsync. A log compacted at a snapshot
+// starts with that snapshot, so replay cost is bounded by CompactEvery
+// cycles regardless of total history.
 func (s *Service) bootstrapReplay() (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	recs := s.log.Records()
-	for _, rec := range recs {
+	start := 0
+	for i := len(recs) - 1; i >= 0; i-- {
+		if recs[i].Type != replog.TypeSnapshot {
+			continue
+		}
+		if err := s.installSnapshotLocked(recs[i]); err != nil {
+			return 0, fmt.Errorf("snapshot seq %d: %w", recs[i].Seq, err)
+		}
+		s.ctl.RecordsApplied++
+		start = i + 1
+		break
+	}
+	for _, rec := range recs[start:] {
 		if err := s.applyRecordLocked(rec); err != nil {
 			return 0, fmt.Errorf("seq %d: %w", rec.Seq, err)
 		}

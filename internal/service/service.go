@@ -118,10 +118,24 @@ type Config struct {
 	// an election (default 2s).
 	LeaseInterval time.Duration
 
-	// SubmitSyncTimeout bounds how long an input append waits for all live
-	// followers to acknowledge replication before proceeding anyway
-	// (counted in Metrics.ReplLagTimeouts; default 2s).
+	// SubmitSyncTimeout bounds how long an input append waits for quorum
+	// acknowledgement before proceeding anyway (counted in
+	// Metrics.ReplLagTimeouts; default 2s).
 	SubmitSyncTimeout time.Duration
+
+	// Quorum is how many replica logs (the leader's included) must hold a
+	// record before Submit reports it replicated, and the minimum group
+	// visibility a candidate needs to stand for election. 0 defaults to a
+	// majority of Peers (⌈(N+1)/2⌉ for N replicas), or 1 without Peers.
+	// Setting 1 in a multi-replica group trades durability for
+	// availability: a lone survivor keeps acking and can elect itself.
+	Quorum int
+
+	// CompactEvery, when > 0, makes the leader append a full-state snapshot
+	// record every CompactEvery cycles and truncate the log below it
+	// (DESIGN.md §14). Requires Log and a scheduler with exportable state
+	// (core.Scheduler; baselines and the sharded coordinator are not).
+	CompactEvery int64
 
 	// Agents, when non-empty, delegates task execution to remote node-group
 	// agents instead of the in-process completion heap. The agents'
@@ -177,6 +191,27 @@ func (c *Config) fill() error {
 		}
 		if _, ok := c.Peers[c.ReplicaID]; !ok {
 			return fmt.Errorf("service: ReplicaID %d missing from Peers", c.ReplicaID)
+		}
+	}
+	if c.Quorum < 0 {
+		return fmt.Errorf("service: Quorum must be >= 0")
+	}
+	if len(c.Peers) > 0 && c.Quorum > len(c.Peers) {
+		return fmt.Errorf("service: Quorum %d exceeds the %d-replica group", c.Quorum, len(c.Peers))
+	}
+	if c.Quorum == 0 {
+		if n := len(c.Peers); n > 0 {
+			c.Quorum = n/2 + 1
+		} else {
+			c.Quorum = 1
+		}
+	}
+	if c.CompactEvery > 0 {
+		if c.Log == nil {
+			return fmt.Errorf("service: CompactEvery requires a Log to compact")
+		}
+		if _, ok := c.Scheduler.(stateSnapshotter); !ok {
+			return fmt.Errorf("service: CompactEvery requires a scheduler with exportable state, not %T", c.Scheduler)
 		}
 	}
 	if len(c.Agents) > 0 {
@@ -288,22 +323,23 @@ type Service struct {
 	attempts map[job.ID]int // starts per job, for per-attempt crash draws
 
 	// Distributed control plane (DESIGN.md §14).
-	log         *replog.Log
-	schedClock  *simulator.VirtualClock // det mode; Set under mu at each cycle top
-	role        Role                    // guarded by mu
-	leaderEpoch uint64                  // guarded by mu; current leader epoch (ours when leading)
-	leaderID    int                     // guarded by mu; last known leader replica (-1 unknown)
-	lastLeader  time.Time               // guarded by mu; Clock time of last leader contact
-	cycleNow    float64                 // guarded by mu; logical time of the in-flight/last cycle
-	pendTrains  []trainEntry            // guarded by mu; det-mode inputs awaiting a cycle boundary
-	pendCancels []cancelEntry           // guarded by mu
-	pendOps     []opEntry               // guarded by mu
-	recAbandons []job.ID                // guarded by mu; abandons applied during the in-flight solve
-	desired     map[job.ID]*desiredRun  // guarded by mu; agent mode: attempts that should be running
-	agents      []*agentState           // slice immutable; element state guarded by mu
-	followers   []*followerConn         // guarded by mu (appended on takeover); conns have own locks
-	ctl         ControlCounters         // guarded by mu
-	cycleBusy   bool                    // guarded by mu; a leader cycle is between its top and its log append
+	log          *replog.Log
+	schedClock   *simulator.VirtualClock // det mode; Set under mu at each cycle top
+	role         Role                    // guarded by mu
+	leaderEpoch  uint64                  // guarded by mu; current leader epoch (ours when leading)
+	leaderID     int                     // guarded by mu; last known leader replica (-1 unknown)
+	lastLeader   time.Time               // guarded by mu; Clock time of last leader contact
+	cycleNow     float64                 // guarded by mu; logical time of the in-flight/last cycle
+	pendTrains   []trainEntry            // guarded by mu; det-mode inputs awaiting a cycle boundary
+	pendCancels  []cancelEntry           // guarded by mu
+	pendOps      []opEntry               // guarded by mu
+	recAbandons  []job.ID                // guarded by mu; abandons applied during the in-flight solve
+	desired      map[job.ID]*desiredRun  // guarded by mu; agent mode: attempts that should be running
+	agents       []*agentState           // slice immutable; element state guarded by mu
+	followers    []*followerConn         // guarded by mu (appended on takeover); conns have own locks
+	ctl          ControlCounters         // guarded by mu
+	cycleBusy    bool                    // guarded by mu; a leader cycle is between its top and its log append
+	snapFetching bool                    // guarded by mu; a snapshot catch-up fetch is in flight
 
 	// Cached predictor history hash: sha256 over the full serialized
 	// history is too slow for the per-scrape /v1/metrics path (it grows
@@ -350,16 +386,19 @@ type desiredRun struct {
 
 // ControlCounters are the control plane's cumulative counters.
 type ControlCounters struct {
-	Elections       int64 `json:"elections"`         // leaderships assumed by this replica
-	ReplLagTimeouts int64 `json:"repl_lag_timeouts"` // input appends that outwaited a follower ack
-	Diverged        int64 `json:"diverged"`          // chain/epoch/checkpoint mismatches observed
-	RecordsApplied  int64 `json:"records_applied"`   // log records applied as a follower (or replayed)
-	DirectivesSent  int64 `json:"directives_sent"`   // start+evict directives delivered to agents
-	EventsApplied   int64 `json:"events_applied"`    // agent lifecycle events applied
-	Reissued        int64 `json:"reissued"`          // starts re-issued after a desired/actual diff
-	OrphansEvicted  int64 `json:"orphans_evicted"`   // agent tasks evicted as unknown to the scheduler
-	AgentsFailed    int64 `json:"agents_failed"`     // agents declared dead
-	AgentsRecovered int64 `json:"agents_recovered"`  // dead agents re-adopted (reset + recover)
+	Elections        int64 `json:"elections"`         // leaderships assumed by this replica
+	ReplLagTimeouts  int64 `json:"repl_lag_timeouts"` // input appends that outwaited a follower ack
+	Diverged         int64 `json:"diverged"`          // chain/epoch/checkpoint mismatches observed
+	RecordsApplied   int64 `json:"records_applied"`   // log records applied as a follower (or replayed)
+	DirectivesSent   int64 `json:"directives_sent"`   // start+evict directives delivered to agents
+	EventsApplied    int64 `json:"events_applied"`    // agent lifecycle events applied
+	Reissued         int64 `json:"reissued"`          // starts re-issued after a desired/actual diff
+	OrphansEvicted   int64 `json:"orphans_evicted"`   // agent tasks evicted as unknown to the scheduler
+	AgentsFailed     int64 `json:"agents_failed"`     // agents declared dead
+	AgentsRecovered  int64 `json:"agents_recovered"`  // dead agents re-adopted (reset + recover)
+	Snapshots        int64 `json:"snapshots"`         // full-state snapshot records appended (leader)
+	Compactions      int64 `json:"compactions"`       // log truncations below a snapshot
+	SnapshotInstalls int64 `json:"snapshot_installs"` // snapshots installed for catch-up (follower)
 }
 
 // New builds a Service. If a checkpoint exists at Config.CheckpointPath it
@@ -635,6 +674,13 @@ func (s *Service) runCycle() {
 		})
 		if err != nil {
 			s.cfg.Logf("append cycle record: %v", err)
+		}
+		// Snapshot + compact on the cycle boundary, while cycleBusy still
+		// fences pushes: the snapshot captures exactly the state the cycle
+		// record left behind, and followers compact at the same seq when
+		// they apply the snapshot record.
+		if s.cfg.CompactEvery > 0 && s.cycles%s.cfg.CompactEvery == 0 {
+			s.snapshotCompactLocked()
 		}
 	}
 	s.cycleBusy = false
@@ -1338,7 +1384,9 @@ type Metrics struct {
 	LeaderID      int             `json:"leader_id"` // -1 when unknown
 	LeaderEpoch   uint64          `json:"leader_epoch"`
 	LogLen        uint64          `json:"log_len,omitempty"`
+	LogBase       uint64          `json:"log_base,omitempty"`       // compaction base (seqs <= base live in the snapshot)
 	LogHead       string          `json:"log_head,omitempty"`       // chain head hash (first 12 hex)
+	Quorum        int             `json:"quorum,omitempty"`         // replicas (leader incl.) a record needs for durability
 	ReplicatedSeq uint64          `json:"replicated_seq,omitempty"` // min live-follower ack (leader)
 	Control       ControlCounters `json:"control,omitempty"`
 	AgentsLive    int             `json:"agents_live,omitempty"`
@@ -1467,9 +1515,11 @@ func (s *Service) Metrics() Metrics {
 	m.Control = s.ctl
 	if s.log != nil {
 		m.LogLen = s.log.Len()
+		m.LogBase = s.log.Base()
 		if h := s.log.Head(); len(h) >= 12 {
 			m.LogHead = h[:12]
 		}
+		m.Quorum = s.cfg.Quorum
 		m.ReplicatedSeq = s.minFollowerAckLocked()
 	}
 	for _, as := range s.agents {

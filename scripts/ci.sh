@@ -10,9 +10,11 @@
 # single-worker solves must agree bitwise on an equivalence-partitioned
 # workload), an end-to-end smoke of the
 # online service (serverd + loadgen, including a SIGTERM warm restart and
-# a /readyz drain check), and the cluster failover gate (3-replica serverd
-# group + 4 agentd node groups, leader kill -9ed mid-run, survivors'
-# outcome digest byte-identical to an uninterrupted single-replica run).
+# a /readyz drain check), and the cluster durability gate (3-replica
+# serverd group + 4 agentd node groups under majority-quorum acks and log
+# compaction: leader kill -9 failover, a follower dead from the start, and
+# a cold restart from a compacted log — every arm's outcome digest must be
+# byte-identical to an uninterrupted single-replica run).
 # Run from anywhere; operates on the repo root.
 set -eu
 
@@ -118,11 +120,13 @@ cat "$WORK/sh1"
 echo "== service e2e smoke =="
 ./scripts/smoke_service.sh
 
-echo "== cluster failover digest gate =="
+echo "== cluster durability digest gate =="
 # Distributed control plane (DESIGN.md §14): agents own execution, replicas
-# mirror the decision log, and a kill -9ed leader must hand over to a warm
-# standby whose final outcome digest and predictor SHA are byte-identical
-# to an uninterrupted single-replica run of the same workload.
+# mirror the decision log under majority-quorum acks with periodic
+# snapshot-based compaction. Four arms — uninterrupted reference, leader
+# kill -9 failover, a follower dead from the start (2 of 3 still acks,
+# zero lag timeouts), and a SIGTERM + cold boot from a compacted log —
+# must all land on byte-identical outcome digests and predictor SHAs.
 ./scripts/cluster_smoke.sh
 
 echo "CI OK"
