@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint check fuzz verify bench bench-fig1 serverd loadgen smoke cluster-smoke faults
+.PHONY: build test race vet lint lint-fast check fuzz verify bench bench-fig1 serverd loadgen smoke cluster-smoke faults
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,22 @@ vet:
 # (DESIGN.md §10). Any unsuppressed diagnostic is a hard failure.
 lint:
 	$(GO) run ./cmd/3sigma-lint ./...
+
+# lint-fast reports only on the packages touched since the merge base
+# (override with PKGS="./internal/milp ..."). The whole module is still
+# loaded — type-checking and the interprocedural model are module-wide —
+# so this trims output, not analysis; use plain `make lint` before pushing.
+lint-fast:
+	@pkgs="$(PKGS)"; \
+	if [ -z "$$pkgs" ]; then \
+		base=$$(git merge-base HEAD origin/main 2>/dev/null || git rev-parse HEAD~1 2>/dev/null || echo ""); \
+		if [ -n "$$base" ]; then \
+			pkgs=$$( { git diff --name-only "$$base" -- '*.go'; git diff --name-only -- '*.go'; } | xargs -r -n1 dirname | sort -u | sed 's|^|./|'); \
+		fi; \
+	fi; \
+	if [ -z "$$pkgs" ]; then echo "lint-fast: no changed Go packages"; exit 0; fi; \
+	echo "lint-fast: $$pkgs"; \
+	$(GO) run ./cmd/3sigma-lint $$pkgs
 
 # check runs the correctness suite: the static analyzer, the differential
 # solver oracle (200 pinned-seed MILPs, workers {1,2,8} vs the dense

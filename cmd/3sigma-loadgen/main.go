@@ -554,7 +554,9 @@ func runPredict(client *http.Client, addr, spec string) {
 	if resp.StatusCode != 200 {
 		fatalf("predict: %d %s", resp.StatusCode, strings.TrimSpace(string(out)))
 	}
-	os.Stdout.Write(out)
+	if _, err := os.Stdout.Write(out); err != nil {
+		fatalf("write stdout: %v", err)
+	}
 }
 
 // probeReady prints the /readyz HTTP status code and exits 0 regardless,
@@ -581,5 +583,7 @@ func dumpJSON(client *http.Client, url string) {
 	if resp.StatusCode != 200 {
 		fatalf("%s: %d %s", url, resp.StatusCode, strings.TrimSpace(string(out)))
 	}
-	os.Stdout.Write(out)
+	if _, err := os.Stdout.Write(out); err != nil {
+		fatalf("write stdout: %v", err)
+	}
 }

@@ -211,7 +211,6 @@ func (a *Agent) Reconcile(epoch uint64, now float64, ack uint64, evicts []EvictD
 
 	events = append([]Event(nil), a.events...)
 	running = make([]TaskState, 0, len(a.tasks))
-	//lint:allow detrange collect-only: the report is sorted by job ID below
 	for _, t := range a.tasks {
 		running = append(running, t.st)
 	}

@@ -1,0 +1,953 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file builds the module-wide interprocedural model behind the
+// lockorder, lockedcall, and upgraded guardedfield rules: a conservative
+// static call graph plus a mutex model (which locks are held at every
+// call, acquisition, field access, and potentially-blocking operation).
+//
+// The model is built over base units only (pass 1 of the loader): their
+// types.Func objects are shared across packages, so a call from
+// internal/service into internal/replog resolves to the same object the
+// replog unit declared, and the graph spans the module. Test files are
+// outside the model — a convention violation that only a test can trigger
+// is the author's problem, not a deadlock in the shipped tree.
+//
+// Conservatism (the false-negative envelope, DESIGN.md §10): only static
+// calls are edges — direct function calls and concrete-method calls.
+// Calls through interfaces, stored func values, and reflection are opaque;
+// a lock acquired behind one is invisible to lockorder. Held-set tracking
+// is must-hold: a lock is held after a statement only if every
+// non-terminating path through it holds the lock. Mutex identity is
+// type-granular ("service.Service.mu" means the mu field of *any* Service
+// value), which is exact for singletons like the Service but merges
+// instances of per-connection locks; sequential per-instance Lock/Unlock
+// loops stay precise because the walker sees the paired Unlock.
+
+// A mutex key canonically names a lock: "pkg.Type.field" for struct
+// fields, "pkg.var" for package-level variables, "local:name" for
+// function-local mutexes (merged by name; locals never cross functions on
+// the paths this analyzer reasons about).
+type acqEvent struct {
+	key   string
+	kind  string   // Lock, RLock, TryLock, TryRLock
+	held  []string // sorted held set immediately before the acquire
+	again bool     // key was already held (re-entrant acquire)
+	async bool     // inside a `go func(){...}` body
+	pos   token.Pos
+}
+
+type callEvent struct {
+	callee   *types.Func // static callee; nil when unresolved
+	held     []string
+	released []string // locks explicitly released on some path before this call
+	isGo     bool     // `go f()` — runs without the caller's locks
+	block    string   // non-empty: the call itself is a known blocking op
+	async    bool
+	pos      token.Pos
+}
+
+type blockEvent struct {
+	what  string // "channel send", "channel receive", "range over channel"
+	held  []string
+	async bool
+	pos   token.Pos
+}
+
+// fnNode is the per-function summary the interprocedural rules consume.
+type fnNode struct {
+	obj       *types.Func
+	decl      *ast.FuncDecl
+	unit      *Unit
+	file      *File
+	guardKey  string // resolved guard of a *Locked method ("" if none)
+	guardName string // annotation-level guard field name ("mu")
+	acquires  []acqEvent
+	calls     []callEvent
+	blocks    []blockEvent
+	heldAt    map[*ast.SelectorExpr][]string // held set at each field access
+}
+
+func (fn *fnNode) isLocked() bool {
+	return strings.HasSuffix(fn.decl.Name.Name, "Locked")
+}
+
+// name renders Type.method or pkg.func for messages.
+func (fn *fnNode) name() string {
+	if recv := fn.obj.Type().(*types.Signature).Recv(); recv != nil {
+		if n := namedOf(recv.Type()); n != nil {
+			return n.Obj().Name() + "." + fn.obj.Name()
+		}
+	}
+	return fn.obj.Pkg().Name() + "." + fn.obj.Name()
+}
+
+type callSite struct {
+	caller *fnNode
+	ev     *callEvent
+}
+
+type acqWitness struct {
+	pos  token.Pos
+	path []string // function-name chain from the summarized function down
+	kind string
+}
+
+type blockWitness struct {
+	pos  token.Pos
+	path []string
+	what string
+}
+
+// interproc is the module-wide model.
+type interproc struct {
+	mod     *Module
+	hot     []string // hot-mutex patterns ("Service.mu" matches any suffix)
+	fns     map[*types.Func]*fnNode
+	order   []*fnNode // deterministic (declaration) order
+	callers map[*types.Func][]callSite
+
+	transAcqMemo   map[*fnNode]map[string]*acqWitness
+	transBlockMemo map[*fnNode]*blockWitness
+	transBlockDone map[*fnNode]bool
+}
+
+// buildInterproc summarizes every function declared in a base unit and
+// indexes the call graph. hot lists the hot-mutex patterns for the
+// lockedcall blocking check.
+func buildInterproc(mod *Module, hot []string) *interproc {
+	ip := &interproc{
+		mod:            mod,
+		hot:            hot,
+		fns:            make(map[*types.Func]*fnNode),
+		callers:        make(map[*types.Func][]callSite),
+		transAcqMemo:   make(map[*fnNode]map[string]*acqWitness),
+		transBlockMemo: make(map[*fnNode]*blockWitness),
+		transBlockDone: make(map[*fnNode]bool),
+	}
+	for _, u := range mod.Units {
+		if u.Kind != UnitBase {
+			continue
+		}
+		for _, f := range u.Files {
+			for _, decl := range f.AST.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := u.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fn := &fnNode{obj: obj, decl: fd, unit: u, file: f,
+					heldAt: make(map[*ast.SelectorExpr][]string)}
+				fn.guardKey, fn.guardName = lockedGuard(u, fd)
+				ip.fns[obj] = fn
+				ip.order = append(ip.order, fn)
+			}
+		}
+	}
+	for _, fn := range ip.order {
+		w := &hwalk{ip: ip, fn: fn}
+		h := newHeldSet()
+		if fn.isLocked() && fn.guardKey != "" {
+			h.add(fn.guardKey)
+		}
+		w.stmt(fn.decl.Body, h)
+	}
+	for _, fn := range ip.order {
+		for i := range fn.calls {
+			ev := &fn.calls[i]
+			if ev.callee != nil {
+				ip.callers[ev.callee] = append(ip.callers[ev.callee], callSite{caller: fn, ev: ev})
+			}
+		}
+	}
+	return ip
+}
+
+func (ip *interproc) isHot(key string) bool {
+	for _, pat := range ip.hot {
+		if key == pat || strings.HasSuffix(key, "."+pat) {
+			return true
+		}
+	}
+	return false
+}
+
+// transAcquires returns the locks fn (or any same-goroutine callee,
+// transitively) acquires, with one deterministic witness per lock.
+// Asynchronous events (`go` bodies and `go` calls) are excluded: a caller's
+// held locks are not held when the goroutine eventually runs.
+func (ip *interproc) transAcquires(fn *fnNode, visiting map[*fnNode]bool) map[string]*acqWitness {
+	if m, ok := ip.transAcqMemo[fn]; ok {
+		return m
+	}
+	if visiting[fn] {
+		return nil // recursion: the cycle's other entries supply the facts
+	}
+	visiting[fn] = true
+	defer delete(visiting, fn)
+	out := make(map[string]*acqWitness)
+	for i := range fn.acquires {
+		a := &fn.acquires[i]
+		if a.async {
+			continue
+		}
+		if _, ok := out[a.key]; !ok {
+			out[a.key] = &acqWitness{pos: a.pos, path: []string{fn.name()}, kind: a.kind}
+		}
+	}
+	for i := range fn.calls {
+		ev := &fn.calls[i]
+		if ev.async || ev.isGo || ev.callee == nil {
+			continue
+		}
+		callee, ok := ip.fns[ev.callee]
+		if !ok {
+			continue
+		}
+		for key, w := range ip.transAcquires(callee, visiting) {
+			if _, dup := out[key]; !dup {
+				out[key] = &acqWitness{pos: w.pos, path: append([]string{fn.name()}, w.path...), kind: w.kind}
+			}
+		}
+	}
+	ip.transAcqMemo[fn] = out
+	return out
+}
+
+// transBlocks returns a witness if fn (or a same-goroutine callee) can
+// reach a known blocking operation, nil otherwise.
+func (ip *interproc) transBlocks(fn *fnNode, visiting map[*fnNode]bool) *blockWitness {
+	if ip.transBlockDone[fn] {
+		return ip.transBlockMemo[fn]
+	}
+	if visiting[fn] {
+		return nil
+	}
+	visiting[fn] = true
+	defer delete(visiting, fn)
+	var w *blockWitness
+	for i := range fn.blocks {
+		b := &fn.blocks[i]
+		if b.async {
+			continue
+		}
+		w = &blockWitness{pos: b.pos, path: []string{fn.name()}, what: b.what}
+		break
+	}
+	if w == nil {
+		for i := range fn.calls {
+			ev := &fn.calls[i]
+			if ev.async || ev.isGo {
+				continue
+			}
+			if ev.block != "" {
+				w = &blockWitness{pos: ev.pos, path: []string{fn.name()}, what: ev.block}
+				break
+			}
+			if ev.callee != nil {
+				if callee, ok := ip.fns[ev.callee]; ok {
+					if cw := ip.transBlocks(callee, visiting); cw != nil {
+						w = &blockWitness{pos: ev.pos, path: append([]string{fn.name()}, cw.path...), what: cw.what}
+						break
+					}
+				}
+			}
+		}
+	}
+	ip.transBlockDone[fn] = true
+	ip.transBlockMemo[fn] = w
+	return w
+}
+
+// callersHold reports whether every call site of fn (transitively, when a
+// caller inherits the obligation) holds the guard. Zero call sites, a `go`
+// call, or recursion all fail: a guard we cannot prove held is not held.
+func (ip *interproc) callersHold(fn *fnNode, key, name string, visited map[*fnNode]bool) bool {
+	if visited[fn] {
+		return false
+	}
+	visited[fn] = true
+	sites := ip.callers[fn.obj]
+	if len(sites) == 0 {
+		return false
+	}
+	for _, cs := range sites {
+		if cs.ev.isGo {
+			return false
+		}
+		if heldMatches(cs.ev.held, key, name) {
+			continue
+		}
+		if !ip.callersHold(cs.caller, key, name, visited) {
+			return false
+		}
+	}
+	return true
+}
+
+// heldMatches checks a held set against a guard. With a resolved key the
+// match is exact; with only an annotation-level name (the guard lives on
+// another struct, e.g. agentState fields guarded by the Service's mu) any
+// held lock whose field name matches counts.
+func heldMatches(held []string, key, name string) bool {
+	if key != "" {
+		for _, h := range held {
+			if h == key {
+				return true
+			}
+		}
+		return false
+	}
+	if name == "" {
+		return false
+	}
+	for _, h := range held {
+		if strings.HasSuffix(h, "."+name) || h == "local:"+name {
+			return true
+		}
+	}
+	return false
+}
+
+// lockedGuard resolves the guard of a *Locked method: the receiver
+// struct's field named "mu" when it is a mutex, else its unique
+// mutex-typed field. Returns ("", "") for non-methods or receivers
+// without a mutex field (the convention checks then degrade gracefully).
+func lockedGuard(u *Unit, fd *ast.FuncDecl) (key, name string) {
+	if !strings.HasSuffix(fd.Name.Name, "Locked") || fd.Recv == nil {
+		return "", ""
+	}
+	obj, ok := u.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return "", ""
+	}
+	recv := obj.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", ""
+	}
+	named := namedOf(recv.Type())
+	if named == nil {
+		return "", ""
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return "", ""
+	}
+	var only string
+	count := 0
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !isMutexType(f.Type()) {
+			continue
+		}
+		if f.Name() == "mu" {
+			return fieldKey(named, f.Name()), f.Name()
+		}
+		only, count = f.Name(), count+1
+	}
+	if count == 1 {
+		return fieldKey(named, only), only
+	}
+	return "", ""
+}
+
+func fieldKey(named *types.Named, field string) string {
+	pkg := named.Obj().Pkg()
+	if pkg == nil {
+		return named.Obj().Name() + "." + field
+	}
+	return pkg.Name() + "." + named.Obj().Name() + "." + field
+}
+
+func isMutexType(t types.Type) bool {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n := namedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync" &&
+		(n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex")
+}
+
+// namedOf unwraps pointers and aliases down to the named type, nil if the
+// type has no name (interfaces stay named; that is fine).
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Named:
+			return x
+		case *types.Alias:
+			t = types.Unalias(x)
+		default:
+			return nil
+		}
+	}
+}
+
+// ---- held-set walker ----
+
+// heldSet is a mutable must-hold lock set with a cached sorted snapshot.
+// It also accumulates the locks explicitly released on the way here (rel),
+// which distinguishes "never held" from "held by a caller but dropped".
+// Snapshots are shared, never mutated in place.
+type heldSet struct {
+	m       map[string]bool
+	rel     map[string]bool
+	snap    []string
+	relSnap []string
+}
+
+func newHeldSet() *heldSet {
+	return &heldSet{m: make(map[string]bool), rel: make(map[string]bool)}
+}
+
+func (h *heldSet) add(k string) { h.m[k] = true; h.snap = nil }
+func (h *heldSet) remove(k string) {
+	delete(h.m, k)
+	h.rel[k] = true
+	h.snap, h.relSnap = nil, nil
+}
+func (h *heldSet) has(k string) bool {
+	return h.m[k]
+}
+
+func (h *heldSet) copy() *heldSet {
+	c := newHeldSet()
+	for k := range h.m {
+		c.m[k] = true
+	}
+	for k := range h.rel {
+		c.rel[k] = true
+	}
+	return c
+}
+
+func (h *heldSet) setTo(o *heldSet) {
+	h.m = make(map[string]bool, len(o.m))
+	for k := range o.m {
+		h.m[k] = true
+	}
+	for k := range o.rel {
+		h.rel[k] = true
+	}
+	h.snap, h.relSnap = nil, nil
+}
+
+// intersectAll replaces h with the intersection of the given sets
+// (must-hold merge at a control-flow join); releases union (a lock dropped
+// on any path counts as dropped). An empty list leaves h as-is: every
+// branch terminated, so the join is unreachable.
+func (h *heldSet) intersectAll(outs []*heldSet) {
+	if len(outs) == 0 {
+		return
+	}
+	m := make(map[string]bool)
+	for k := range outs[0].m {
+		all := true
+		for _, o := range outs[1:] {
+			if !o.m[k] {
+				all = false
+				break
+			}
+		}
+		if all {
+			m[k] = true
+		}
+	}
+	h.m = m
+	for _, o := range outs {
+		for k := range o.rel {
+			h.rel[k] = true
+		}
+	}
+	h.snap, h.relSnap = nil, nil
+}
+
+func (h *heldSet) snapshot() []string {
+	if h.snap == nil {
+		h.snap = make([]string, 0, len(h.m))
+		for k := range h.m {
+			h.snap = append(h.snap, k)
+		}
+		sort.Strings(h.snap)
+	}
+	return h.snap
+}
+
+func (h *heldSet) relSnapshot() []string {
+	if h.relSnap == nil {
+		h.relSnap = make([]string, 0, len(h.rel))
+		for k := range h.rel {
+			h.relSnap = append(h.relSnap, k)
+		}
+		sort.Strings(h.relSnap)
+	}
+	return h.relSnap
+}
+
+// hwalk performs the structured must-hold walk over one function body,
+// recording acquire, call, blocking, and field-access events.
+type hwalk struct {
+	ip    *interproc
+	fn    *fnNode
+	async bool // inside a `go func(){...}` body
+}
+
+// stmt walks one statement, mutating h, and reports whether the statement
+// terminates the enclosing path (return/branch/panic).
+func (w *hwalk) stmt(s ast.Stmt, h *heldSet) bool {
+	switch s := s.(type) {
+	case nil:
+		return false
+	case *ast.BlockStmt:
+		return w.stmts(s.List, h)
+	case *ast.ExprStmt:
+		w.expr(s.X, h, false)
+		return isPanic(s.X)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, h, false)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, h, false)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e, h, false)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		w.expr(s.X, h, false)
+	case *ast.SendStmt:
+		w.expr(s.Chan, h, false)
+		w.expr(s.Value, h, false)
+		w.block("channel send", s.Arrow, h)
+	case *ast.GoStmt:
+		w.goStmt(s, h)
+	case *ast.DeferStmt:
+		w.deferStmt(s, h)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, h, false)
+		}
+		return true
+	case *ast.BranchStmt:
+		return s.Tok != token.FALLTHROUGH
+	case *ast.IfStmt:
+		w.stmt(s.Init, h)
+		w.expr(s.Cond, h, false)
+		th := h.copy()
+		t1 := w.stmt(s.Body, th)
+		eh := h.copy()
+		t2 := false
+		if s.Else != nil {
+			t2 = w.stmt(s.Else, eh)
+		}
+		switch {
+		case t1 && t2:
+			return true
+		case t1:
+			h.setTo(eh)
+		case t2:
+			h.setTo(th)
+		default:
+			h.intersectAll([]*heldSet{th, eh})
+		}
+	case *ast.ForStmt:
+		w.stmt(s.Init, h)
+		if s.Cond != nil {
+			w.expr(s.Cond, h, false)
+		}
+		bh := h.copy()
+		w.stmt(s.Body, bh)
+		w.stmt(s.Post, bh)
+		// zero iterations are possible: held after the loop is held before it
+	case *ast.RangeStmt:
+		w.expr(s.X, h, false)
+		if t, ok := w.fn.unit.Info.Types[s.X]; ok {
+			if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+				w.block("range over channel", s.Range, h)
+			}
+		}
+		bh := h.copy()
+		w.stmt(s.Body, bh)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init, h)
+		if s.Tag != nil {
+			w.expr(s.Tag, h, false)
+		}
+		w.clauses(s.Body, h)
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init, h)
+		w.stmt(s.Assign, h)
+		w.clauses(s.Body, h)
+	case *ast.SelectStmt:
+		w.selectStmt(s, h)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, h)
+	}
+	return false
+}
+
+func (w *hwalk) stmts(list []ast.Stmt, h *heldSet) bool {
+	for _, s := range list {
+		if w.stmt(s, h) {
+			return true
+		}
+	}
+	return false
+}
+
+// clauses merges switch/type-switch cases: held after the switch is the
+// intersection over non-terminating cases, plus the fall-past path when
+// there is no default.
+func (w *hwalk) clauses(body *ast.BlockStmt, h *heldSet) {
+	var outs []*heldSet
+	hasDefault := false
+	for _, cs := range body.List {
+		c, ok := cs.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if c.List == nil {
+			hasDefault = true
+		}
+		ch := h.copy()
+		for _, e := range c.List {
+			w.expr(e, ch, false)
+		}
+		if !w.stmts(c.Body, ch) {
+			outs = append(outs, ch)
+		}
+	}
+	if !hasDefault {
+		outs = append(outs, h.copy())
+	}
+	h.intersectAll(outs)
+}
+
+// selectStmt: a select with a default clause makes its comm operations
+// non-blocking; without one, each comm op is an unbounded channel op.
+func (w *hwalk) selectStmt(s *ast.SelectStmt, h *heldSet) {
+	hasDefault := false
+	for _, cs := range s.Body.List {
+		if c, ok := cs.(*ast.CommClause); ok && c.Comm == nil {
+			hasDefault = true
+		}
+	}
+	var outs []*heldSet
+	for _, cs := range s.Body.List {
+		c, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		ch := h.copy()
+		w.comm(c.Comm, ch, hasDefault)
+		if !w.stmts(c.Body, ch) {
+			outs = append(outs, ch)
+		}
+	}
+	h.intersectAll(outs)
+}
+
+func (w *hwalk) comm(s ast.Stmt, h *heldSet, nonblocking bool) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.SendStmt:
+		w.expr(s.Chan, h, true)
+		w.expr(s.Value, h, true)
+		if !nonblocking {
+			w.block("channel send", s.Arrow, h)
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, h, nonblocking)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, h, nonblocking)
+		}
+	case *ast.ExprStmt:
+		w.expr(s.X, h, nonblocking)
+	}
+}
+
+// goStmt: the launched function runs without the caller's locks. A `go`
+// call is recorded with an empty held set (so a `go s.fooLocked()` is a
+// convention violation); a `go func(){...}` body is walked as a fresh
+// asynchronous context.
+func (w *hwalk) goStmt(s *ast.GoStmt, h *heldSet) {
+	for _, a := range s.Call.Args {
+		w.expr(a, h, false)
+	}
+	if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+		prev := w.async
+		w.async = true
+		w.stmt(lit.Body, newHeldSet())
+		w.async = prev
+		return
+	}
+	if callee := calleeOf(w.fn.unit, s.Call); callee != nil {
+		w.fn.calls = append(w.fn.calls, callEvent{
+			callee: callee, held: nil, isGo: true, async: w.async, pos: s.Call.Pos()})
+	}
+}
+
+// deferStmt: deferred work runs at function exit, where the held set at
+// registration time is meaningless; it is modeled with an empty held set.
+// A deferred Unlock deliberately does not release during the walk (the
+// lock stays held for the remainder of the body), and a deferred Lock is
+// ignored.
+func (w *hwalk) deferStmt(s *ast.DeferStmt, h *heldSet) {
+	for _, a := range s.Call.Args {
+		w.expr(a, h, false)
+	}
+	if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+		w.stmt(lit.Body, newHeldSet())
+		return
+	}
+	if op, _ := lockOp(w.fn.unit, s.Call); op != "" {
+		return
+	}
+	if callee := calleeOf(w.fn.unit, s.Call); callee != nil {
+		w.fn.calls = append(w.fn.calls, callEvent{
+			callee: callee, held: nil, async: w.async, pos: s.Call.Pos()})
+	}
+}
+
+// expr scans an expression in evaluation-ish order, handling lock
+// operations, static calls, blocking channel receives, closures, and
+// field accesses. nonblocking suppresses the channel-receive event (the
+// expression is a select comm with a default).
+func (w *hwalk) expr(e ast.Expr, h *heldSet, nonblocking bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A closure inherits the current held set: unsound for closures
+			// that escape and run later, consistent with guardedfield's
+			// long-standing convention. Lock state changes inside it do not
+			// leak out.
+			w.stmt(n.Body, h.copy())
+			return false
+		case *ast.CallExpr:
+			w.callExpr(n, h)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !nonblocking {
+				w.block("channel receive", n.OpPos, h)
+			}
+		case *ast.SelectorExpr:
+			w.recordSel(n, h)
+		}
+		return true
+	})
+}
+
+func (w *hwalk) callExpr(call *ast.CallExpr, h *heldSet) {
+	// Type conversions are not calls.
+	if tv, ok := w.fn.unit.Info.Types[call.Fun]; ok && tv.IsType() {
+		for _, a := range call.Args {
+			w.expr(a, h, false)
+		}
+		return
+	}
+	if op, recv := lockOp(w.fn.unit, call); op != "" {
+		key := w.mutexKey(recv)
+		w.expr(call.Fun, h, false) // record the receiver chain's field accesses
+		if key == "" {
+			return
+		}
+		switch op {
+		case "Unlock", "RUnlock":
+			h.remove(key)
+		default:
+			w.fn.acquires = append(w.fn.acquires, acqEvent{
+				key: key, kind: op, held: h.snapshot(), again: h.has(key),
+				async: w.async, pos: call.Pos()})
+			h.add(key)
+		}
+		return
+	}
+	// Scan receiver chain and arguments first (their field accesses and
+	// nested calls happen before the call itself).
+	w.expr(call.Fun, h, false)
+	for _, a := range call.Args {
+		w.expr(a, h, false)
+	}
+	callee := calleeOf(w.fn.unit, call)
+	ev := callEvent{callee: callee, held: h.snapshot(), released: h.relSnapshot(),
+		async: w.async, pos: call.Pos()}
+	ev.block = blockingCall(w.fn.unit, call, callee)
+	if callee != nil || ev.block != "" {
+		w.fn.calls = append(w.fn.calls, ev)
+	}
+}
+
+func (w *hwalk) block(what string, pos token.Pos, h *heldSet) {
+	w.fn.blocks = append(w.fn.blocks, blockEvent{
+		what: what, held: h.snapshot(), async: w.async, pos: pos})
+}
+
+func (w *hwalk) recordSel(sel *ast.SelectorExpr, h *heldSet) {
+	if s, ok := w.fn.unit.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		w.fn.heldAt[sel] = h.snapshot()
+	}
+}
+
+// mutexKey canonicalizes the receiver expression of a Lock/Unlock call.
+func (w *hwalk) mutexKey(e ast.Expr) string {
+	u := w.fn.unit
+	e = ast.Unparen(e)
+	if st, ok := e.(*ast.StarExpr); ok {
+		e = ast.Unparen(st.X)
+	}
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := u.Info.Selections[x]; ok && s.Kind() == types.FieldVal {
+			v, _ := s.Obj().(*types.Var)
+			if v == nil {
+				return ""
+			}
+			if named := namedOf(s.Recv()); named != nil {
+				return fieldKey(named, v.Name())
+			}
+			return "local:" + v.Name()
+		}
+		// qualified package-level var: pkg.Mu
+		if obj, ok := u.Info.Uses[x.Sel].(*types.Var); ok && obj.Pkg() != nil {
+			return obj.Pkg().Name() + "." + obj.Name()
+		}
+	case *ast.Ident:
+		obj, ok := u.Info.Uses[x].(*types.Var)
+		if !ok {
+			return ""
+		}
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Name() + "." + obj.Name()
+		}
+		return "local:" + obj.Name()
+	}
+	return ""
+}
+
+// lockOp classifies call as a sync.Mutex/RWMutex (un)lock. Returns the
+// method name and the mutex-valued receiver expression, or ("", nil).
+// Promoted (embedded) mutex methods resolve too: the receiver expression
+// is then the embedding struct, which mutexKey names by its own type.
+func lockOp(u *Unit, call *ast.CallExpr) (string, ast.Expr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock", "Unlock", "RUnlock":
+	default:
+		return "", nil
+	}
+	s, ok := u.Info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return "", nil
+	}
+	f, ok := s.Obj().(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return "", nil
+	}
+	return sel.Sel.Name, ast.Unparen(sel.X)
+}
+
+// calleeOf resolves a call expression to its static callee: a direct
+// function call or a concrete-method call. Interface methods, func
+// values, and builtins yield nil.
+func calleeOf(u *Unit, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := u.Info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if s, ok := u.Info.Selections[fun]; ok {
+			if s.Kind() == types.MethodVal {
+				if f, ok := s.Obj().(*types.Func); ok {
+					return f
+				}
+			}
+			return nil
+		}
+		// qualified identifier: pkg.Func
+		if f, ok := u.Info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// blockingCall classifies a call as a known blocking operation: fsync
+// (any niladic error-returning Sync, which covers *os.File and the
+// replog logFile seam), net/http round trips, and time.Sleep.
+func blockingCall(u *Unit, call *ast.CallExpr, callee *types.Func) string {
+	var obj *types.Func
+	if callee != nil {
+		obj = callee
+	} else if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := u.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			obj, _ = s.Obj().(*types.Func)
+		}
+	}
+	if obj == nil {
+		return ""
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if obj.Name() == "Sync" && sig.Params().Len() == 0 && sig.Results().Len() == 1 &&
+		types.Identical(sig.Results().At(0).Type(), types.Universe.Lookup("error").Type()) {
+		return "Sync (fsync)"
+	}
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return ""
+	}
+	switch pkg.Path() {
+	case "time":
+		if obj.Name() == "Sleep" {
+			return "time.Sleep"
+		}
+	case "net/http":
+		switch obj.Name() {
+		case "Do", "Get", "Post", "PostForm", "Head":
+			return "net/http request"
+		}
+	}
+	return ""
+}
+
+func isPanic(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

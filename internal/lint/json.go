@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSONDiagnostic is the stable machine-readable form of a Diagnostic, one
+// object per line in `3sigma-lint -json` output. The schema is part of the
+// CLI contract (DESIGN.md §10):
+//
+//	file    module-relative path, forward slashes
+//	line    1-based line
+//	col     1-based column
+//	rule    catalog rule name (or "badallow")
+//	fn      enclosing function, "Type.method" for methods; omitted at
+//	        top level
+//	chain   rule-specific context, omitted when empty: for lockorder the
+//	        lock cycle (first lock repeated at the end); for lockedcall
+//	        blocking findings the witness call path to the blocking site
+//	message human-readable explanation (not stable; parse the fields
+//	        above, not this)
+//
+// Objects are emitted in the analyzer's reporting order: file, line, col,
+// rule — pinned by TestJSONGolden.
+type JSONDiagnostic struct {
+	File    string   `json:"file"`
+	Line    int      `json:"line"`
+	Col     int      `json:"col"`
+	Rule    string   `json:"rule"`
+	Fn      string   `json:"fn,omitempty"`
+	Chain   []string `json:"chain,omitempty"`
+	Message string   `json:"message"`
+}
+
+// WriteJSON renders diagnostics in the stable JSON-lines schema.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	enc := json.NewEncoder(w)
+	for _, d := range diags {
+		jd := JSONDiagnostic{
+			File:    d.Pos.Filename,
+			Line:    d.Pos.Line,
+			Col:     d.Pos.Column,
+			Rule:    d.Rule,
+			Fn:      d.Fn,
+			Chain:   d.Chain,
+			Message: d.Message,
+		}
+		if err := enc.Encode(jd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CountAllows loads the module and returns the number of well-formed
+// //lint:allow directives in reportable files. scripts/ci.sh compares
+// this against the committed suppression budget.
+func CountAllows(root string) (int, error) {
+	mod, err := Load(root)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, u := range mod.Units {
+		for _, f := range u.Files {
+			if !f.Report {
+				continue
+			}
+			n += len(parseAllows(mod.Fset, f.AST).entries)
+		}
+	}
+	return n, nil
+}

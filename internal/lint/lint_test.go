@@ -24,6 +24,9 @@ var goldenCases = []struct {
 	{"floateq", []string{"floateq"}},
 	{"mutexcopy", []string{"mutexcopy"}},
 	{"guardedfield", []string{"guardedfield"}},
+	{"erraudit", []string{"erraudit"}},
+	{"lockorder", []string{"lockorder"}},
+	{"lockedcall", []string{"lockedcall"}},
 	{"suppress", nil},
 }
 
@@ -99,8 +102,11 @@ func TestSuppressionSemantics(t *testing.T) {
 	for _, d := range diags {
 		byRule[d.Rule]++
 	}
-	if byRule["badallow"] != 2 {
-		t.Errorf("badallow count = %d, want 2 (missing reason + unknown rule)", byRule["badallow"])
+	// Missing reason + unknown rule, plus two stale-but-well-formed allows
+	// (WrongLine's misplaced allow and Stale's never-matching one) that the
+	// full-catalog run reports as dead suppressions.
+	if byRule["badallow"] != 4 {
+		t.Errorf("badallow count = %d, want 4 (missing reason, unknown rule, two stale)", byRule["badallow"])
 	}
 	// NoReason, UnknownRule and WrongLine each still leak their wallclock
 	// diagnostic; only Allowed is suppressed.
@@ -126,7 +132,8 @@ func TestRepoIsClean(t *testing.T) {
 }
 
 func TestRuleNamesStable(t *testing.T) {
-	want := []string{"detrange", "wallclock", "globalrand", "floateq", "mutexcopy", "guardedfield"}
+	want := []string{"detrange", "wallclock", "globalrand", "floateq", "mutexcopy",
+		"guardedfield", "erraudit", "lockorder", "lockedcall"}
 	got := RuleNames()
 	if len(got) != len(want) {
 		t.Fatalf("RuleNames() = %v, want %v", got, want)
@@ -135,5 +142,35 @@ func TestRuleNamesStable(t *testing.T) {
 		if got[i] != want[i] {
 			t.Fatalf("RuleNames() = %v, want %v", got, want)
 		}
+	}
+}
+
+// TestJSONGolden pins the -json output schema and its ordering for a corpus
+// with rule-specific context (lockorder's Chain): file, line, col, rule —
+// the fields CI consumers are allowed to parse.
+func TestJSONGolden(t *testing.T) {
+	root := filepath.Join("testdata", "lockorder")
+	diags, err := Run(root, []string{"lockorder"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join(root, "expect.json")
+	if *update {
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("JSON output differs from %s\n--- got ---\n%s--- want ---\n%s",
+			goldenPath, buf.Bytes(), want)
 	}
 }

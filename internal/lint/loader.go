@@ -23,6 +23,22 @@ type File struct {
 	Report bool // diagnostics from this file belong to this unit
 }
 
+// UnitKind distinguishes the three loader passes a Unit can come from.
+type UnitKind int
+
+const (
+	// UnitBase is a package's non-test files (pass 1). Base units are the
+	// substrate of the interprocedural analyses: their types.Func objects
+	// are shared across packages, so the module-wide call graph is built
+	// over base units only.
+	UnitBase UnitKind = iota
+	// UnitInTest is a package re-checked with its in-package test files
+	// (pass 2). Only the test files report diagnostics.
+	UnitInTest
+	// UnitExTest is an external foo_test package (pass 3).
+	UnitExTest
+)
+
 // Unit is one type-checked compilation unit: a package's non-test files, a
 // package re-checked together with its in-package test files, or an
 // external _test package. A file appears in at most one unit with Report
@@ -31,9 +47,15 @@ type File struct {
 type Unit struct {
 	Dir     string // module-relative directory ("" for the root package)
 	PkgPath string // import path
+	Kind    UnitKind
 	Files   []*File
 	Pkg     *types.Package
 	Info    *types.Info
+
+	// ip is the module-wide interprocedural model, set on base units by
+	// RunOpts; rules that can use call-graph facts fall back to purely
+	// syntactic reasoning when it is nil (test units, bare Load calls).
+	ip *interproc
 }
 
 // Module is a loaded, fully type-checked module.
@@ -109,6 +131,7 @@ func Load(root string) (*Module, error) {
 		if err != nil {
 			return nil, err
 		}
+		u.Kind = UnitBase
 		checked[path] = u.Pkg
 		m.Units = append(m.Units, u)
 	}
@@ -132,6 +155,7 @@ func Load(root string) (*Module, error) {
 		if err != nil {
 			return nil, err
 		}
+		u.Kind = UnitInTest
 		inTestPkg[path] = u.Pkg
 		m.Units = append(m.Units, u)
 	}
@@ -154,6 +178,7 @@ func Load(root string) (*Module, error) {
 		if err != nil {
 			return nil, err
 		}
+		u.Kind = UnitExTest
 		m.Units = append(m.Units, u)
 	}
 	return m, nil

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// runErrAudit flags discarded error returns from the durability call set:
+// file writes and fsyncs (*os.File Sync/Write/WriteString/WriteAt and any
+// niladic error-returning Sync, which covers interface seams like replog's
+// logFile), the replicated-log append/compact/install surface, and the
+// checkpoint writers. A dropped error on any of these paths means the
+// process acks state it never made durable — on the replicated log that
+// silently corrupts the hash chain a standby replays from. Discards are
+// syntactic: a bare call statement, `_ =`, a blank in the error position
+// of a multi-assign, and `defer`/`go` of such a call.
+func runErrAudit(u *Unit, f *File, rep reporter) {
+	report := func(call *ast.CallExpr, how string) {
+		name, errIdx, ok := durabilityCall(u, call)
+		if !ok || errIdx < 0 {
+			return
+		}
+		rep(call, "error from %s is %s: a dropped durability error means state was acked but never made durable (handle it or annotate //lint:allow erraudit <why>)", name, how)
+	}
+	ast.Inspect(f.AST, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+				report(call, "discarded")
+			}
+		case *ast.DeferStmt:
+			report(s.Call, "discarded (deferred)")
+		case *ast.GoStmt:
+			report(s.Call, "discarded (goroutine)")
+		case *ast.AssignStmt:
+			if len(s.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, errIdx, ok := durabilityCall(u, call)
+			if !ok || errIdx < 0 || errIdx >= len(s.Lhs) {
+				return true
+			}
+			if id, ok := s.Lhs[errIdx].(*ast.Ident); ok && id.Name == "_" {
+				rep(call, "error from %s is assigned to _: a dropped durability error means state was acked but never made durable (handle it or annotate //lint:allow erraudit <why>)", name)
+			}
+		}
+		return true
+	})
+}
+
+var checkpointWriterRe = regexp.MustCompile(`^(save|write|Save|Write).*Checkpoint`)
+
+// durabilityCall classifies a call against the durability set and returns
+// a display name plus the index of the error result (-1 when the callee
+// returns no error — then there is nothing to drop).
+func durabilityCall(u *Unit, call *ast.CallExpr) (string, int, bool) {
+	obj := calleeObj(u, call)
+	if obj == nil {
+		return "", 0, false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return "", 0, false
+	}
+	errIdx := -1
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Identical(sig.Results().At(i).Type(), types.Universe.Lookup("error").Type()) {
+			errIdx = i
+		}
+	}
+	name := obj.Name()
+	recv := sig.Recv()
+	if recv == nil {
+		if checkpointWriterRe.MatchString(name) {
+			return name, errIdx, true
+		}
+		return "", 0, false
+	}
+	named := namedOf(recv.Type())
+	if named == nil || named.Obj().Pkg() == nil {
+		// Interface receivers still carry a name via the method's package;
+		// the only interface method in the set is the Sync seam below.
+		if name == "Sync" && sig.Params().Len() == 0 && errIdx == 0 {
+			return "Sync", errIdx, true
+		}
+		return "", 0, false
+	}
+	display := named.Obj().Name() + "." + name
+	pkgPath := named.Obj().Pkg().Path()
+	pkgName := named.Obj().Pkg().Name()
+	if name == "Sync" && sig.Params().Len() == 0 && sig.Results().Len() == 1 && errIdx == 0 {
+		return display, errIdx, true
+	}
+	if pkgPath == "os" && named.Obj().Name() == "File" {
+		switch name {
+		case "Write", "WriteString", "WriteAt":
+			return display, errIdx, true
+		}
+	}
+	if pkgName == "replog" {
+		switch name {
+		case "Append", "AppendBatch", "AppendRecord", "AppendRecords", "Compact", "InstallSnapshot":
+			return display, errIdx, true
+		}
+	}
+	if checkpointWriterRe.MatchString(name) {
+		return display, errIdx, true
+	}
+	return "", 0, false
+}
+
+// calleeObj resolves the called function or method object, including
+// interface methods (unlike calleeOf, which wants concrete targets).
+func calleeObj(u *Unit, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := u.Info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		if s, ok := u.Info.Selections[fun]; ok {
+			if s.Kind() == types.MethodVal {
+				f, _ := s.Obj().(*types.Func)
+				return f
+			}
+			return nil
+		}
+		f, _ := u.Info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}

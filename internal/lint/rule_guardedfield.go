@@ -16,9 +16,16 @@ var guardedByRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
 // a struct field annotated "// guarded by <mu>" is reported when no
 // enclosing function (or closure) acquires <mu>. Acquisition is detected
 // syntactically — a call to <path>.<mu>.Lock / RLock / TryLock / TryRLock
-// anywhere in the function body, regardless of control flow. Functions
-// whose name ends in "Locked" are exempt: by repo convention their callers
-// hold the lock (e.g. milp.claimLocked).
+// anywhere in the function body, regardless of control flow.
+//
+// When the interprocedural model is available (base units under RunOpts),
+// guard facts additionally flow through call chains: an access is fine
+// when the must-hold set at the access point contains the guard (which a
+// *Locked method's entry fact provides), or when every transitive call
+// site of the enclosing function provably holds it — and a *Locked method
+// is only exempt for its *own* guard, not for arbitrary mutexes. Without
+// the model (test files), any function named *Locked is exempt wholesale,
+// the pre-interprocedural behavior.
 func runGuardedField(u *Unit, f *File, rep reporter) {
 	guarded := collectGuarded(u)
 	if len(guarded) == 0 {
@@ -57,7 +64,16 @@ func runGuardedField(u *Unit, f *File, rep reporter) {
 				if !isGuarded {
 					return true
 				}
-				if funcNameLocked(stack) || holdsLock(stack, lockedBy, mu) {
+				if holdsLock(stack, lockedBy, mu) {
+					return true
+				}
+				if u.ip == nil {
+					// No interprocedural facts: the historical blanket
+					// *Locked exemption.
+					if funcNameLocked(stack) {
+						return true
+					}
+				} else if guardFlowsHere(u, sel, s, mu, stack) {
 					return true
 				}
 				rep(sel, "field %s is guarded by %s, but no enclosing function locks it (suffix the function name with Locked if the caller holds it, or annotate //lint:allow guardedfield <why>)", v.Name(), mu)
@@ -67,6 +83,74 @@ func runGuardedField(u *Unit, f *File, rep reporter) {
 		})
 	}
 	inspect(f.AST)
+}
+
+// guardFlowsHere consults the interprocedural model: does the guard reach
+// this access — via the must-hold set at the selector (a *Locked method's
+// entry fact, or a structured lock/unlock flow the syntactic check is too
+// coarse for), or because every transitive call site of the enclosing
+// function holds it?
+func guardFlowsHere(u *Unit, sel *ast.SelectorExpr, s *types.Selection, mu string, stack []ast.Node) bool {
+	fd := innermostDecl(stack)
+	if fd == nil {
+		return false
+	}
+	obj, ok := u.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	fn, ok := u.ip.fns[obj]
+	if !ok {
+		return false
+	}
+	// Strict guard key when the accessed struct owns a mutex field named
+	// <mu>; otherwise the guard lives elsewhere (e.g. agentState fields
+	// guarded by the Service's mu) and matching degrades to the field name.
+	key := guardKeyFor(namedOf(s.Recv()), mu)
+	if held, ok := fn.heldAt[sel]; ok && heldMatches(held, key, mu) {
+		return true
+	}
+	if fn.isLocked() {
+		if fn.guardKey == "" {
+			return true // unresolvable guard: cannot reason, keep the old exemption
+		}
+		if key != "" && fn.guardKey == key {
+			return true
+		}
+		if key == "" && fn.guardName == mu {
+			return true
+		}
+	}
+	return u.ip.callersHold(fn, key, mu, make(map[*fnNode]bool))
+}
+
+// guardKeyFor resolves the canonical key of a guard annotation: non-empty
+// only when the accessed struct itself has a mutex field with that name.
+func guardKeyFor(named *types.Named, mu string) string {
+	if named == nil {
+		return ""
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return ""
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		fld := st.Field(i)
+		if fld.Name() == mu && isMutexType(fld.Type()) {
+			return fieldKey(named, mu)
+		}
+	}
+	return ""
+}
+
+// innermostDecl returns the innermost named FuncDecl on the stack.
+func innermostDecl(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
 }
 
 // children returns the traversal roots of a function node: its body (and,

@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// runLockedCall enforces the *Locked naming convention interprocedurally
+// and polices blocking work under a hot mutex:
+//
+//  1. every static call to a fooLocked method happens with its guard held
+//     (directly, via the caller's own *Locked entry fact, or because every
+//     transitive call site provably holds it) — and `go s.fooLocked()` is
+//     always wrong, the goroutine does not inherit the caller's locks;
+//  2. a *Locked method never (R)Locks its own guard: the caller already
+//     holds it and Go mutexes are non-reentrant;
+//  3. no blocking operation (fsync, net/http round trip, time.Sleep,
+//     unbounded channel op) runs while a configured hot mutex is held,
+//     following call chains — the hot lock serializes the control plane,
+//     so anything slow under it stalls every admission and cycle.
+func runLockedCall(ip *interproc, rep ipReporter) {
+	for _, fn := range ip.order {
+		for i := range fn.calls {
+			ev := &fn.calls[i]
+			if ev.callee == nil {
+				continue
+			}
+			callee, ok := ip.fns[ev.callee]
+			if !ok || !callee.isLocked() || callee.guardKey == "" {
+				continue
+			}
+			if ev.isGo {
+				rep(ev.pos, nil,
+					"go %s: the goroutine does not inherit %s, which %s requires held at entry",
+					callee.name(), callee.guardKey, callee.name())
+				continue
+			}
+			if heldMatches(ev.held, callee.guardKey, callee.guardName) {
+				continue
+			}
+			// The caller may be Locked-by-contract without the suffix: every
+			// transitive call site holds the guard and this function never
+			// dropped it on the way here.
+			if !heldMatches(ev.released, callee.guardKey, callee.guardName) &&
+				ip.callersHold(fn, callee.guardKey, callee.guardName, make(map[*fnNode]bool)) {
+				continue
+			}
+			rep(ev.pos, nil,
+				"%s calls %s without holding %s (hold the guard on every path to this call, suffix the caller with Locked, or annotate //lint:allow lockedcall <why>)",
+				fn.name(), callee.name(), callee.guardKey)
+		}
+	}
+
+	for _, fn := range ip.order {
+		if !fn.isLocked() || fn.guardKey == "" {
+			continue
+		}
+		for i := range fn.acquires {
+			a := &fn.acquires[i]
+			if a.key == fn.guardKey && a.again {
+				rep(a.pos, nil,
+					"%s %ss its own guard %s, which its caller already holds by the *Locked convention: self-deadlock",
+					fn.name(), a.kind, fn.guardKey)
+			}
+		}
+	}
+
+	reportBlockingUnderHot(ip, rep)
+}
+
+// reportBlockingUnderHot reports blocking operations that can execute with
+// a hot mutex held. Direct sites (hot provably in the local held set) are
+// reported plainly; sites in functions only *reached* with the hot lock
+// held (via the call graph) carry the witness call path. One report per
+// site, whatever the number of paths.
+func reportBlockingUnderHot(ip *interproc, rep ipReporter) {
+	type reach struct {
+		chain []string
+		hot   string
+	}
+	reached := make(map[*fnNode]*reach)
+	var queue []*fnNode
+	for _, fn := range ip.order {
+		for i := range fn.calls {
+			ev := &fn.calls[i]
+			if ev.isGo || ev.callee == nil {
+				continue
+			}
+			hot := firstHot(ip, ev.held)
+			if hot == "" {
+				continue
+			}
+			callee, ok := ip.fns[ev.callee]
+			if !ok {
+				continue
+			}
+			if _, seen := reached[callee]; !seen {
+				reached[callee] = &reach{chain: []string{fn.name(), callee.name()}, hot: hot}
+				queue = append(queue, callee)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		r := reached[fn]
+		for i := range fn.calls {
+			ev := &fn.calls[i]
+			if ev.isGo || ev.async || ev.callee == nil {
+				continue
+			}
+			// If this function dropped the hot lock before the call, the
+			// obligation does not flow further.
+			if contains(ev.released, r.hot) {
+				continue
+			}
+			callee, ok := ip.fns[ev.callee]
+			if !ok {
+				continue
+			}
+			if _, seen := reached[callee]; !seen {
+				reached[callee] = &reach{chain: append(append([]string{}, r.chain...), callee.name()), hot: r.hot}
+				queue = append(queue, callee)
+			}
+		}
+	}
+
+	reported := make(map[token.Pos]bool)
+	emit := func(pos token.Pos, chain []string, what, hot, via string) {
+		if reported[pos] {
+			return
+		}
+		reported[pos] = true
+		if via == "" {
+			rep(pos, chain, "blocking %s while hot mutex %s is held (everything queued behind %s stalls); move it off the lock or annotate //lint:allow lockedcall <why>",
+				what, hot, hot)
+		} else {
+			rep(pos, chain, "blocking %s can run while hot mutex %s is held (call path: %s); move it off the lock or annotate //lint:allow lockedcall <why>",
+				what, hot, via)
+		}
+	}
+	for _, fn := range ip.order {
+		for i := range fn.blocks {
+			b := &fn.blocks[i]
+			if hot := firstHot(ip, b.held); hot != "" {
+				emit(b.pos, nil, b.what, hot, "")
+			}
+		}
+		for i := range fn.calls {
+			ev := &fn.calls[i]
+			if ev.block == "" || ev.isGo {
+				continue
+			}
+			if hot := firstHot(ip, ev.held); hot != "" {
+				emit(ev.pos, nil, ev.block, hot, "")
+			}
+		}
+		if r, ok := reached[fn]; ok {
+			via := strings.Join(r.chain, " -> ")
+			for i := range fn.blocks {
+				b := &fn.blocks[i]
+				if !b.async {
+					emit(b.pos, r.chain, b.what, r.hot, via)
+				}
+			}
+			for i := range fn.calls {
+				ev := &fn.calls[i]
+				if ev.block != "" && !ev.isGo && !ev.async && !contains(ev.released, r.hot) {
+					emit(ev.pos, r.chain, ev.block, r.hot, via)
+				}
+			}
+		}
+	}
+}
+
+// firstHot returns the first held lock matching a hot pattern, "" if none.
+func firstHot(ip *interproc, held []string) string {
+	for _, h := range held {
+		if ip.isHot(h) {
+			return h
+		}
+	}
+	return ""
+}

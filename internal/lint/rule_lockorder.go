@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// runLockOrder derives the module's lock-acquisition graph — an edge A -> B
+// means some path acquires B while holding A, following static calls
+// through the call graph — and reports every cycle as a potential
+// deadlock, plus any re-acquire of a lock already held (Go mutexes are
+// non-reentrant, so that is a guaranteed self-deadlock, not merely a
+// potential one). Re-acquires of a *Locked function's own entry guard are
+// lockedcall's finding, not ours.
+func runLockOrder(ip *interproc, rep ipReporter) {
+	type edgeKey struct{ from, to string }
+	type witness struct {
+		pos  token.Pos
+		desc string
+	}
+	edges := make(map[edgeKey]*witness)
+	var order []edgeKey // first-seen order, deterministic
+	addEdge := func(from, to string, pos token.Pos, desc string) {
+		k := edgeKey{from, to}
+		if _, ok := edges[k]; ok {
+			return
+		}
+		edges[k] = &witness{pos: pos, desc: desc}
+		order = append(order, k)
+	}
+
+	for _, fn := range ip.order {
+		for i := range fn.acquires {
+			a := &fn.acquires[i]
+			if a.again {
+				if fn.isLocked() && a.key == fn.guardKey {
+					continue // lockedcall reports the own-guard self-lock
+				}
+				rep(a.pos, []string{a.key, a.key},
+					"%s calls %s on %s while %s is already held: mutexes are non-reentrant, this self-deadlocks",
+					fn.name(), a.kind, a.key, a.key)
+				continue
+			}
+			for _, held := range a.held {
+				if held != a.key {
+					addEdge(held, a.key, a.pos,
+						fmt.Sprintf("%s acquires %s while holding %s", fn.name(), a.key, held))
+				}
+			}
+		}
+		for i := range fn.calls {
+			ev := &fn.calls[i]
+			if ev.isGo || ev.callee == nil || len(ev.held) == 0 {
+				continue
+			}
+			callee, ok := ip.fns[ev.callee]
+			if !ok {
+				continue
+			}
+			trans := ip.transAcquires(callee, make(map[*fnNode]bool))
+			keys := make([]string, 0, len(trans))
+			for k := range trans {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				w := trans[k]
+				for _, held := range ev.held {
+					if held == k {
+						rep(ev.pos, append([]string{held}, w.path...),
+							"%s calls %s while holding %s, and the callee re-acquires %s (via %s): mutexes are non-reentrant, this self-deadlocks",
+							fn.name(), callee.name(), held, k, strings.Join(w.path, " -> "))
+						continue
+					}
+					addEdge(held, k, ev.pos,
+						fmt.Sprintf("%s calls %s while holding %s; the callee acquires %s (via %s)",
+							fn.name(), callee.name(), held, k, strings.Join(w.path, " -> ")))
+				}
+			}
+		}
+	}
+
+	// Cycle detection: report one diagnostic per strongly connected
+	// component with more than one lock, spelled out as a concrete cycle
+	// with the witness site of every edge.
+	adj := make(map[string][]string)
+	nodes := make(map[string]bool)
+	for _, k := range order {
+		adj[k.from] = append(adj[k.from], k.to)
+		nodes[k.from], nodes[k.to] = true, true
+	}
+	for _, succ := range adj {
+		sort.Strings(succ)
+	}
+	sorted := make([]string, 0, len(nodes))
+	for n := range nodes {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	comp := sccs(sorted, adj)
+	var cycles [][]string
+	for _, scc := range comp {
+		if len(scc) < 2 {
+			continue
+		}
+		if cyc := cycleThrough(scc, adj); cyc != nil {
+			cycles = append(cycles, cyc)
+		}
+	}
+	sort.Slice(cycles, func(i, j int) bool { return strings.Join(cycles[i], " ") < strings.Join(cycles[j], " ") })
+	for _, cyc := range cycles {
+		var parts []string
+		for i := 0; i+1 < len(cyc); i++ {
+			w := edges[edgeKey{cyc[i], cyc[i+1]}]
+			parts = append(parts, fmt.Sprintf("%s (%s)", w.desc, ip.mod.Fset.Position(w.pos)))
+		}
+		first := edges[edgeKey{cyc[0], cyc[1]}]
+		rep(first.pos, cyc, "potential deadlock: lock-order cycle %s; %s",
+			strings.Join(cyc, " -> "), strings.Join(parts, "; "))
+	}
+}
+
+// sccs computes strongly connected components (Tarjan) over the sorted
+// node list, returning each component sorted.
+func sccs(nodes []string, adj map[string][]string) [][]string {
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var out [][]string
+	next := 0
+	var strong func(v string)
+	strong = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(comp)
+			out = append(out, comp)
+		}
+	}
+	for _, v := range nodes {
+		if _, seen := index[v]; !seen {
+			strong(v)
+		}
+	}
+	return out
+}
+
+// cycleThrough returns a concrete cycle within the component starting and
+// ending at its smallest lock, found by BFS (so the shortest witness).
+func cycleThrough(scc []string, adj map[string][]string) []string {
+	in := make(map[string]bool, len(scc))
+	for _, n := range scc {
+		in[n] = true
+	}
+	start := scc[0]
+	parent := map[string]string{start: ""}
+	queue := []string{start}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range adj[v] {
+			if !in[w] {
+				continue
+			}
+			if w == start && v != start {
+				path := []string{start}
+				var rev []string
+				for cur := v; cur != ""; cur = parent[cur] {
+					rev = append(rev, cur)
+				}
+				for i := len(rev) - 1; i >= 0; i-- {
+					path = append(path, rev[i])
+				}
+				// rev ends at start, so path currently reads start ... v; close it.
+				return append(path[1:], start)
+			}
+			if _, seen := parent[w]; !seen {
+				parent[w] = v
+				queue = append(queue, w)
+			}
+		}
+	}
+	return nil
+}

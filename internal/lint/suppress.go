@@ -6,20 +6,31 @@ import (
 	"strings"
 )
 
+// An allowEntry is one well-formed //lint:allow directive. used flips when
+// the entry suppresses a diagnostic; an entry left unused after a
+// full-catalog run is stale and reported itself.
+type allowEntry struct {
+	rule string
+	used bool
+	pos  token.Position
+}
+
 // An allowSet holds the //lint:allow comments of one file. An allow on line
 // L suppresses matching diagnostics on L (end-of-line comment) and L+1
 // (comment on its own line above the statement). Allows without a reason
 // never suppress; they are returned as badallow diagnostics so that every
 // accepted exception carries a written justification.
 type allowSet struct {
-	byLine    map[int][]string // line -> rule names allowed there
+	byLine    map[int][]*allowEntry // line -> allows declared there
+	entries   []*allowEntry         // declaration order, for the stale pass
 	malformed []Diagnostic
 }
 
 func (a *allowSet) suppressed(rule string, line int) bool {
 	for _, l := range []int{line, line - 1} {
-		for _, r := range a.byLine[l] {
-			if r == rule {
+		for _, e := range a.byLine[l] {
+			if e.rule == rule {
+				e.used = true
 				return true
 			}
 		}
@@ -27,9 +38,22 @@ func (a *allowSet) suppressed(rule string, line int) bool {
 	return false
 }
 
+// stale returns a badallow diagnostic for every well-formed allow that
+// suppressed nothing. Only meaningful after the full catalog ran.
+func (a *allowSet) stale() []Diagnostic {
+	var out []Diagnostic
+	for _, e := range a.entries {
+		if !e.used {
+			out = append(out, Diagnostic{Pos: e.pos, Rule: "badallow",
+				Message: "lint:allow " + e.rule + " suppresses nothing (stale); delete it"})
+		}
+	}
+	return out
+}
+
 // parseAllows scans a file's comments for lint:allow directives.
 func parseAllows(fset *token.FileSet, f *ast.File) *allowSet {
-	a := &allowSet{byLine: make(map[int][]string)}
+	a := &allowSet{byLine: make(map[int][]*allowEntry)}
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			text := strings.TrimPrefix(c.Text, "//")
@@ -51,7 +75,9 @@ func parseAllows(fset *token.FileSet, f *ast.File) *allowSet {
 				a.malformed = append(a.malformed, Diagnostic{Pos: pos, Rule: "badallow",
 					Message: "lint:allow " + fields[0] + " needs a written reason; the suppression is ignored"})
 			default:
-				a.byLine[pos.Line] = append(a.byLine[pos.Line], fields[0])
+				e := &allowEntry{rule: fields[0], pos: pos}
+				a.byLine[pos.Line] = append(a.byLine[pos.Line], e)
+				a.entries = append(a.entries, e)
 			}
 		}
 	}

@@ -1,0 +1,60 @@
+package a
+
+import "os"
+
+// Flush drops the fsync error outright: flagged. A dropped Sync error
+// means state was acked without being durable.
+func Flush(f *os.File) {
+	f.Sync()
+}
+
+// FlushUnderscore discards it explicitly: still flagged — erraudit exists
+// precisely because `_ =` makes dropped durability errors look deliberate.
+func FlushUnderscore(f *os.File) {
+	_ = f.Sync()
+}
+
+// FlushDeferred defers the sync with nowhere for the error to go: flagged.
+func FlushDeferred(f *os.File) {
+	defer f.Sync()
+}
+
+// FlushChecked handles the error: fine.
+func FlushChecked(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Spill drops a write error: flagged.
+func Spill(f *os.File, b []byte) {
+	f.Write(b)
+}
+
+// SpillN keeps the count but underscores the error: flagged.
+func SpillN(f *os.File, b []byte) int {
+	n, _ := f.Write(b)
+	return n
+}
+
+// writeCheckpoint matches the checkpoint-writer name pattern.
+func writeCheckpoint(path string) error {
+	return nil
+}
+
+// Snapshot discards the checkpoint writer's error: flagged.
+func Snapshot() {
+	writeCheckpoint("ckpt")
+}
+
+// SnapshotChecked handles it: fine.
+func SnapshotChecked() error {
+	return writeCheckpoint("ckpt")
+}
+
+// Shut drops a Close error: fine — Close is not in the durability set
+// (erraudit is not a general errcheck).
+func Shut(f *os.File) {
+	f.Close()
+}

@@ -1,0 +1,3 @@
+module lintfixture/erraudit
+
+go 1.24

@@ -1,0 +1,39 @@
+// Package replog mimics the real replicated log's shape: every Append*
+// method is in the durability call set by name.
+package replog
+
+type Log struct {
+	recs []int
+}
+
+func (l *Log) Append(x int) (int, error) {
+	l.recs = append(l.recs, x)
+	return len(l.recs), nil
+}
+
+func (l *Log) AppendBatch(xs []int) error {
+	l.recs = append(l.recs, xs...)
+	return nil
+}
+
+// Drop ignores the append error: flagged.
+func (l *Log) Drop(x int) {
+	l.Append(x)
+}
+
+// DropSeq keeps the sequence number but underscores the error: flagged.
+func (l *Log) DropSeq(x int) int {
+	seq, _ := l.Append(x)
+	return seq
+}
+
+// DropBatch ignores a batch append: flagged.
+func (l *Log) DropBatch(xs []int) {
+	l.AppendBatch(xs)
+}
+
+// Keep handles the error: fine.
+func (l *Log) Keep(x int) error {
+	_, err := l.Append(x)
+	return err
+}

@@ -31,3 +31,40 @@ func (b *Box) peekLocked() int {
 func (b *Box) Other() int {
 	return b.m
 }
+
+// peek relies on its only caller holding mu. Guard facts flow through the
+// call chain interprocedurally, so the Locked suffix is not required when
+// every transitive call site provably holds the guard.
+func (b *Box) peek() int {
+	return b.n
+}
+
+// Use is peek's only caller and holds mu across the call.
+func (b *Box) Use() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.peek()
+}
+
+// Pair has two mutexes: the interprocedural model exempts a *Locked
+// method only for its own guard (the field named mu), not wholesale.
+type Pair struct {
+	mu  sync.Mutex
+	wmu sync.Mutex
+	a   int // guarded by mu
+	b   int // guarded by wmu
+}
+
+// bothLocked holds mu by convention: reading a is fine, but b is guarded
+// by the other mutex and is flagged — the historical blanket *Locked
+// exemption would have hidden it.
+func (p *Pair) bothLocked() int {
+	return p.a + p.b
+}
+
+// bothUse keeps bothLocked reachable under mu only.
+func (p *Pair) bothUse() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.bothLocked()
+}

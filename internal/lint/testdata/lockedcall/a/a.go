@@ -1,0 +1,89 @@
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+// Service mirrors the control plane's big-lock shape: the default hot-lock
+// set marks any field path ending in Service.mu as hot.
+type Service struct {
+	mu sync.Mutex
+	n  int
+}
+
+// applyLocked follows the caller-holds-mu convention.
+func (s *Service) applyLocked() {
+	s.n++
+}
+
+// Good holds the guard across the call on every path: fine.
+func (s *Service) Good() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.applyLocked()
+}
+
+// Bad calls the *Locked method without its guard: flagged.
+func (s *Service) Bad() {
+	s.applyLocked()
+}
+
+// BadGo hands the *Locked method to a goroutine: the new goroutine does
+// not inherit the caller's critical section, flagged.
+func (s *Service) BadGo() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go s.applyLocked()
+}
+
+// chainLocked forwards to another *Locked method while the guard is held
+// by convention: fine — entry facts flow through the chain.
+func (s *Service) chainLocked() {
+	s.applyLocked()
+}
+
+// relockLocked locks its own guard, which its caller already holds by
+// convention: self-deadlock, flagged.
+func (s *Service) relockLocked() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+// Sleepy blocks while the hot mutex is held: flagged at the sleep.
+func (s *Service) Sleepy() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond)
+	s.mu.Unlock()
+}
+
+// nap itself never locks anything, but Indirect reaches it with the hot
+// mutex held: flagged with the witness call path.
+func (s *Service) nap() {
+	time.Sleep(time.Millisecond)
+}
+
+func (s *Service) Indirect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nap()
+}
+
+// NonBlocking sends with a default arm under the lock: never blocks, fine.
+func (s *Service) NonBlocking(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+// OffLock sleeps after releasing the hot mutex: fine.
+func (s *Service) OffLock() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}

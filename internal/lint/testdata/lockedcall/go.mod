@@ -1,0 +1,3 @@
+module lintfixture/lockedcall
+
+go 1.24

@@ -1,0 +1,65 @@
+package a
+
+import "sync"
+
+var (
+	amu sync.Mutex
+	bmu sync.Mutex
+)
+
+// LockAB and LockBA acquire the package mutexes in opposite orders — the
+// classic ABBA deadlock. The cycle is reported once, on the first edge.
+func LockAB() {
+	amu.Lock()
+	bmu.Lock()
+	bmu.Unlock()
+	amu.Unlock()
+}
+
+func LockBA() {
+	bmu.Lock()
+	amu.Lock()
+	amu.Unlock()
+	bmu.Unlock()
+}
+
+// Handoff releases amu before taking bmu: no nesting, no edge, no report.
+func Handoff() {
+	amu.Lock()
+	amu.Unlock()
+	bmu.Lock()
+	bmu.Unlock()
+}
+
+// R exercises the interprocedural re-acquire check.
+type R struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Reenter holds mu and calls a helper that locks it again: mutexes are
+// non-reentrant, so the inner Lock can never succeed.
+func (r *R) Reenter() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.grab()
+}
+
+func (r *R) grab() {
+	r.mu.Lock()
+	r.n++
+	r.mu.Unlock()
+}
+
+// Double re-locks in the same frame: reported directly.
+func Double() {
+	amu.Lock()
+	amu.Lock()
+}
+
+// Sequential calls grab without holding anything: fine — grab locks and
+// unlocks on its own.
+func Sequential(r *R) {
+	r.grab()
+	r.grab()
+}

@@ -1,0 +1,3 @@
+module lintfixture/lockorder
+
+go 1.24

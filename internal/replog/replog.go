@@ -171,7 +171,7 @@ func Open(path string) (*Log, error) {
 	if err != nil {
 		return nil, err
 	}
-	good, err := l.loadLocked(f) // fresh Log: no other goroutine can hold it yet
+	good, err := l.loadLocked(f) //lint:allow lockedcall fresh Log: no other goroutine can hold it yet
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -449,6 +449,7 @@ func (l *Log) persistAllLocked(recs []Record) error {
 	if _, err := l.f.Write(buf.Bytes()); err != nil {
 		return errors.Join(fmt.Errorf("replog: append records %d..%d: %w", first, last, err), l.rollbackLocked())
 	}
+	//lint:allow lockedcall durability before ack: the record must be fsync'd inside the critical section, or an ack could precede persistence
 	if err := l.f.Sync(); err != nil {
 		return errors.Join(fmt.Errorf("replog: fsync records %d..%d: %w", first, last, err), l.rollbackLocked())
 	}
@@ -628,6 +629,7 @@ func (l *Log) rewriteLocked(base uint64, prevHash string, recs []Record) error {
 		tmp.Close()
 		return err
 	}
+	//lint:allow lockedcall compaction runs at the cycle boundary while pushes are fenced; the rewrite must be durable before the rename swaps it in
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		return err

@@ -54,12 +54,25 @@ func newFollowerConn(id int, addr string, timeout time.Duration) *followerConn {
 }
 
 // notifyFollowers wakes every sender goroutine (non-blocking; senders
-// coalesce). Safe with or without s.mu held.
+// coalesce). Must be called without s.mu held — it takes the lock to
+// snapshot the follower list; callers already inside the lock use
+// notifyFollowersLocked.
 func (s *Service) notifyFollowers() {
 	s.mu.Lock()
 	conns := s.followers
 	s.mu.Unlock()
 	for _, fc := range conns {
+		select {
+		case fc.notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// notifyFollowersLocked is notifyFollowers for callers holding s.mu. The
+// sends are select-with-default so nothing blocks under the lock.
+func (s *Service) notifyFollowersLocked() {
+	for _, fc := range s.followers {
 		select {
 		case fc.notify <- struct{}{}:
 		default:
@@ -185,7 +198,7 @@ func (s *Service) startSendersLocked() {
 		// nothing yet, and a zero lastOK would let waitReplicated write the
 		// peer off before its first ack could land. A genuinely dead peer
 		// costs one LeaseInterval of waiting before the lease lapses.
-		fc.lastOK = s.cfg.Clock.Now()
+		fc.lastOK = s.cfg.Clock.Now() //lint:allow guardedfield fresh conn: no other goroutine sees it until the append below publishes it
 		s.followers = append(s.followers, fc)
 		go s.runSender(fc, s.leaderEpoch)
 	}

@@ -160,7 +160,7 @@ func (s *Service) deferCancelLocked(id job.ID) error {
 		seq = rec.Seq
 	}
 	s.pendCancels = append(s.pendCancels, cancelEntry{seq: seq, id: id})
-	s.notifyFollowers()
+	s.notifyFollowersLocked()
 	return nil
 }
 
@@ -175,7 +175,7 @@ func (s *Service) deferOpLocked(op opPayload) error {
 		seq = rec.Seq
 	}
 	s.pendOps = append(s.pendOps, opEntry{seq: seq, op: op})
-	s.notifyFollowers()
+	s.notifyFollowersLocked()
 	return nil
 }
 

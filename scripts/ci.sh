@@ -27,8 +27,28 @@ echo "== 3sigma-lint =="
 # The repo's own determinism & concurrency analyzer (DESIGN.md §10): map
 # iteration in deterministic packages, wall-clock reads outside the clock
 # boundary, unseeded randomness, exact float comparison, copied locks and
-# unguarded annotated fields. Exits non-zero on any unsuppressed finding.
+# unguarded annotated fields — plus the interprocedural rules: lock-order
+# cycles (potential deadlocks), the *Locked caller-holds-guard convention,
+# blocking work under the hot Service.mu, and discarded durability errors.
+# Exits non-zero on any unsuppressed finding. Stale //lint:allow comments
+# are findings too, so the gate fails when a suppression outlives its bug.
 go run ./cmd/3sigma-lint ./...
+
+echo "== lint suppression budget =="
+# The number of //lint:allow directives in the tree is capped by a
+# committed baseline: new suppressions need a deliberate budget bump in
+# the same change, and deleting dead ones ratchets the budget down.
+ALLOWS=$(go run ./cmd/3sigma-lint -allows)
+BUDGET=$(cat scripts/lint_allow_budget)
+if [ "$ALLOWS" -gt "$BUDGET" ]; then
+    echo "FAIL: $ALLOWS //lint:allow directives exceed the committed budget of $BUDGET"
+    echo "      (justify the new suppression, then raise scripts/lint_allow_budget in the same change)"
+    exit 1
+fi
+if [ "$ALLOWS" -lt "$BUDGET" ]; then
+    echo "note: $ALLOWS allows < budget $BUDGET; consider ratcheting scripts/lint_allow_budget down"
+fi
+echo "suppressions: $ALLOWS / $BUDGET"
 
 echo "== go build =="
 go build ./...
